@@ -1,0 +1,38 @@
+//! # fw-abuse
+//!
+//! Abuse detection for serverless function responses — the analysis side
+//! of paper §5:
+//!
+//! * [`md5`] — MD5 from scratch (RFC 1321), used for the paper's
+//!   salted-hash anonymization of sensitive data (Appendix A).
+//! * [`sensitive`] — an EarlyBird-style scanner for the six Finding 5
+//!   leak categories (phones, national IDs, access tokens, API keys,
+//!   passwords, network identifiers) with salted-MD5 anonymization.
+//! * [`c2`] — a C2 fingerprint corpus (26 signatures, 18 families, in the
+//!   shape of the QiAnXin database §5.1): per-family probe payloads and
+//!   binary response matchers, plus relay templates the workload uses to
+//!   plant consistent C2 relays.
+//! * [`webabuse`] — keyword + structure detection of gambling, porn and
+//!   cheating-tool sites (§5.2).
+//! * [`illicit`] — redirect extraction (Location header, `location.href`,
+//!   meta refresh, random splicing/selection — Table 4) and OpenAI
+//!   key-resale promo detection with contact-based group clustering
+//!   (§5.3).
+//! * [`proxy`] — egress-abuse detection: OpenAI/GitHub/VPN geo-bypass
+//!   proxies and illegal-service proxies (§5.4).
+//! * [`threatintel`] — a VirusTotal-like oracle with deliberately tiny
+//!   coverage, reproducing the Finding 10 defence gap.
+//! * [`review`] — the dual-reviewer protocol (§3.4) as two independent
+//!   rule sets that must agree before a cluster exemplar is labelled.
+
+pub mod c2;
+pub mod illicit;
+pub mod md5;
+pub mod proxy;
+pub mod review;
+pub mod sensitive;
+pub mod threatintel;
+pub mod webabuse;
+
+pub use review::{review_exemplar, AbuseType};
+pub use sensitive::{SensitiveFinding, SensitiveKind, SensitiveScanner};

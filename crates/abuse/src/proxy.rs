@@ -1,0 +1,192 @@
+//! Egress-node abuse detection (§5.4): IP proxies behind cloud functions.
+//!
+//! Two categories from the paper:
+//!
+//! * **Illegal-service proxies** — scrapers, ticket bots, watermark-free
+//!   TikTok downloads, music rips: services violating both cloud and
+//!   target-platform terms, hiding behind rotating cloud egress IPs.
+//! * **Geo-bypass proxies** — OpenAI front-ends and relays, GitHub
+//!   mirrors, VPN endpoints; the paper confirms these functions deploy in
+//!   regions outside China.
+
+/// §5.4 proxy categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProxyKind {
+    /// OpenAI front-end (interactive chat UI).
+    OpenAiFrontend,
+    /// OpenAI API relay.
+    OpenAiRelay,
+    GithubProxy,
+    VpnProxy,
+    /// Underground-service proxy with the service name.
+    IllegalService(IllegalService),
+}
+
+/// The concrete underground services called out in §5.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IllegalService {
+    Scraper,
+    TicketBot,
+    TiktokDownload,
+    MusicDownload,
+}
+
+/// Is this proxy a geo-restriction bypass (vs. an illegal-service proxy)?
+pub fn is_geo_bypass(kind: ProxyKind) -> bool {
+    !matches!(kind, ProxyKind::IllegalService(_))
+}
+
+/// Detect proxy behaviour from response content. The paper searched
+/// keywords ("OpenAI", "ChatGPT") and manually confirmed; the rules below
+/// encode the published decision criteria.
+pub fn detect_proxy(body: &str) -> Option<ProxyKind> {
+    let lower = body.to_ascii_lowercase();
+    let about_openai = lower.contains("openai") || lower.contains("chatgpt");
+    if about_openai {
+        // Resale promos are §5.3's case, not proxies.
+        let resale = lower.contains("purchase") || lower.contains("for sale") || lower.contains("rmb");
+        if resale {
+            return None;
+        }
+        let frontend = lower.contains("<input")
+            || lower.contains("input box")
+            || lower.contains("<html");
+        let relay = lower.contains("api") || lower.contains("proxied") || lower.contains("forward");
+        if frontend && lower.contains("ask") || lower.contains("chat") && frontend {
+            return Some(ProxyKind::OpenAiFrontend);
+        }
+        if relay {
+            return Some(ProxyKind::OpenAiRelay);
+        }
+        return None;
+    }
+    if lower.contains("github") && (lower.contains("proxy") || lower.contains("mirror")) {
+        return Some(ProxyKind::GithubProxy);
+    }
+    if lower.contains("vpn") || (lower.contains("tunnel") && lower.contains("bypass")) {
+        return Some(ProxyKind::VpnProxy);
+    }
+    if lower.contains("scraper") && (lower.contains("egress") || lower.contains("rotating")) {
+        return Some(ProxyKind::IllegalService(IllegalService::Scraper));
+    }
+    if lower.contains("ticketmaster") || (lower.contains("ticket") && lower.contains("puppeteer"))
+    {
+        return Some(ProxyKind::IllegalService(IllegalService::TicketBot));
+    }
+    if lower.contains("tiktok") && (lower.contains("watermark") || lower.contains("download")) {
+        return Some(ProxyKind::IllegalService(IllegalService::TiktokDownload));
+    }
+    if (lower.contains("kuwo") || lower.contains("qq music") || lower.contains("music"))
+        && lower.contains("download")
+    {
+        return Some(ProxyKind::IllegalService(IllegalService::MusicDownload));
+    }
+    None
+}
+
+/// Regions inside mainland China (prefix match on common region-code
+/// conventions). Geo-bypass proxies deploy *outside* these (§5.4).
+pub fn region_is_china(region: &str) -> bool {
+    let r = region.to_ascii_lowercase();
+    r.starts_with("cn-")
+        || r.starts_with("ap-beijing")
+        || r.starts_with("ap-shanghai")
+        || r.starts_with("ap-guangzhou")
+        || r.starts_with("ap-chengdu")
+        || r.starts_with("ap-chongqing")
+        || r.starts_with("ap-nanjing")
+        || r.starts_with("ap-shenzhen")
+        || r == "bj"
+        || r == "gz"
+        || r == "su"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openai_frontend_detected() {
+        let body = "<html><h1>ChatGPT</h1><input id=\"msg\" \
+                    placeholder=\"Ask ChatGPT anything...\"><button>Send</button></html>";
+        assert_eq!(detect_proxy(body), Some(ProxyKind::OpenAiFrontend));
+    }
+
+    #[test]
+    fn openai_relay_detected() {
+        let body = "This is a simple web application that interacts with OpenAI's \
+                    chatbot API. Enter a message in the input box below.";
+        let got = detect_proxy(body).expect("detected");
+        assert!(matches!(
+            got,
+            ProxyKind::OpenAiFrontend | ProxyKind::OpenAiRelay
+        ));
+    }
+
+    #[test]
+    fn resale_promos_are_not_proxies() {
+        let body = "To purchase an OpenAI API key contact via WeChat, 10 RMB";
+        assert_eq!(detect_proxy(body), None);
+    }
+
+    #[test]
+    fn github_and_vpn() {
+        assert_eq!(
+            detect_proxy("github mirror proxy ready, accelerated downloads"),
+            Some(ProxyKind::GithubProxy)
+        );
+        assert_eq!(
+            detect_proxy(r#"{"vpn":"ready","mode":"tunnel","bypass":"gfw"}"#),
+            Some(ProxyKind::VpnProxy)
+        );
+    }
+
+    #[test]
+    fn illegal_services() {
+        assert_eq!(
+            detect_proxy(r#"{"scraper":"ok","rotating_egress":"34.1.2.3"}"#),
+            Some(ProxyKind::IllegalService(IllegalService::Scraper))
+        );
+        assert_eq!(
+            detect_proxy(r#"{"service":"ticketmaster puppeteer","auto_purchase":true}"#),
+            Some(ProxyKind::IllegalService(IllegalService::TicketBot))
+        );
+        assert_eq!(
+            detect_proxy(r#"{"service":"tiktok watermark-free download"}"#),
+            Some(ProxyKind::IllegalService(IllegalService::TiktokDownload))
+        );
+        assert_eq!(
+            detect_proxy(r#"{"service":"kuwo/qq music free download"}"#),
+            Some(ProxyKind::IllegalService(IllegalService::MusicDownload))
+        );
+    }
+
+    #[test]
+    fn geo_bypass_classification() {
+        assert!(is_geo_bypass(ProxyKind::OpenAiFrontend));
+        assert!(is_geo_bypass(ProxyKind::GithubProxy));
+        assert!(is_geo_bypass(ProxyKind::VpnProxy));
+        assert!(!is_geo_bypass(ProxyKind::IllegalService(IllegalService::Scraper)));
+    }
+
+    #[test]
+    fn benign_content_not_flagged() {
+        for body in [
+            r#"{"status":"ok","service":"weather"}"#,
+            "<html><body>company homepage</body></html>",
+            "[INFO] job finished",
+        ] {
+            assert_eq!(detect_proxy(body), None, "{body}");
+        }
+    }
+
+    #[test]
+    fn china_region_classification() {
+        for r in ["cn-shanghai", "ap-guangzhou", "bj", "cn-beijing-6"] {
+            assert!(region_is_china(r), "{r}");
+        }
+        for r in ["us-east-1", "eu-west-1", "ap-tokyo", "uc", "ap-singapore"] {
+            assert!(!region_is_china(r), "{r}");
+        }
+    }
+}

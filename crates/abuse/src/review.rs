@@ -1,0 +1,238 @@
+//! The dual-reviewer protocol (§3.4) as two independent rule sets.
+//!
+//! The paper had two security experts independently review cluster
+//! exemplars, then reconcile. Here reviewer A decides from *keyword
+//! semantics* and reviewer B from *structure and mechanics* (page
+//! features, redirect mechanics, contact presence, protocol shape). A
+//! label is confirmed only when both agree — mirroring the "consistent
+//! agreement and clear evidence" bar, and giving the pipeline a
+//! precision-biased final stage.
+
+use crate::illicit::{detect_openai_promo, extract_redirects};
+use crate::proxy::{detect_proxy, is_geo_bypass, ProxyKind};
+use crate::webabuse::{classify_keywords, page_features, WebAbuseKind};
+use fw_http::types::Response;
+
+/// Final abuse labels (Table 3 rows; C2 detection is protocol-based and
+/// bypasses content review).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbuseType {
+    Gambling,
+    Porn,
+    Cheat,
+    Redirect,
+    OpenAiResale,
+    IllegalProxy,
+    GeoProxy,
+}
+
+impl AbuseType {
+    pub fn label(self) -> &'static str {
+        match self {
+            AbuseType::Gambling => "Gambling Website",
+            AbuseType::Porn => "Porn-related Sites",
+            AbuseType::Cheat => "Cheating Tool",
+            AbuseType::Redirect => "Redirect to New Domains",
+            AbuseType::OpenAiResale => "Resale of OpenAI Key",
+            AbuseType::IllegalProxy => "Illegal Service Proxy",
+            AbuseType::GeoProxy => "Geo-bypass Proxy",
+        }
+    }
+}
+
+/// Reviewer A: keyword/semantic signals.
+fn reviewer_a(resp: &Response) -> Option<AbuseType> {
+    let body = resp.body_text();
+    if let Some(kind) = classify_keywords(&body) {
+        return Some(match kind {
+            WebAbuseKind::Gambling => AbuseType::Gambling,
+            WebAbuseKind::Porn => AbuseType::Porn,
+            WebAbuseKind::Cheat => AbuseType::Cheat,
+        });
+    }
+    if detect_openai_promo(&body).is_some() {
+        return Some(AbuseType::OpenAiResale);
+    }
+    if let Some(kind) = detect_proxy(&body) {
+        return Some(if is_geo_bypass(kind) {
+            AbuseType::GeoProxy
+        } else {
+            AbuseType::IllegalProxy
+        });
+    }
+    if !extract_redirects(resp).is_empty() {
+        return Some(AbuseType::Redirect);
+    }
+    None
+}
+
+/// Reviewer B: structural/mechanical signals.
+fn reviewer_b(resp: &Response) -> Option<AbuseType> {
+    let body = resp.body_text();
+    let f = page_features(&body);
+
+    // Redirect mechanics are unambiguous structure.
+    let redirects = extract_redirects(resp);
+    if !redirects.is_empty() {
+        // A redirect to a well-known benign destination is not abuse on
+        // its own; B only confirms when the mechanism is evasive (dynamic
+        // targets) or an off-platform unknown destination.
+        let evasive = redirects.iter().any(|r| {
+            matches!(
+                r.method,
+                crate::illicit::RedirectMethod::RandomSplice
+                    | crate::illicit::RedirectMethod::RandomSelect
+            ) || !is_well_known(&r.target)
+        });
+        if evasive {
+            return Some(AbuseType::Redirect);
+        }
+    }
+
+    // Campaign markers + stuffing = SEO-driven abuse site.
+    if f.has_site_verification && f.stuffing_score >= 3 {
+        return Some(AbuseType::Gambling);
+    }
+    if f.gambling_hits >= 3 {
+        return Some(AbuseType::Gambling);
+    }
+    if f.porn_hits >= 2 {
+        return Some(AbuseType::Porn);
+    }
+    if f.cheat_hits >= 2 && f.has_form {
+        return Some(AbuseType::Cheat);
+    }
+
+    // Promos: resale language plus an actionable contact channel.
+    if let Some(promo) = detect_openai_promo(&body) {
+        if !promo.contacts.is_empty() {
+            return Some(AbuseType::OpenAiResale);
+        }
+    }
+
+    // Proxies: mechanics (egress rotation, tunnel, relay wording).
+    if let Some(kind) = detect_proxy(&body) {
+        let mechanics = match kind {
+            ProxyKind::IllegalService(_) => true,
+            _ => {
+                body.to_ascii_lowercase().contains("proxy")
+                    || body.to_ascii_lowercase().contains("tunnel")
+                    || body.to_ascii_lowercase().contains("api")
+                    || body.to_ascii_lowercase().contains("chat")
+            }
+        };
+        if mechanics {
+            return Some(if is_geo_bypass(kind) {
+                AbuseType::GeoProxy
+            } else {
+                AbuseType::IllegalProxy
+            });
+        }
+    }
+    None
+}
+
+/// Destinations the paper excluded ("redirected to well-known websites,
+/// e.g. www.sogou.com").
+fn is_well_known(url: &str) -> bool {
+    const WELL_KNOWN: &[&str] = &[
+        "www.sogou.com",
+        "www.baidu.com",
+        "www.bilibili.com",
+        "www.google.com",
+        "github.com",
+    ];
+    WELL_KNOWN.iter().any(|w| url.contains(w))
+}
+
+/// Review one cluster exemplar: confirmed only when both reviewers agree
+/// (§3.4's reconciliation step resolves disagreements by discussion; a
+/// rule system has no discussion, so disagreement means unconfirmed).
+pub fn review_exemplar(resp: &Response) -> Option<AbuseType> {
+    match (reviewer_a(resp), reviewer_b(resp)) {
+        (Some(a), Some(b)) if a == b => Some(a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn html(body: &str) -> Response {
+        Response::html(200, body)
+    }
+
+    #[test]
+    fn gambling_confirmed_by_both() {
+        let page = r#"<html><head><meta name="google-site-verification" content="g-1">
+            </head><body>slot slot slot betting casino jackpot deposit bonus</body></html>"#;
+        assert_eq!(review_exemplar(&html(page)), Some(AbuseType::Gambling));
+    }
+
+    #[test]
+    fn single_keyword_mention_unconfirmed() {
+        // A might be silent, B's bar isn't met — no agreement, no label.
+        let page = "<html><body>our city opened a new casino yesterday</body></html>";
+        assert_eq!(review_exemplar(&html(page)), None);
+    }
+
+    #[test]
+    fn redirect_to_unknown_confirmed() {
+        let r = Response::redirect(302, "https://fxbtg-invest.example/x");
+        assert_eq!(review_exemplar(&r), Some(AbuseType::Redirect));
+    }
+
+    #[test]
+    fn redirect_to_well_known_unconfirmed() {
+        // §5.3: redirects to e.g. sogou.com were excluded.
+        let r = Response::redirect(302, "https://www.sogou.com/");
+        assert_eq!(review_exemplar(&r), None);
+    }
+
+    #[test]
+    fn random_splice_confirmed() {
+        let page = "<script>var Rand = Math.round(Math.random() * 999999)\n\
+                    location.href=\"https://\"+Rand+\".yerbsdga.xyz\"</script>";
+        assert_eq!(review_exemplar(&html(page)), Some(AbuseType::Redirect));
+    }
+
+    #[test]
+    fn openai_resale_confirmed() {
+        let page = "To purchase an OpenAI API key (sk-abc***) contact WeChat: wx_seller1, 10 RMB";
+        assert_eq!(
+            review_exemplar(&Response::text(200, page)),
+            Some(AbuseType::OpenAiResale)
+        );
+    }
+
+    #[test]
+    fn geo_proxy_confirmed() {
+        let page = r#"{"vpn":"ready","mode":"tunnel","egress":"34.1.2.3","bypass":"gfw"}"#;
+        assert_eq!(
+            review_exemplar(&Response::json(200, page)),
+            Some(AbuseType::GeoProxy)
+        );
+    }
+
+    #[test]
+    fn illegal_proxy_confirmed() {
+        let page = r#"{"service":"ticketmaster puppeteer","queue":"ready","auto_purchase":true}"#;
+        assert_eq!(
+            review_exemplar(&Response::json(200, page)),
+            Some(AbuseType::IllegalProxy)
+        );
+    }
+
+    #[test]
+    fn benign_content_unconfirmed() {
+        for body in [
+            r#"{"status":"ok","version":"1.2.3"}"#,
+            "<html><body>corporate landing page</body></html>",
+            "[INFO] healthcheck ok",
+            "",
+        ] {
+            assert_eq!(review_exemplar(&Response::text(200, body)), None, "{body}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Content typing (§3.4): JSON, HTML, Plaintext, Others.
+//!
+//! "These types provide rough clues about function purposes. JSON often
+//! indicates API responses, HTML suggests webpage generation, and
+//! Plaintext may contain logs or textual output" — the classifier mirrors
+//! that intent: structural sniffing first (with a lightweight JSON walk,
+//! not a full parser), markup detection second, script/XML/PHP into
+//! Others, everything else Plaintext.
+
+/// The four §3.4 content buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContentType {
+    Json,
+    Html,
+    Plaintext,
+    Others,
+}
+
+impl ContentType {
+    pub const ALL: [ContentType; 4] = [
+        ContentType::Json,
+        ContentType::Html,
+        ContentType::Plaintext,
+        ContentType::Others,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentType::Json => "JSON",
+            ContentType::Html => "HTML",
+            ContentType::Plaintext => "Plaintext",
+            ContentType::Others => "Others",
+        }
+    }
+
+    /// Classify a response body (optionally hinted by a Content-Type
+    /// header value).
+    pub fn classify(body: &str, content_type_header: Option<&str>) -> ContentType {
+        if let Some(ct) = content_type_header {
+            let ct = ct.to_ascii_lowercase();
+            if ct.contains("json") {
+                return ContentType::Json;
+            }
+            if ct.contains("html") {
+                return ContentType::Html;
+            }
+            if ct.contains("javascript") || ct.contains("xml") || ct.contains("php") {
+                return ContentType::Others;
+            }
+            if ct.contains("text/plain") {
+                return ContentType::Plaintext;
+            }
+        }
+        let t = body.trim_start();
+        if looks_like_json(t) {
+            return ContentType::Json;
+        }
+        let lower_head: String = t.chars().take(256).collect::<String>().to_ascii_lowercase();
+        if lower_head.starts_with("<!doctype html")
+            || lower_head.starts_with("<html")
+            || lower_head.contains("<html")
+            || (lower_head.starts_with('<') && lower_head.contains("<body"))
+            || lower_head.contains("<head>")
+        {
+            return ContentType::Html;
+        }
+        if lower_head.starts_with("<?xml")
+            || lower_head.starts_with("<?php")
+            || lower_head.starts_with("(function")
+            || lower_head.starts_with("function ")
+            || lower_head.starts_with("var ")
+            || lower_head.starts_with("const ")
+            || lower_head.starts_with("import ")
+        {
+            return ContentType::Others;
+        }
+        if body.trim().is_empty() {
+            return ContentType::Plaintext;
+        }
+        ContentType::Plaintext
+    }
+}
+
+/// Cheap structural JSON check: balanced braces/brackets with quoted keys
+/// near the start. Intentionally permissive — PDNS-era API responses are
+/// messy.
+fn looks_like_json(t: &str) -> bool {
+    let Some(first) = t.chars().next() else {
+        return false;
+    };
+    if first != '{' && first != '[' {
+        return false;
+    }
+    // `[INFO] ...` log lines also start with '[' and happen to balance;
+    // require the array's first element to look like a JSON value.
+    if first == '[' {
+        let inner = t[1..].trim_start();
+        let plausible = inner.starts_with(['{', '[', '"', ']', 't', 'f', 'n', '-'])
+            || inner.chars().next().is_some_and(|c| c.is_ascii_digit());
+        if !plausible {
+            return false;
+        }
+    }
+    // Balanced-delimiter walk outside of strings.
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in t.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_detection() {
+        assert_eq!(
+            ContentType::classify(r#"{"ok":true,"n":3}"#, None),
+            ContentType::Json
+        );
+        assert_eq!(ContentType::classify(r#"[1,2,3]"#, None), ContentType::Json);
+        assert_eq!(
+            ContentType::classify(r#"  {"nested":{"a":[1,"x"]}} "#, None),
+            ContentType::Json
+        );
+        // Unbalanced → not JSON.
+        assert_eq!(
+            ContentType::classify(r#"{"broken": "#, None),
+            ContentType::Plaintext
+        );
+    }
+
+    #[test]
+    fn html_detection() {
+        for body in [
+            "<!DOCTYPE html><html><body>x</body></html>",
+            "<html><head></head></html>",
+            "  <HTML><BODY>caps</BODY></HTML>",
+        ] {
+            assert_eq!(ContentType::classify(body, None), ContentType::Html, "{body}");
+        }
+    }
+
+    #[test]
+    fn others_detection() {
+        assert_eq!(
+            ContentType::classify("<?xml version=\"1.0\"?><r/>", None),
+            ContentType::Others
+        );
+        assert_eq!(
+            ContentType::classify("(function(){})();", None),
+            ContentType::Others
+        );
+        assert_eq!(
+            ContentType::classify("var a = 1;", None),
+            ContentType::Others
+        );
+        assert_eq!(
+            ContentType::classify("<?php echo 'x'; ?>", None),
+            ContentType::Others
+        );
+    }
+
+    #[test]
+    fn log_lines_with_brackets_are_plaintext() {
+        // Regression: `[INFO] ...` balances its brackets but is not JSON.
+        for body in [
+            "[INFO] job startup complete\n[INFO] healthcheck ok\n",
+            "[DEBUG] cache warm, 0 pending jobs",
+            "[WARN] retrying",
+        ] {
+            assert_eq!(ContentType::classify(body, None), ContentType::Plaintext, "{body}");
+        }
+        // Real JSON arrays still detected.
+        assert_eq!(ContentType::classify(r#"["a","b"]"#, None), ContentType::Json);
+        assert_eq!(ContentType::classify("[1, 2]", None), ContentType::Json);
+        assert_eq!(ContentType::classify("[]", None), ContentType::Json);
+        assert_eq!(ContentType::classify("[null]", None), ContentType::Json);
+    }
+
+    #[test]
+    fn plaintext_fallback() {
+        assert_eq!(
+            ContentType::classify("INFO: service started", None),
+            ContentType::Plaintext
+        );
+        assert_eq!(ContentType::classify("", None), ContentType::Plaintext);
+    }
+
+    #[test]
+    fn header_hint_wins() {
+        assert_eq!(
+            ContentType::classify("not really json", Some("application/json")),
+            ContentType::Json
+        );
+        assert_eq!(
+            ContentType::classify("plain", Some("text/html; charset=utf-8")),
+            ContentType::Html
+        );
+        assert_eq!(
+            ContentType::classify("x", Some("application/javascript")),
+            ContentType::Others
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 4: invocation trends of cloud functions per provider, with the
+//! annotated market events of §4.1.
+
+use fw_bench::{header, run_usage, Cli};
+use fw_core::report::{compare, tsv};
+use fw_types::ProviderId;
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    let (_w, report) = run_usage(&cli);
+    let series = &report.request_series;
+
+    header("Figure 4 — monthly invocation (request) volume per provider");
+    // Compact log-scale sparkline table: one row per provider.
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for provider in ProviderId::ALL {
+        let Some(s) = series.for_provider(provider) else {
+            continue;
+        };
+        let max = *s.iter().max().unwrap_or(&1) as f64;
+        let line: String = s
+            .iter()
+            .map(|v| {
+                if *v == 0 {
+                    ' '
+                } else {
+                    let idx = (((*v as f64).ln() / max.max(2.0).ln())
+                        * (glyphs.len() - 1) as f64)
+                        .round() as usize;
+                    glyphs[idx.min(glyphs.len() - 1)]
+                }
+            })
+            .collect();
+        println!("{:<8} |{line}|  total {}", provider.label(), s.iter().sum::<u64>());
+    }
+    println!(
+        "          {}",
+        series
+            .months
+            .iter()
+            .map(|m| if m.month == 1 { "J" } else { "·" })
+            .collect::<String>()
+    );
+    println!("          window: {} .. {}", series.months[0], series.months[23]);
+
+    header("§4.1 event checks (paper vs. measured)");
+    // Kingsoft appears Aug 2022; Tencent appears Aug 2023.
+    for (provider, label, paper_month) in [
+        (ProviderId::Kingsoft, "Kingsoft first resolutions", 4usize),
+        (ProviderId::Tencent, "Tencent first resolutions", 16),
+    ] {
+        if let Some(s) = series.for_provider(provider) {
+            let first = s.iter().position(|v| *v > 0).unwrap_or(0);
+            println!(
+                "{}",
+                compare(
+                    label,
+                    &series.months[paper_month].label(),
+                    &series.months[first].label()
+                )
+            );
+        }
+    }
+    // Tencent's January 2024 decline (free-trial quota change).
+    if let Some(s) = series.for_provider(ProviderId::Tencent) {
+        let dec_2023 = s[20] as f64; // Dec 2023
+        let jan_2024 = s[21] as f64;
+        let drop = if dec_2023 > 0.0 { jan_2024 / dec_2023 } else { 1.0 };
+        println!(
+            "{}",
+            compare(
+                "Tencent Jan-2024 volume vs Dec-2023",
+                "sharp decline",
+                &format!("x{drop:.2}")
+            )
+        );
+    }
+    // Google2's post-default growth (Aug 2023).
+    if let Some(s) = series.for_provider(ProviderId::Google2) {
+        let before: u64 = s[12..16].iter().sum();
+        let after: u64 = s[16..20].iter().sum();
+        println!(
+            "{}",
+            compare(
+                "Google2 volume after becoming default (4-mo sums)",
+                "increase",
+                &format!("{before} -> {after}")
+            )
+        );
+    }
+    // Google and Aliyun lead overall volume.
+    let mut totals: Vec<(ProviderId, u64)> = ProviderId::ALL
+        .iter()
+        .filter_map(|p| series.for_provider(*p).map(|s| (*p, s.iter().sum())))
+        .collect();
+    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    let leaders: Vec<String> = totals.iter().take(2).map(|(p, _)| p.label().to_string()).collect();
+    println!(
+        "{}",
+        compare("volume leaders", "Google, Aliyun", &leaders.join(", "))
+    );
+
+    if cli.tsv {
+        let mut rows = Vec::new();
+        for (i, m) in series.months.iter().enumerate() {
+            let mut row = vec![m.label()];
+            for p in ProviderId::ALL {
+                row.push(
+                    series
+                        .for_provider(p)
+                        .map(|s| s[i].to_string())
+                        .unwrap_or_else(|| "0".into()),
+                );
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["month"];
+        for p in &ProviderId::ALL {
+            headers.push(p.label());
+        }
+        println!("\n{}", tsv(&headers, &rows));
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 5 + §4.3: distribution of per-function total request counts
+//! (CDF and log10 histogram) and the lifespan/activity-density findings.
+
+use fw_bench::{header, run_usage, Cli};
+use fw_core::report::{bar_chart, compare, pct};
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    let (_w, report) = run_usage(&cli);
+    let inv = &report.invocation;
+
+    header("Figure 5 — log10 histogram of total request counts");
+    let entries: Vec<(String, f64)> = inv
+        .log_histogram
+        .iter()
+        .map(|b| {
+            (
+                format!("10^{:.2}–10^{:.2}", b.lo, b.hi),
+                b.count as f64,
+            )
+        })
+        .collect();
+    println!("{}", bar_chart(&entries, 56));
+
+    header("Figure 5 / §4.3 anchors (paper vs. measured)");
+    println!(
+        "{}",
+        compare("functions analysed", "410,460 (×scale)", &inv.functions.to_string())
+    );
+    println!(
+        "{}",
+        compare("invoked < 5 times", "78.14%", &pct(inv.frac_under_5))
+    );
+    println!(
+        "{}",
+        compare("invoked > 100 times", "7.87%", &pct(inv.frac_over_100))
+    );
+    println!(
+        "{}",
+        compare("single-day lifespan", "81.30%", &pct(inv.frac_single_day))
+    );
+    println!(
+        "{}",
+        compare("lifespan < 5 days", "83.94%", &pct(inv.frac_under_5_days))
+    );
+    println!(
+        "{}",
+        compare(
+            "mean lifespan (days)",
+            "21.44",
+            &format!("{:.2}", inv.mean_lifespan_days)
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "activity density p = 1",
+            "83.01%",
+            &pct(inv.frac_density_one)
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "active across whole window",
+            "14 functions (×scale)",
+            &inv.full_window_functions.to_string()
+        )
+    );
+
+    if cli.tsv {
+        println!("\nlog10_lo\tlog10_hi\tcount");
+        for b in &inv.log_histogram {
+            println!("{:.3}\t{:.3}\t{}", b.lo, b.hi, b.count);
+        }
+        println!("\nlog10_requests\tcdf");
+        for (x, y) in &inv.cdf {
+            println!("{x:.4}\t{y:.6}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! # fw-bench
+//!
+//! Shared plumbing for the table/figure regeneration binaries
+//! (`src/bin/*.rs`, one per paper table/figure — see DESIGN.md §3) and
+//! the criterion performance benches (`benches/`).
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --scale <f64>   population scale vs. the paper (default varies)
+//! --seed <u64>    world seed (default 42)
+//! --tsv           additionally print machine-readable TSV series
+//! ```
+
+use fw_cloud::platform::PlatformConfig;
+use fw_core::abusescan::AbuseScanConfig;
+use fw_core::pipeline::{FullReport, Pipeline, PipelineConfig, UsageReport};
+use fw_probe::prober::ProbeConfig;
+use fw_workload::{World, WorldConfig};
+use std::time::Duration;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    pub scale: f64,
+    pub seed: u64,
+    pub tsv: bool,
+    /// Free-form extra flags (binary-specific).
+    pub flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parse `std::env::args`, with a default scale.
+    pub fn parse(default_scale: f64) -> Cli {
+        let mut cli = Cli {
+            scale: default_scale,
+            seed: 42,
+            tsv: false,
+            flags: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    cli.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs a number"));
+                }
+                "--seed" => {
+                    cli.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer"));
+                }
+                "--tsv" => cli.tsv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--scale <f64>] [--seed <u64>] [--tsv] [binary-specific flags]"
+                    );
+                    std::process::exit(0);
+                }
+                other => cli.flags.push(other.to_string()),
+            }
+        }
+        cli
+    }
+
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Build a PDNS-only world (fast; for §4 figures).
+pub fn usage_world(cli: &Cli) -> World {
+    World::generate(WorldConfig {
+        seed: cli.seed,
+        scale: cli.scale,
+        deploy_live: false,
+        platform: PlatformConfig::default(),
+    })
+}
+
+/// Build a live world (for probing figures).
+pub fn live_world(cli: &Cli) -> World {
+    World::generate(WorldConfig {
+        seed: cli.seed,
+        scale: cli.scale,
+        deploy_live: true,
+        platform: PlatformConfig {
+            // Hangs outlast the probe timeout below, so InternalOnly
+            // functions show up as timeouts like in the paper.
+            hang_ms: 900,
+            ..PlatformConfig::default()
+        },
+    })
+}
+
+/// The pipeline configuration used by probing binaries: the paper's
+/// semantics with simulation-friendly timeouts.
+pub fn pipeline_config(single_shot: bool) -> PipelineConfig {
+    PipelineConfig {
+        probe: ProbeConfig {
+            timeout: Duration::from_millis(300),
+            workers: 16,
+            max_requests_per_function: if single_shot { 1 } else { 3 },
+            now: 0,
+        },
+        abuse: AbuseScanConfig {
+            c2_timeout: Duration::from_millis(300),
+            ..AbuseScanConfig::default()
+        },
+    }
+}
+
+/// Run §4 analyses only.
+pub fn run_usage(cli: &Cli) -> (World, UsageReport) {
+    eprintln!(
+        "generating world: scale {} seed {} (PDNS only)...",
+        cli.scale, cli.seed
+    );
+    let w = usage_world(cli);
+    eprintln!(
+        "world ready: {} functions, {} pdns rows",
+        w.functions.len(),
+        w.pdns.record_count()
+    );
+    let report = Pipeline::run_usage(&w.pdns);
+    (w, report)
+}
+
+/// Run the full pipeline including probing.
+pub fn run_full(cli: &Cli) -> (World, FullReport) {
+    eprintln!(
+        "generating world: scale {} seed {} (live deployment)...",
+        cli.scale, cli.seed
+    );
+    let w = live_world(cli);
+    eprintln!(
+        "world ready: {} functions ({} probed), {} pdns rows; probing...",
+        w.functions.len(),
+        w.probed_domains().len(),
+        w.pdns.record_count()
+    );
+    let pipeline = Pipeline::new(w.net.clone(), w.resolver.clone());
+    let report = pipeline.run(&w.pdns, &pipeline_config(cli.has_flag("--single-shot")));
+    (w, report)
+}
+
+/// Scale a paper count for display next to measured numbers.
+pub fn paper_scaled(full: u64, scale: f64) -> u64 {
+    ((full as f64 * scale).round() as u64).max(if full > 0 { 1 } else { 0 })
+}
+
+/// Section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!();
+}

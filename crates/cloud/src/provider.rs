@@ -1,0 +1,363 @@
+//! Structural facts per provider: regions, ingress architecture, DNS and
+//! deletion policy.
+//!
+//! These encode the paper's §4.2/§4.4 observations as *platform structure*
+//! (the workload generator separately holds Table 2's numeric calibration
+//! targets):
+//!
+//! * region-based service with per-region ingress nodes for most
+//!   providers; Google's single anycast ingress, Google2's four;
+//! * CNAME load-balancing for Aliyun/Baidu/Tencent/IBM (>70% CNAME
+//!   responses), direct A/AAAA for Kingsoft/AWS/Google/Oracle;
+//! * third-party ingress dependencies (Baidu and Kingsoft on Chinese
+//!   telecom operators, IBM on Cloudflare);
+//! * Tencent is the only provider without wildcard DNS, so deleted
+//!   Tencent functions stop resolving (§4.4);
+//! * deleted functions answer 404 — except AWS, which answers 403.
+
+use fw_types::ProviderId;
+
+/// How a provider exposes ingress in DNS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressArch {
+    /// Function names resolve directly to per-region A/AAAA pools.
+    DirectIp {
+        /// Live ingress IPv4 nodes per region in the platform simulator.
+        v4_per_region: u8,
+        /// Live ingress IPv6 nodes per region (0 = no AAAA).
+        v6_per_region: u8,
+    },
+    /// A small global anycast pool, identical for every region (Google).
+    Anycast { v4: u8, v6: u8 },
+    /// Function names resolve to a per-region CNAME which then resolves to
+    /// A records (load-balancing DNS).
+    CnameLb {
+        cnames_per_region: u8,
+        /// Domain suffix of the CNAME target when it lives on third-party
+        /// infrastructure (telecom operators, Cloudflare); `None` keeps the
+        /// CNAME under the provider's own suffix.
+        third_party_suffix: Option<&'static str>,
+    },
+}
+
+/// Structural description of one provider.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    pub id: ProviderId,
+    pub regions: &'static [&'static str],
+    pub ingress: IngressArch,
+    /// Wildcard DNS on the function suffix (all but Tencent).
+    pub wildcard_dns: bool,
+    /// HTTP status returned for a deleted function (AWS: 403, rest: 404).
+    pub deleted_status: u16,
+    /// Default function-URL authentication: providers with IAM-by-default
+    /// (paper §6: Aliyun, AWS, Google enforce default authentication).
+    pub default_auth: bool,
+}
+
+/// Aliyun Function Compute regions (21 in the measurement window).
+const ALIYUN_REGIONS: &[&str] = &[
+    "cn-hangzhou", "cn-shanghai", "cn-qingdao", "cn-beijing", "cn-zhangjiakou",
+    "cn-huhehaote", "cn-shenzhen", "cn-chengdu", "cn-hongkong", "ap-southeast-1",
+    "ap-southeast-2", "ap-southeast-3", "ap-southeast-5", "ap-northeast-1",
+    "ap-northeast-2", "ap-south-1", "us-west-1", "us-east-1", "eu-central-1",
+    "eu-west-1", "me-east-1",
+];
+
+/// Baidu CFC: three cities (Beijing, Shenzhen [gz prefix], Suzhou).
+const BAIDU_REGIONS: &[&str] = &["bj", "gz", "su"];
+
+/// Tencent SCF regions (22).
+const TENCENT_REGIONS: &[&str] = &[
+    "ap-guangzhou", "ap-shanghai", "ap-nanjing", "ap-beijing", "ap-chengdu",
+    "ap-chongqing", "ap-hongkong", "ap-singapore", "ap-bangkok", "ap-mumbai",
+    "ap-seoul", "ap-tokyo", "na-siliconvalley", "na-ashburn", "na-toronto",
+    "eu-frankfurt", "eu-moscow", "ap-jakarta", "ap-shenzhen-fsi",
+    "ap-shanghai-fsi", "ap-beijing-fsi", "sa-saopaulo",
+];
+
+/// Kingsoft: two regions observed (the Table 1 regex hardcodes them).
+const KINGSOFT_REGIONS: &[&str] = &["eu-east-1", "cn-beijing-6"];
+
+/// AWS Lambda regions (22 observed).
+const AWS_REGIONS: &[&str] = &[
+    "us-east-1", "us-east-2", "us-west-1", "us-west-2", "af-south-1",
+    "ap-east-1", "ap-south-1", "ap-northeast-1", "ap-northeast-2",
+    "ap-northeast-3", "ap-southeast-1", "ap-southeast-2", "ca-central-1",
+    "eu-central-1", "eu-west-1", "eu-west-2", "eu-west-3", "eu-north-1",
+    "eu-south-1", "me-south-1", "sa-east-1", "ap-southeast-3",
+];
+
+/// Google Cloud Functions 1st gen (region words × numbered zones; 37
+/// observed region codes).
+const GOOGLE_REGIONS: &[&str] = &[
+    "us-central1", "us-east1", "us-east4", "us-east5", "us-west1", "us-west2",
+    "us-west3", "us-west4", "us-south1", "europe-west1", "europe-west2",
+    "europe-west3", "europe-west4", "europe-west6", "europe-west8",
+    "europe-west9", "europe-west12", "europe-central2", "europe-north1",
+    "europe-southwest1", "asia-east1", "asia-east2", "asia-northeast1",
+    "asia-northeast2", "asia-northeast3", "asia-south1", "asia-south2",
+    "asia-southeast1", "asia-southeast2", "australia-southeast1",
+    "australia-southeast2", "northamerica-northeast1",
+    "northamerica-northeast2", "southamerica-east1", "southamerica-west1",
+    "us-west5", "europe-west10",
+];
+
+/// Google2 (Cloud Run) uses short region codes in `a.run.app` hosts.
+const GOOGLE2_REGIONS: &[&str] = &[
+    "uc", "ue", "uw", "ew", "en", "ez", "an", "as", "ase", "du", "el", "et",
+    "nn", "rj", "sa", "se", "ts", "uk", "ul", "um", "vp", "wl", "wm", "wn",
+    "yt", "zf", "af", "bq", "cb", "df", "gk", "hk", "jj", "kx", "lm", "mp",
+    "oa",
+];
+
+/// IBM Cloud Functions: the six regions hardcoded in the Table 1 regex.
+const IBM_REGIONS: &[&str] = &["us-south", "us-east", "eu-gb", "eu-de", "jp-tok", "au-syd"];
+
+/// Oracle Cloud Functions: five regions observed.
+const ORACLE_REGIONS: &[&str] = &[
+    "us-ashburn-1", "us-phoenix-1", "eu-frankfurt-1", "ap-tokyo-1",
+    "uk-london-1",
+];
+
+/// Azure (excluded from collection; kept for Table 1 completeness).
+const AZURE_REGIONS: &[&str] = &["eastus", "westeurope", "southeastasia"];
+
+/// The specification for one provider.
+pub fn spec(provider: ProviderId) -> ProviderSpec {
+    match provider {
+        ProviderId::Aliyun => ProviderSpec {
+            id: provider,
+            regions: ALIYUN_REGIONS,
+            ingress: IngressArch::CnameLb {
+                cnames_per_region: 2,
+                third_party_suffix: None,
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: true,
+        },
+        ProviderId::Baidu => ProviderSpec {
+            id: provider,
+            regions: BAIDU_REGIONS,
+            ingress: IngressArch::CnameLb {
+                cnames_per_region: 1,
+                // Paper §4.2: Baidu fronts functions with China Telecom /
+                // Unicom / Mobile infrastructure.
+                third_party_suffix: Some("ct-ingress.example-telecom.net"),
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            // §6: Baidu defaults to publicly accessible, no warning.
+            default_auth: false,
+        },
+        ProviderId::Tencent => ProviderSpec {
+            id: provider,
+            regions: TENCENT_REGIONS,
+            ingress: IngressArch::CnameLb {
+                cnames_per_region: 2,
+                third_party_suffix: None,
+            },
+            // §4.4: the only provider without wildcard resolution.
+            wildcard_dns: false,
+            deleted_status: 404,
+            default_auth: false,
+        },
+        ProviderId::Kingsoft => ProviderSpec {
+            id: provider,
+            regions: KINGSOFT_REGIONS,
+            ingress: IngressArch::DirectIp {
+                v4_per_region: 2,
+                v6_per_region: 0,
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: false,
+        },
+        ProviderId::Aws => ProviderSpec {
+            id: provider,
+            regions: AWS_REGIONS,
+            ingress: IngressArch::DirectIp {
+                v4_per_region: 4,
+                v6_per_region: 4,
+            },
+            wildcard_dns: true,
+            // §4.4: AWS returns 403 for deleted functions.
+            deleted_status: 403,
+            default_auth: true,
+        },
+        ProviderId::Google => ProviderSpec {
+            id: provider,
+            regions: GOOGLE_REGIONS,
+            ingress: IngressArch::Anycast { v4: 1, v6: 1 },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: true,
+        },
+        ProviderId::Google2 => ProviderSpec {
+            id: provider,
+            regions: GOOGLE2_REGIONS,
+            ingress: IngressArch::Anycast { v4: 4, v6: 4 },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: true,
+        },
+        ProviderId::Ibm => ProviderSpec {
+            id: provider,
+            regions: IBM_REGIONS,
+            ingress: IngressArch::CnameLb {
+                cnames_per_region: 1,
+                // §4.2: IBM fronts with Cloudflare.
+                third_party_suffix: Some("cdn.example-cloudflare.net"),
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: false,
+        },
+        ProviderId::Oracle => ProviderSpec {
+            id: provider,
+            regions: ORACLE_REGIONS,
+            ingress: IngressArch::DirectIp {
+                v4_per_region: 6,
+                v6_per_region: 0,
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: false,
+        },
+        ProviderId::Azure => ProviderSpec {
+            id: provider,
+            regions: AZURE_REGIONS,
+            ingress: IngressArch::DirectIp {
+                v4_per_region: 2,
+                v6_per_region: 0,
+            },
+            wildcard_dns: true,
+            deleted_status: 404,
+            default_auth: false,
+        },
+    }
+}
+
+impl ProviderSpec {
+    /// Does this provider answer AAAA queries anywhere? (Paper: only AWS,
+    /// Google and IBM were observed with AAAA records; IBM's arrive via
+    /// Cloudflare.)
+    pub fn has_ipv6(&self) -> bool {
+        match self.ingress {
+            IngressArch::DirectIp { v6_per_region, .. } => v6_per_region > 0,
+            IngressArch::Anycast { v6, .. } => v6 > 0,
+            // IBM's Cloudflare frontend serves AAAA.
+            IngressArch::CnameLb { third_party_suffix, .. } => third_party_suffix
+                .map(|s| s.contains("cloudflare"))
+                .unwrap_or(false),
+        }
+    }
+
+    /// TLS certificate pattern presented by this provider's ingress.
+    pub fn cert_pattern(&self) -> String {
+        format!("*.{}", self.id.domain_suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_counts_match_table2() {
+        assert_eq!(spec(ProviderId::Aliyun).regions.len(), 21);
+        assert_eq!(spec(ProviderId::Baidu).regions.len(), 3);
+        assert_eq!(spec(ProviderId::Tencent).regions.len(), 22);
+        assert_eq!(spec(ProviderId::Kingsoft).regions.len(), 2);
+        assert_eq!(spec(ProviderId::Aws).regions.len(), 22);
+        assert_eq!(spec(ProviderId::Google).regions.len(), 37);
+        assert_eq!(spec(ProviderId::Google2).regions.len(), 37);
+        assert_eq!(spec(ProviderId::Ibm).regions.len(), 6);
+        assert_eq!(spec(ProviderId::Oracle).regions.len(), 5);
+    }
+
+    #[test]
+    fn only_tencent_lacks_wildcard_dns() {
+        for p in ProviderId::ALL {
+            assert_eq!(
+                spec(p).wildcard_dns,
+                p != ProviderId::Tencent,
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_aws_returns_403_for_deleted() {
+        for p in ProviderId::ALL {
+            let expect = if p == ProviderId::Aws { 403 } else { 404 };
+            assert_eq!(spec(p).deleted_status, expect, "{p}");
+        }
+    }
+
+    #[test]
+    fn aaaa_support_matches_table2() {
+        // Table 2: AAAA observed only for AWS, Google (both gens) and IBM.
+        for p in ProviderId::ALL {
+            let expect = matches!(
+                p,
+                ProviderId::Aws | ProviderId::Google | ProviderId::Google2 | ProviderId::Ibm
+            );
+            assert_eq!(spec(p).has_ipv6(), expect, "{p}");
+        }
+    }
+
+    #[test]
+    fn third_party_ingress_for_baidu_kingsoft_ibm() {
+        // Baidu and IBM are CNAME-fronted by third parties; Kingsoft uses
+        // telecom-operator address space directly (DirectIp here).
+        assert!(matches!(
+            spec(ProviderId::Baidu).ingress,
+            IngressArch::CnameLb { third_party_suffix: Some(_), .. }
+        ));
+        assert!(matches!(
+            spec(ProviderId::Ibm).ingress,
+            IngressArch::CnameLb { third_party_suffix: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn google_is_anycast_with_one_node_google2_with_four() {
+        assert_eq!(
+            spec(ProviderId::Google).ingress,
+            IngressArch::Anycast { v4: 1, v6: 1 }
+        );
+        assert_eq!(
+            spec(ProviderId::Google2).ingress,
+            IngressArch::Anycast { v4: 4, v6: 4 }
+        );
+    }
+
+    #[test]
+    fn google2_regions_match_kingsoft_regex() {
+        // Kingsoft's regex hardcodes its two regions; ensure the catalogue
+        // stays in sync with the Table 1 expression.
+        use crate::formats::format_for;
+        let f = format_for(ProviderId::Kingsoft);
+        for region in spec(ProviderId::Kingsoft).regions {
+            let fqdn = fw_types::Fqdn::parse(&format!("fnxyz123-{region}.ksyuncf.com")).unwrap();
+            assert!(f.matches(&fqdn), "{region}");
+        }
+    }
+
+    #[test]
+    fn cert_patterns_cover_generated_domains() {
+        use crate::formats::{format_for, UrlParts};
+        use fw_net::tls::cert_matches;
+        let f = format_for(ProviderId::Tencent);
+        let (fqdn, _) = f.generate(&UrlParts {
+            user_id: "1300000001".into(),
+            random: "a1b2c3d4e5".into(),
+            region: "ap-guangzhou".into(),
+            ..UrlParts::default()
+        });
+        let cert = spec(ProviderId::Tencent).cert_pattern();
+        assert!(cert_matches(&cert, fqdn.as_str()));
+    }
+}

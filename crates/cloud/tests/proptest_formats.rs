@@ -1,0 +1,133 @@
+//! Property tests for Table 1 formats and the platform's domain minting.
+
+use fw_cloud::formats::{all_formats, format_for, identify, UrlParts};
+use fw_types::{Fqdn, ProviderId};
+use proptest::prelude::*;
+
+fn arb_label(min: usize, max: usize) -> impl Strategy<Value = String> {
+    proptest::string::string_regex(&format!("[a-z][a-z0-9]{{{},{}}}", min - 1, max - 1))
+        .expect("valid strategy regex")
+}
+
+fn arb_fixed(alphabet: &str, len: usize) -> impl Strategy<Value = String> {
+    proptest::string::string_regex(&format!("[{alphabet}]{{{len}}}")).expect("valid")
+}
+
+fn region_for(provider: ProviderId) -> impl Strategy<Value = String> {
+    let regions = fw_cloud::provider::spec(provider).regions;
+    proptest::sample::select(regions.iter().map(|r| r.to_string()).collect::<Vec<_>>())
+}
+
+fn arb_parts(provider: ProviderId) -> impl Strategy<Value = UrlParts> {
+    let random_len = format_for(provider).random_len.max(6);
+    let alphabet = if provider == ProviderId::Aliyun {
+        "a-z"
+    } else {
+        "a-z0-9"
+    };
+    (
+        arb_label(2, 12),
+        arb_label(2, 12),
+        1_000_000_000u64..=1_399_999_999,
+        arb_fixed(alphabet, random_len),
+        region_for(provider),
+    )
+        .prop_map(|(fname, pname, uid, random, region)| UrlParts {
+            fname,
+            pname,
+            user_id: format!("{uid:010}"),
+            random,
+            region,
+        })
+}
+
+proptest! {
+    /// Minted domains always match their own format, and identification
+    /// maps them back — except Azure, which is excluded by design.
+    #[test]
+    fn generate_then_identify_roundtrip(
+        (idx, parts) in (0usize..10).prop_flat_map(|idx| {
+            arb_parts(ProviderId::ALL[idx]).prop_map(move |p| (idx, p))
+        }),
+    ) {
+        let provider = ProviderId::ALL[idx];
+        let format = format_for(provider);
+        let (fqdn, path) = format.generate(&parts);
+        prop_assert!(format.matches(&fqdn), "{fqdn}");
+        prop_assert!(path.starts_with('/'));
+        let expect = provider.dns_identifiable().then_some(provider);
+        prop_assert_eq!(identify(&fqdn), expect, "{}", fqdn);
+    }
+
+    /// Identification never panics and never misattributes arbitrary
+    /// domain-shaped noise.
+    #[test]
+    fn identify_total_on_noise(labels in proptest::collection::vec("[a-z0-9-]{1,20}", 2..6)) {
+        let cleaned: Vec<String> = labels
+            .into_iter()
+            .map(|l| l.trim_matches('-').to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        prop_assume!(cleaned.len() >= 2);
+        let name = cleaned.join(".");
+        if let Ok(fqdn) = Fqdn::parse(&name) {
+            if let Some(provider) = identify(&fqdn) {
+                // A claim of identification must be backed by the format.
+                prop_assert!(format_for(provider).matches(&fqdn), "{}: {}", provider, fqdn);
+            }
+        }
+    }
+
+    /// Region extraction returns a region actually embedded in the
+    /// domain string.
+    #[test]
+    fn extracted_region_is_substring(idx in 0usize..10, seed in 0u64..1000) {
+        let provider = ProviderId::ALL[idx];
+        let spec = fw_cloud::provider::spec(provider);
+        let region = spec.regions[(seed as usize) % spec.regions.len()];
+        let random_alphabet = if provider == ProviderId::Aliyun {
+            "abcdefghij"
+        } else {
+            "a1b2c3d4e5"
+        };
+        let parts = UrlParts {
+            fname: "myfn".into(),
+            pname: "proj".into(),
+            user_id: format!("{:010}", 1_300_000_000 + seed),
+            random: random_alphabet
+                .chars()
+                .cycle()
+                .take(format_for(provider).random_len.max(8))
+                .collect(),
+            region: region.to_string(),
+        };
+        let format = format_for(provider);
+        let (fqdn, _) = format.generate(&parts);
+        if let Some(extracted) = format.region_of(&fqdn) {
+            prop_assert!(
+                fqdn.as_str().contains(&extracted) || extracted.contains(region),
+                "{fqdn} vs {extracted}"
+            );
+        }
+    }
+}
+
+/// Mutating any single byte of a valid Tencent domain's digits/shape
+/// breaks the match or keeps it valid — never panics.
+#[test]
+fn mutation_robustness() {
+    let fqdn = "1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com";
+    let format = format_for(ProviderId::Tencent);
+    for i in 0..fqdn.len() {
+        for b in [b'!', b'A', b'0', b'.', b'-'] {
+            let mut bytes = fqdn.as_bytes().to_vec();
+            bytes[i] = b;
+            if let Ok(s) = String::from_utf8(bytes) {
+                if let Ok(f) = Fqdn::parse(&s) {
+                    let _ = format.matches(&f);
+                    let _ = identify(&f);
+                }
+            }
+        }
+    }
+}

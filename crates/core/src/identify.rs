@@ -1,0 +1,210 @@
+//! Serverless function identification (§3.2).
+//!
+//! The paper converts Table 1's URL formats into domain regular
+//! expressions and filters the PDNS feed through them. Here the same
+//! compiled expressions (from `fw-cloud::formats`, engine from
+//! `fw-pattern`) scan every fqdn in the store; matches are aggregated per
+//! function with the §3.2 key metrics.
+
+use fw_cloud::formats::{all_formats, format_for, identify};
+use fw_dns::pdns::{FqdnAggregate, PdnsStore};
+use fw_types::{Fqdn, ProviderId};
+use std::collections::HashMap;
+
+/// One identified serverless function domain.
+#[derive(Debug, Clone)]
+pub struct IdentifiedFunction {
+    pub fqdn: Fqdn,
+    pub provider: ProviderId,
+    /// Region code extracted from the domain, where the format encodes
+    /// one.
+    pub region: Option<String>,
+    /// §3.2 aggregate: first/last seen, days_count, total_request_cnt,
+    /// rdata distribution.
+    pub agg: FqdnAggregate,
+}
+
+/// Identification summary.
+#[derive(Debug, Clone)]
+pub struct IdentificationReport {
+    pub functions: Vec<IdentifiedFunction>,
+    /// fqdns in the store that matched no provider expression.
+    pub unmatched: u64,
+    /// Total request count across identified functions.
+    pub total_requests: u64,
+}
+
+impl IdentificationReport {
+    /// Count of identified domains per provider (Table 2 "Domains").
+    pub fn domains_per_provider(&self) -> HashMap<ProviderId, u64> {
+        let mut out = HashMap::new();
+        for f in &self.functions {
+            *out.entry(f.provider).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Per-provider request totals (Table 2 "All Request").
+    pub fn requests_per_provider(&self) -> HashMap<ProviderId, u64> {
+        let mut out = HashMap::new();
+        for f in &self.functions {
+            *out.entry(f.provider).or_insert(0) += f.agg.total_request_cnt;
+        }
+        out
+    }
+
+    /// Functions belonging to providers whose domains map one-to-one to
+    /// functions (the §4.3 / probing scope).
+    pub fn function_identifiable(&self) -> impl Iterator<Item = &IdentifiedFunction> {
+        self.functions
+            .iter()
+            .filter(|f| f.provider.function_identifiable())
+    }
+
+    /// Domains to actively probe (§3.3 scope).
+    pub fn probe_scope(&self) -> Vec<Fqdn> {
+        self.function_identifiable()
+            .map(|f| f.fqdn.clone())
+            .collect()
+    }
+}
+
+/// Scan a PDNS store and identify all serverless function domains.
+pub fn identify_functions(pdns: &PdnsStore) -> IdentificationReport {
+    let mut functions = Vec::new();
+    let mut unmatched = 0u64;
+    let mut total_requests = 0u64;
+    for fqdn in pdns.fqdns() {
+        match identify(fqdn) {
+            Some(provider) => {
+                let agg = pdns.aggregate(fqdn).expect("fqdn is in the store");
+                total_requests += agg.total_request_cnt;
+                let region = format_for(provider).region_of(fqdn);
+                functions.push(IdentifiedFunction {
+                    fqdn: fqdn.clone(),
+                    provider,
+                    region,
+                    agg,
+                });
+            }
+            None => unmatched += 1,
+        }
+    }
+    // Deterministic order for downstream consumers.
+    functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+    IdentificationReport {
+        functions,
+        unmatched,
+        total_requests,
+    }
+}
+
+/// Ablation (DESIGN.md §5.4): identification precision of suffix-only
+/// matching vs. the full expressions. Returns `(full_matches,
+/// suffix_only_matches)` — the gap is the false-positive surface the
+/// Table 1 expressions eliminate.
+pub fn suffix_only_ablation(pdns: &PdnsStore) -> (u64, u64) {
+    let mut full = 0u64;
+    let mut suffix_only = 0u64;
+    for fqdn in pdns.fqdns() {
+        if identify(fqdn).is_some() {
+            full += 1;
+        }
+        if all_formats()
+            .iter()
+            .any(|f| f.provider.dns_identifiable() && fqdn.has_suffix(f.provider.domain_suffix()))
+        {
+            suffix_only += 1;
+        }
+    }
+    (full, suffix_only)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_types::{DayStamp, Rdata};
+    use std::net::Ipv4Addr;
+
+    fn store_with(domains: &[(&str, u64)]) -> PdnsStore {
+        let mut s = PdnsStore::new();
+        let ip = Rdata::V4(Ipv4Addr::new(203, 0, 113, 1));
+        for (d, cnt) in domains {
+            s.observe_count(&Fqdn::parse(d).unwrap(), &ip, DayStamp(19_100), *cnt);
+        }
+        s
+    }
+
+    #[test]
+    fn identifies_provider_domains_and_skips_noise() {
+        let s = store_with(&[
+            ("1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com", 10),
+            ("myfn-a1b2c3d4e5-uc.a.run.app", 7),
+            ("x2h5k7m9p1q3.lambda-url.us-east-1.on.aws", 3),
+            ("www.example.com", 100),
+            ("mail.google.com", 50),
+        ]);
+        let report = identify_functions(&s);
+        assert_eq!(report.functions.len(), 3);
+        assert_eq!(report.unmatched, 2);
+        assert_eq!(report.total_requests, 20);
+        let per = report.domains_per_provider();
+        assert_eq!(per[&ProviderId::Tencent], 1);
+        assert_eq!(per[&ProviderId::Google2], 1);
+        assert_eq!(per[&ProviderId::Aws], 1);
+    }
+
+    #[test]
+    fn regions_extracted() {
+        let s = store_with(&[("1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com", 1)]);
+        let report = identify_functions(&s);
+        assert_eq!(report.functions[0].region.as_deref(), Some("ap-guangzhou"));
+    }
+
+    #[test]
+    fn azure_like_domains_are_not_identified() {
+        // Azure is excluded from collection (§3.2): its suffix collides
+        // with ordinary web apps.
+        let s = store_with(&[("random-blog.azurewebsites.net", 5)]);
+        let report = identify_functions(&s);
+        assert!(report.functions.is_empty());
+        assert_eq!(report.unmatched, 1);
+    }
+
+    #[test]
+    fn probe_scope_excludes_path_identified() {
+        let s = store_with(&[
+            ("us-central1-proj.cloudfunctions.net", 9), // Google 1st gen
+            ("myfn-a1b2c3d4e5-uc.a.run.app", 7),        // Google2
+        ]);
+        let report = identify_functions(&s);
+        assert_eq!(report.functions.len(), 2);
+        let scope = report.probe_scope();
+        assert_eq!(scope.len(), 1);
+        assert!(scope[0].as_str().ends_with("a.run.app"));
+    }
+
+    #[test]
+    fn suffix_ablation_shows_precision_gap() {
+        let s = store_with(&[
+            // Valid function.
+            ("1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com", 1),
+            // Suffix matches, expression rejects (malformed prefix).
+            ("www.scf.tencentcs.com", 1),
+            ("something.on.aws", 1),
+        ]);
+        let (full, suffix_only) = suffix_only_ablation(&s);
+        assert_eq!(full, 1);
+        assert_eq!(suffix_only, 3);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let s = store_with(&[
+            ("zzz-a1b2c3d4e5-uc.a.run.app", 1),
+            ("aaa-a1b2c3d4e5-uc.a.run.app", 1),
+        ]);
+        let report = identify_functions(&s);
+        assert!(report.functions[0].fqdn < report.functions[1].fqdn);
+    }
+}

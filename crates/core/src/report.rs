@@ -1,0 +1,192 @@
+//! Text rendering for tables and figures.
+//!
+//! The figure-regeneration binaries print paper-vs-measured comparisons
+//! with these helpers: aligned tables, horizontal ASCII bar charts for
+//! the figure series, and TSV output for external plotting.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                out.push(' ');
+                out.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out
+        };
+        let sep = {
+            let mut out = String::from("|");
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('|');
+            }
+            out
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Horizontal ASCII bar chart: one labelled bar per entry, scaled to
+/// `width` characters.
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.4}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// TSV series (for external plotting).
+pub fn tsv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join("\t");
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Percent formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Integer with thousands separators.
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<46} paper: {paper:>14}   measured: {measured:>14}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Provider", "Domains"]);
+        t.row(vec!["Aliyun", "59,404"]);
+        t.row(vec!["Baidu", "753"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Provider"));
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["A", "B"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(
+            &[("a".to_string(), 10.0), ("bb".to_string(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 20);
+        assert_eq!(lines[1].matches('#').count(), 10);
+        // Labels padded to equal width.
+        assert!(lines[0].starts_with("a  |"));
+        assert!(lines[1].starts_with("bb |"));
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(531_089), "531,089");
+        assert_eq!(thousands(1_550_000_000), "1,550,000,000");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.8931), "89.31%");
+        assert_eq!(pct(0.0013), "0.13%");
+    }
+
+    #[test]
+    fn tsv_output() {
+        let s = tsv(
+            &["month", "count"],
+            &[vec!["2022-04".into(), "10".into()]],
+        );
+        assert_eq!(s, "month\tcount\n2022-04\t10\n");
+    }
+}

@@ -1,0 +1,187 @@
+//! Current invocation status (§4.4, Figure 6).
+//!
+//! Summarizes the active-probing outcomes: reachability, DNS-failure
+//! share (the deleted-Tencent effect), HTTPS support, the status-code
+//! distribution and the 200-with-content corpus that feeds §5.
+
+use fw_dns::resolver::ResolveError;
+use fw_probe::prober::{ProbeOutcome, ProbeRecord};
+use std::collections::HashMap;
+
+/// Figure 6 + §4.4 summary.
+#[derive(Debug, Clone)]
+pub struct StatusReport {
+    pub probed: u64,
+    pub reachable: u64,
+    pub unreachable: u64,
+    /// DNS failures among the unreachable (paper: 19.12%, all Tencent).
+    pub dns_failures: u64,
+    /// Responses obtained over HTTPS (vs. HTTP fallback).
+    pub https_ok: u64,
+    /// status code → count, over reachable functions.
+    pub status_counts: HashMap<u16, u64>,
+    /// 200 responses with a non-empty body (the §5 analysis corpus).
+    pub ok_with_content: u64,
+    pub ok_empty: u64,
+    /// Owners who opted out (Appendix A) — never contacted, excluded
+    /// from every share below.
+    pub opted_out: u64,
+}
+
+impl StatusReport {
+    pub fn frac_unreachable(&self) -> f64 {
+        if self.probed == 0 {
+            return 0.0;
+        }
+        self.unreachable as f64 / self.probed as f64
+    }
+
+    pub fn frac_dns_failures_of_unreachable(&self) -> f64 {
+        if self.unreachable == 0 {
+            return 0.0;
+        }
+        self.dns_failures as f64 / self.unreachable as f64
+    }
+
+    pub fn frac_https(&self) -> f64 {
+        if self.reachable == 0 {
+            return 0.0;
+        }
+        self.https_ok as f64 / self.reachable as f64
+    }
+
+    /// Share of a status code among reachable functions.
+    pub fn frac_status(&self, status: u16) -> f64 {
+        if self.reachable == 0 {
+            return 0.0;
+        }
+        self.status_counts.get(&status).copied().unwrap_or(0) as f64 / self.reachable as f64
+    }
+
+    /// The top-k status codes by frequency (Figure 6's x-axis).
+    pub fn top_statuses(&self, k: usize) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .status_counts
+            .iter()
+            .map(|(s, c)| (*s, *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Summarize probe records into the §4.4 report.
+pub fn status_report(records: &[ProbeRecord]) -> StatusReport {
+    let mut report = StatusReport {
+        probed: records.len() as u64,
+        reachable: 0,
+        unreachable: 0,
+        dns_failures: 0,
+        https_ok: 0,
+        status_counts: HashMap::new(),
+        ok_with_content: 0,
+        ok_empty: 0,
+        opted_out: 0,
+    };
+    for rec in records {
+        match &rec.outcome {
+            ProbeOutcome::Responded { https, response } => {
+                report.reachable += 1;
+                if *https {
+                    report.https_ok += 1;
+                }
+                *report.status_counts.entry(response.status).or_insert(0) += 1;
+                if response.status == 200 {
+                    if response.body.is_empty() {
+                        report.ok_empty += 1;
+                    } else {
+                        report.ok_with_content += 1;
+                    }
+                }
+            }
+            ProbeOutcome::DnsFailure(e) => {
+                report.unreachable += 1;
+                if matches!(e, ResolveError::NxDomain) {
+                    report.dns_failures += 1;
+                }
+            }
+            ProbeOutcome::Unreachable { .. } => {
+                report.unreachable += 1;
+            }
+            ProbeOutcome::OptedOut => {
+                report.opted_out += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_http::types::Response;
+    use fw_types::Fqdn;
+
+    fn rec(fqdn: &str, outcome: ProbeOutcome) -> ProbeRecord {
+        ProbeRecord {
+            fqdn: Fqdn::parse(fqdn).unwrap(),
+            outcome,
+            requests_issued: 1,
+        }
+    }
+
+    fn responded(fqdn: &str, https: bool, status: u16, body: &str) -> ProbeRecord {
+        rec(
+            fqdn,
+            ProbeOutcome::Responded {
+                https,
+                response: Response::text(status, body),
+            },
+        )
+    }
+
+    #[test]
+    fn aggregates_figure6_quantities() {
+        let records = vec![
+            responded("a.on.aws", true, 404, "Not Found"),
+            responded("b.on.aws", true, 404, "Not Found"),
+            responded("c.on.aws", true, 200, "content"),
+            responded("d.on.aws", false, 200, ""),
+            responded("e.on.aws", true, 502, "bad gateway"),
+            rec(
+                "f.scf.tencentcs.com",
+                ProbeOutcome::DnsFailure(ResolveError::NxDomain),
+            ),
+            rec(
+                "g.on.aws",
+                ProbeOutcome::Unreachable {
+                    reason: "timeout".into(),
+                },
+            ),
+        ];
+        let r = status_report(&records);
+        assert_eq!(r.probed, 7);
+        assert_eq!(r.reachable, 5);
+        assert_eq!(r.unreachable, 2);
+        assert_eq!(r.dns_failures, 1);
+        assert!((r.frac_dns_failures_of_unreachable() - 0.5).abs() < 1e-9);
+        assert_eq!(r.https_ok, 4);
+        assert!((r.frac_https() - 0.8).abs() < 1e-9);
+        assert!((r.frac_status(404) - 0.4).abs() < 1e-9);
+        assert_eq!(r.ok_with_content, 1);
+        assert_eq!(r.ok_empty, 1);
+        // 404 and 200 tie at 2; ties break by ascending status code.
+        let top = r.top_statuses(2);
+        assert_eq!(top[0], (200, 2));
+        assert_eq!(top[1], (404, 2));
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let r = status_report(&[]);
+        assert_eq!(r.frac_unreachable(), 0.0);
+        assert_eq!(r.frac_https(), 0.0);
+        assert!(r.top_statuses(10).is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Usage-status analyses (§4): trends, ingress, invocation patterns.
+
+use crate::identify::{IdentificationReport, IdentifiedFunction};
+use fw_analysis::stats;
+use fw_dns::pdns::PdnsStore;
+use fw_types::{Fqdn, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START};
+use std::collections::HashMap;
+
+/// Figure 3/4 series: per-month values for one provider (or the total).
+#[derive(Debug, Clone)]
+pub struct MonthlySeries {
+    pub months: Vec<MonthStamp>,
+    /// provider → per-month value; `None` key handled via [`MonthlySeries::total`].
+    pub per_provider: HashMap<ProviderId, Vec<u64>>,
+}
+
+impl MonthlySeries {
+    /// Sum across providers per month.
+    pub fn total(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.months.len()];
+        for series in self.per_provider.values() {
+            for (i, v) in series.iter().enumerate() {
+                out[i] += v;
+            }
+        }
+        out
+    }
+
+    pub fn for_provider(&self, p: ProviderId) -> Option<&[u64]> {
+        self.per_provider.get(&p).map(|v| v.as_slice())
+    }
+}
+
+fn month_index_of(day: fw_types::DayStamp) -> Option<usize> {
+    let start = MEASUREMENT_START.month();
+    let m = day.month();
+    let idx = (m.year - start.year) * 12 + (m.month as i32 - start.month as i32);
+    if idx < 0 {
+        return None;
+    }
+    let idx = idx as usize;
+    (idx < 24).then_some(idx)
+}
+
+fn window_months() -> Vec<MonthStamp> {
+    MEASUREMENT_START
+        .month()
+        .range_inclusive(MEASUREMENT_END.month())
+        .collect()
+}
+
+/// Figure 3: newly-observed function fqdns per month (by
+/// `first_seen_all`).
+pub fn monthly_new_fqdns(report: &IdentificationReport) -> MonthlySeries {
+    let months = window_months();
+    let mut per_provider: HashMap<ProviderId, Vec<u64>> = HashMap::new();
+    for f in &report.functions {
+        if let Some(idx) = month_index_of(f.agg.first_seen_all) {
+            per_provider
+                .entry(f.provider)
+                .or_insert_with(|| vec![0; months.len()])[idx] += 1;
+        }
+    }
+    MonthlySeries {
+        months,
+        per_provider,
+    }
+}
+
+/// Figure 4: invocation (request) volume per provider per month.
+pub fn monthly_requests(report: &IdentificationReport, pdns: &PdnsStore) -> MonthlySeries {
+    let months = window_months();
+    let provider_of: HashMap<&Fqdn, ProviderId> = report
+        .functions
+        .iter()
+        .map(|f| (&f.fqdn, f.provider))
+        .collect();
+    let mut per_provider: HashMap<ProviderId, Vec<u64>> = HashMap::new();
+    pdns.for_each_row(|fqdn, _rtype, _rdata, pdate, cnt| {
+        let Some(provider) = provider_of.get(fqdn) else {
+            return;
+        };
+        let Some(idx) = month_index_of(pdate) else {
+            return;
+        };
+        per_provider
+            .entry(*provider)
+            .or_insert_with(|| vec![0; 24])[idx] += cnt;
+    });
+    MonthlySeries {
+        months,
+        per_provider,
+    }
+}
+
+/// Table 2 row computed from the measured data.
+#[derive(Debug, Clone)]
+pub struct IngressRow {
+    pub provider: ProviderId,
+    pub domains: u64,
+    pub total_requests: u64,
+    /// Distinct region codes seen in domains.
+    pub regions: u64,
+    /// Per rtype `(A, CNAME, AAAA)`: share of requests.
+    pub rtype_share: (f64, f64, f64),
+    /// Per rtype: distinct rdata count.
+    pub rdata_cnt: (u64, u64, u64),
+    /// Per rtype: top-10 concentration.
+    pub top10: (f64, f64, f64),
+    /// Per rtype: Shannon entropy of the rdata distribution (bits) — the
+    /// DESIGN.md concentration-metric ablation.
+    pub entropy_bits: (f64, f64, f64),
+}
+
+/// Compute Table 2 from the identified functions and the store.
+pub fn ingress_table(report: &IdentificationReport, pdns: &PdnsStore) -> Vec<IngressRow> {
+    let provider_of: HashMap<&Fqdn, ProviderId> = report
+        .functions
+        .iter()
+        .map(|f| (&f.fqdn, f.provider))
+        .collect();
+
+    // provider → rtype → rdata text → requests.
+    let mut dist: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
+    pdns.for_each_row(|fqdn, rtype, rdata, _pdate, cnt| {
+        let Some(provider) = provider_of.get(fqdn) else {
+            return;
+        };
+        let slot = match rtype {
+            RecordType::A => 0,
+            RecordType::Cname => 1,
+            RecordType::Aaaa => 2,
+        };
+        let maps = dist.entry(*provider).or_default();
+        *maps[slot].entry(rdata.text()).or_insert(0) += cnt;
+    });
+
+    let mut rows = Vec::new();
+    let domains = report.domains_per_provider();
+    let requests = report.requests_per_provider();
+    for provider in ProviderId::ALL {
+        let Some(maps) = dist.get(&provider) else {
+            continue;
+        };
+        let regions: u64 = {
+            let mut set: Vec<&str> = report
+                .functions
+                .iter()
+                .filter(|f| f.provider == provider)
+                .filter_map(|f| f.region.as_deref())
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            set.len() as u64
+        };
+        let totals: Vec<u64> = maps
+            .iter()
+            .map(|m| m.values().sum::<u64>())
+            .collect();
+        let grand: u64 = totals.iter().sum();
+        let share = |slot: usize| {
+            if grand == 0 {
+                0.0
+            } else {
+                totals[slot] as f64 / grand as f64
+            }
+        };
+        let per_slot = |slot: usize| -> (u64, f64, f64) {
+            let counts: Vec<u64> = maps[slot].values().copied().collect();
+            (
+                counts.len() as u64,
+                stats::top_k_share(&counts, 10),
+                stats::entropy_bits(&counts),
+            )
+        };
+        let (c0, t0, e0) = per_slot(0);
+        let (c1, t1, e1) = per_slot(1);
+        let (c2, t2, e2) = per_slot(2);
+        rows.push(IngressRow {
+            provider,
+            domains: domains.get(&provider).copied().unwrap_or(0),
+            total_requests: requests.get(&provider).copied().unwrap_or(0),
+            regions,
+            rtype_share: (share(0), share(1), share(2)),
+            rdata_cnt: (c0, c1, c2),
+            top10: (t0, t1, t2),
+            entropy_bits: (e0, e1, e2),
+        });
+    }
+    rows
+}
+
+/// Figure 5 + §4.3 statistics over function-identifiable providers.
+#[derive(Debug, Clone)]
+pub struct InvocationReport {
+    pub functions: u64,
+    /// Fraction with fewer than 5 total requests.
+    pub frac_under_5: f64,
+    /// Fraction with more than 100 total requests.
+    pub frac_over_100: f64,
+    /// log10 histogram of request counts (Figure 5 histogram).
+    pub log_histogram: Vec<stats::Bin>,
+    /// CDF points over log10(requests) (Figure 5 curve).
+    pub cdf: Vec<(f64, f64)>,
+    /// Lifespan stats (§4.3).
+    pub frac_single_day: f64,
+    pub frac_under_5_days: f64,
+    pub mean_lifespan_days: f64,
+    /// Fraction with activity density exactly 1.
+    pub frac_density_one: f64,
+    /// Functions active across the whole 730/731-day window.
+    pub full_window_functions: u64,
+}
+
+/// Compute the Figure 5/§4.3 report. Excludes providers whose domains do
+/// not map to single functions (Google, IBM, Oracle) — like the paper.
+pub fn invocation_report(report: &IdentificationReport) -> InvocationReport {
+    let funcs: Vec<&IdentifiedFunction> = report.function_identifiable().collect();
+    let n = funcs.len().max(1) as f64;
+    let counts: Vec<f64> = funcs
+        .iter()
+        .map(|f| f.agg.total_request_cnt as f64)
+        .collect();
+    let lifespans: Vec<f64> = funcs.iter().map(|f| f.agg.lifespan_days() as f64).collect();
+    let window = (MEASUREMENT_END - MEASUREMENT_START + 1) as f64;
+    InvocationReport {
+        functions: funcs.len() as u64,
+        frac_under_5: counts.iter().filter(|c| **c < 5.0).count() as f64 / n,
+        frac_over_100: counts.iter().filter(|c| **c > 100.0).count() as f64 / n,
+        log_histogram: stats::log10_histogram(&counts, 4),
+        cdf: stats::cdf_points(&counts.iter().map(|c| c.log10()).collect::<Vec<_>>()),
+        frac_single_day: lifespans.iter().filter(|l| **l <= 1.0).count() as f64 / n,
+        frac_under_5_days: lifespans.iter().filter(|l| **l < 5.0).count() as f64 / n,
+        mean_lifespan_days: stats::mean(&lifespans),
+        frac_density_one: funcs
+            .iter()
+            .filter(|f| (f.agg.activity_density() - 1.0).abs() < 1e-9)
+            .count() as f64
+            / n,
+        full_window_functions: lifespans.iter().filter(|l| **l >= window).count() as u64,
+    }
+}
+
+/// Resolution-type convenience: does the function's distribution include
+/// a given rtype?
+pub fn has_rtype(f: &IdentifiedFunction, rtype: RecordType) -> bool {
+    f.agg
+        .rdata_dist
+        .iter()
+        .any(|(r, cnt)| r.rtype() == rtype && *cnt > 0)
+}
+
+/// Distinct rdata values of one function (Table 2 context, §4.2 "functions
+/// within the same region resolve to the same ingress set").
+pub fn rdata_values(f: &IdentifiedFunction) -> Vec<&Rdata> {
+    f.agg.rdata_dist.iter().map(|(r, _)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::identify_functions;
+    use fw_types::DayStamp;
+    use std::net::Ipv4Addr;
+
+    fn day(n: i64) -> DayStamp {
+        MEASUREMENT_START + n
+    }
+
+    fn v4(last: u8) -> Rdata {
+        Rdata::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    fn store() -> PdnsStore {
+        let mut s = PdnsStore::new();
+        let aws = Fqdn::parse("abc123.lambda-url.us-east-1.on.aws").unwrap();
+        let g2 = Fqdn::parse("myfn-a1b2c3d4e5-uc.a.run.app").unwrap();
+        let goog = Fqdn::parse("us-central1-proj.cloudfunctions.net").unwrap();
+        // AWS function: 3 requests on one day (month 0).
+        s.observe_count(&aws, &v4(1), day(3), 3);
+        // Google2 function: requests across two months.
+        s.observe_count(&g2, &v4(2), day(10), 60);
+        s.observe_count(&g2, &v4(3), day(40), 60);
+        // Google (path-identified): excluded from invocation stats.
+        s.observe_count(&goog, &v4(4), day(100), 1000);
+        // Noise.
+        s.observe_count(&Fqdn::parse("www.example.com").unwrap(), &v4(5), day(1), 99);
+        s
+    }
+
+    #[test]
+    fn figure3_new_fqdns_by_month() {
+        let s = store();
+        let report = identify_functions(&s);
+        let series = monthly_new_fqdns(&report);
+        assert_eq!(series.months.len(), 24);
+        let total = series.total();
+        assert_eq!(total[0], 2); // aws + google2 first seen in April 2022
+        assert_eq!(total.iter().sum::<u64>(), 3);
+        assert_eq!(series.for_provider(ProviderId::Aws).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn figure4_requests_by_month() {
+        let s = store();
+        let report = identify_functions(&s);
+        let series = monthly_requests(&report, &s);
+        let g2 = series.for_provider(ProviderId::Google2).unwrap();
+        assert_eq!(g2[0], 60); // April 2022
+        assert_eq!(g2[1], 60); // May 2022
+        // Noise (www.example.com) contributes nothing.
+        assert_eq!(series.total().iter().sum::<u64>(), 3 + 120 + 1000);
+    }
+
+    #[test]
+    fn table2_row_fields() {
+        let s = store();
+        let report = identify_functions(&s);
+        let rows = ingress_table(&report, &s);
+        let aws = rows.iter().find(|r| r.provider == ProviderId::Aws).unwrap();
+        assert_eq!(aws.domains, 1);
+        assert_eq!(aws.total_requests, 3);
+        assert_eq!(aws.regions, 1);
+        assert!((aws.rtype_share.0 - 1.0).abs() < 1e-9);
+        assert_eq!(aws.rdata_cnt.0, 1);
+        assert!((aws.top10.0 - 1.0).abs() < 1e-9);
+
+        let g2 = rows
+            .iter()
+            .find(|r| r.provider == ProviderId::Google2)
+            .unwrap();
+        assert_eq!(g2.rdata_cnt.0, 2); // two distinct A rdata
+    }
+
+    #[test]
+    fn figure5_invocation_stats_exclude_path_identified() {
+        let s = store();
+        let report = identify_functions(&s);
+        let inv = invocation_report(&report);
+        // Only the AWS (3 reqs) and Google2 (120 reqs) functions count.
+        assert_eq!(inv.functions, 2);
+        assert!((inv.frac_under_5 - 0.5).abs() < 1e-9);
+        assert!((inv.frac_over_100 - 0.5).abs() < 1e-9);
+        assert!((inv.frac_single_day - 0.5).abs() < 1e-9);
+        // AWS lifespan 1 day, Google2 lifespan 31 days → mean 16.
+        assert!((inv.mean_lifespan_days - 16.0).abs() < 1e-9);
+        // Google2 has 2 active days over a 31-day span → density < 1.
+        assert!((inv.frac_density_one - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let s = PdnsStore::new();
+        let report = identify_functions(&s);
+        let inv = invocation_report(&report);
+        assert_eq!(inv.functions, 0);
+        assert!(ingress_table(&report, &s).is_empty());
+        assert_eq!(monthly_new_fqdns(&report).total().iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Passive-DNS store.
+//!
+//! Mirrors the dataset of paper §3.2: records aggregated at the daily level
+//! as `<fqdn, rtype, rdata, first_seen, last_seen, request_cnt, pdate>`
+//! tuples, plus the per-fqdn aggregation used throughout §4:
+//! `first_seen_all`, `last_seen_all`, `days_count`, `total_request_cnt` and
+//! the distribution of resolution results.
+//!
+//! Rdata values are interned per fqdn, so the memory cost of a row is one
+//! day stamp, one small index and one counter — the store comfortably holds
+//! full-scale (531k-domain) synthetic worlds.
+
+use crate::resolver::Sensor;
+use fw_types::{DayStamp, Fqdn, Rdata, RecordType};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One materialized PDNS tuple (daily aggregate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdnsRecord {
+    pub fqdn: Fqdn,
+    pub rtype: RecordType,
+    pub rdata: Rdata,
+    /// First observation on `pdate` (day granularity in this store).
+    pub first_seen: DayStamp,
+    /// Last observation on `pdate`.
+    pub last_seen: DayStamp,
+    pub request_cnt: u64,
+    pub pdate: DayStamp,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DailyRow {
+    pdate: DayStamp,
+    rdata_idx: u32,
+    cnt: u64,
+}
+
+#[derive(Debug, Default)]
+struct FqdnEntry {
+    rdatas: Vec<Rdata>,
+    rows: Vec<DailyRow>,
+}
+
+impl FqdnEntry {
+    fn intern(&mut self, rdata: &Rdata) -> u32 {
+        match self.rdatas.iter().position(|r| r == rdata) {
+            Some(i) => i as u32,
+            None => {
+                self.rdatas.push(rdata.clone());
+                (self.rdatas.len() - 1) as u32
+            }
+        }
+    }
+}
+
+/// Per-fqdn aggregate (paper §3.2 "key metrics").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FqdnAggregate {
+    pub fqdn: Fqdn,
+    pub first_seen_all: DayStamp,
+    pub last_seen_all: DayStamp,
+    /// Number of distinct days with observed resolutions.
+    pub days_count: u32,
+    pub total_request_cnt: u64,
+    /// Distribution of resolution results: `(rdata, total requests)`.
+    pub rdata_dist: Vec<(Rdata, u64)>,
+}
+
+impl FqdnAggregate {
+    /// Lifespan in days, inclusive of both endpoints (≥ 1).
+    pub fn lifespan_days(&self) -> i64 {
+        self.last_seen_all - self.first_seen_all + 1
+    }
+
+    /// Activity density: fraction of lifespan days with observed activity.
+    /// Single-day functions have density 1 by definition.
+    pub fn activity_density(&self) -> f64 {
+        self.days_count as f64 / self.lifespan_days() as f64
+    }
+}
+
+/// The passive-DNS record store.
+#[derive(Debug, Default)]
+pub struct PdnsStore {
+    entries: HashMap<Fqdn, FqdnEntry>,
+    total_rows: usize,
+}
+
+impl PdnsStore {
+    pub fn new() -> PdnsStore {
+        PdnsStore::default()
+    }
+
+    /// Record one observation of `fqdn → rdata` on `day`.
+    pub fn observe(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp) {
+        self.observe_count(fqdn, rdata, day, 1);
+    }
+
+    /// Record `count` observations at once (bulk ingestion path used by the
+    /// workload generator, which produces daily aggregates directly).
+    pub fn observe_count(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let entry = self.entries.entry(fqdn.clone()).or_default();
+        let idx = entry.intern(rdata);
+        // Same-day observations arrive consecutively in both ingestion
+        // paths; scan the tail of the row list for a mergeable row.
+        for row in entry.rows.iter_mut().rev() {
+            if row.pdate != day {
+                break;
+            }
+            if row.rdata_idx == idx {
+                row.cnt += count;
+                return;
+            }
+        }
+        entry.rows.push(DailyRow {
+            pdate: day,
+            rdata_idx: idx,
+            cnt: count,
+        });
+        self.total_rows += 1;
+    }
+
+    /// Number of distinct fqdns observed.
+    pub fn fqdn_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of daily-aggregate rows.
+    pub fn record_count(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Iterate all fqdns (arbitrary order).
+    pub fn fqdns(&self) -> impl Iterator<Item = &Fqdn> {
+        self.entries.keys()
+    }
+
+    /// Materialize the records for one fqdn, sorted by `(pdate, rdata)`.
+    pub fn records_for(&self, fqdn: &Fqdn) -> Vec<PdnsRecord> {
+        let Some(entry) = self.entries.get(fqdn) else {
+            return Vec::new();
+        };
+        let mut out: Vec<PdnsRecord> = entry
+            .rows
+            .iter()
+            .map(|row| {
+                let rdata = entry.rdatas[row.rdata_idx as usize].clone();
+                PdnsRecord {
+                    fqdn: fqdn.clone(),
+                    rtype: rdata.rtype(),
+                    rdata,
+                    first_seen: row.pdate,
+                    last_seen: row.pdate,
+                    request_cnt: row.cnt,
+                    pdate: row.pdate,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| (a.pdate, a.rdata.text()).cmp(&(b.pdate, b.rdata.text())));
+        out
+    }
+
+    /// Visit every daily row without materializing owned records. The
+    /// visitor receives `(fqdn, rtype, rdata, pdate, request_cnt)`.
+    pub fn for_each_row<F>(&self, mut f: F)
+    where
+        F: FnMut(&Fqdn, RecordType, &Rdata, DayStamp, u64),
+    {
+        for (fqdn, entry) in &self.entries {
+            for row in &entry.rows {
+                let rdata = &entry.rdatas[row.rdata_idx as usize];
+                f(fqdn, rdata.rtype(), rdata, row.pdate, row.cnt);
+            }
+        }
+    }
+
+    /// Per-fqdn aggregate (paper §3.2).
+    pub fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        let entry = self.entries.get(fqdn)?;
+        let mut first = DayStamp(i64::MAX);
+        let mut last = DayStamp(i64::MIN);
+        let mut total = 0u64;
+        let mut dist: Vec<u64> = vec![0; entry.rdatas.len()];
+        let mut days: Vec<DayStamp> = Vec::with_capacity(entry.rows.len());
+        for row in &entry.rows {
+            first = first.min(row.pdate);
+            last = last.max(row.pdate);
+            total += row.cnt;
+            dist[row.rdata_idx as usize] += row.cnt;
+            days.push(row.pdate);
+        }
+        days.sort_unstable();
+        days.dedup();
+        Some(FqdnAggregate {
+            fqdn: fqdn.clone(),
+            first_seen_all: first,
+            last_seen_all: last,
+            days_count: days.len() as u32,
+            total_request_cnt: total,
+            rdata_dist: entry
+                .rdatas
+                .iter()
+                .cloned()
+                .zip(dist)
+                .collect(),
+        })
+    }
+
+    /// Aggregates for every fqdn (arbitrary order).
+    pub fn aggregates(&self) -> impl Iterator<Item = FqdnAggregate> + '_ {
+        self.entries
+            .keys()
+            .map(|f| self.aggregate(f).expect("known fqdn aggregates"))
+    }
+}
+
+/// Shareable PDNS store usable as a resolver [`Sensor`].
+#[derive(Clone, Default)]
+pub struct SharedPdns(pub Arc<Mutex<PdnsStore>>);
+
+impl SharedPdns {
+    pub fn new() -> SharedPdns {
+        SharedPdns::default()
+    }
+
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, PdnsStore> {
+        self.0.lock()
+    }
+}
+
+impl Sensor for SharedPdns {
+    fn observe(&self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp) {
+        self.0.lock().observe(fqdn, rdata, day);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn fq(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    fn a(last: u8) -> Rdata {
+        Rdata::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    fn day(n: i64) -> DayStamp {
+        fw_types::MEASUREMENT_START + n
+    }
+
+    #[test]
+    fn same_day_same_rdata_merges() {
+        let mut s = PdnsStore::new();
+        let f = fq("x.on.aws");
+        s.observe(&f, &a(1), day(0));
+        s.observe(&f, &a(1), day(0));
+        s.observe(&f, &a(1), day(0));
+        assert_eq!(s.record_count(), 1);
+        let recs = s.records_for(&f);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].request_cnt, 3);
+        assert_eq!(recs[0].pdate, day(0));
+    }
+
+    #[test]
+    fn different_rdata_same_day_splits_rows() {
+        let mut s = PdnsStore::new();
+        let f = fq("x.on.aws");
+        s.observe(&f, &a(1), day(0));
+        s.observe(&f, &a(2), day(0));
+        s.observe(&f, &a(1), day(0));
+        assert_eq!(s.record_count(), 2);
+        let recs = s.records_for(&f);
+        let total: u64 = recs.iter().map(|r| r.request_cnt).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn aggregate_matches_paper_fields() {
+        let mut s = PdnsStore::new();
+        let f = fq("fn.a.run.app");
+        s.observe_count(&f, &a(1), day(0), 5);
+        s.observe_count(&f, &a(1), day(3), 2);
+        s.observe_count(&f, &Rdata::Name(fq("edge.a.run.app")), day(3), 1);
+        let agg = s.aggregate(&f).unwrap();
+        assert_eq!(agg.first_seen_all, day(0));
+        assert_eq!(agg.last_seen_all, day(3));
+        assert_eq!(agg.days_count, 2);
+        assert_eq!(agg.total_request_cnt, 8);
+        assert_eq!(agg.lifespan_days(), 4);
+        assert!((agg.activity_density() - 0.5).abs() < 1e-9);
+        assert_eq!(agg.rdata_dist.len(), 2);
+    }
+
+    #[test]
+    fn single_day_density_is_one() {
+        let mut s = PdnsStore::new();
+        let f = fq("oneday.on.aws");
+        s.observe(&f, &a(1), day(10));
+        let agg = s.aggregate(&f).unwrap();
+        assert_eq!(agg.lifespan_days(), 1);
+        assert!((agg.activity_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_count_is_ignored() {
+        let mut s = PdnsStore::new();
+        s.observe_count(&fq("z.on.aws"), &a(1), day(0), 0);
+        assert_eq!(s.fqdn_count(), 0);
+        assert_eq!(s.record_count(), 0);
+    }
+
+    #[test]
+    fn unknown_fqdn_has_no_aggregate() {
+        let s = PdnsStore::new();
+        assert!(s.aggregate(&fq("missing.on.aws")).is_none());
+        assert!(s.records_for(&fq("missing.on.aws")).is_empty());
+    }
+
+    #[test]
+    fn for_each_row_visits_everything() {
+        let mut s = PdnsStore::new();
+        s.observe_count(&fq("a.on.aws"), &a(1), day(0), 4);
+        s.observe_count(&fq("b.on.aws"), &a(2), day(1), 6);
+        let mut total = 0u64;
+        let mut rows = 0usize;
+        s.for_each_row(|_, _, _, _, cnt| {
+            total += cnt;
+            rows += 1;
+        });
+        assert_eq!(total, 10);
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn shared_store_acts_as_sensor() {
+        use crate::resolver::Sensor;
+        let shared = SharedPdns::new();
+        shared.observe(&fq("s.on.aws"), &a(3), day(2));
+        assert_eq!(shared.lock().fqdn_count(), 1);
+    }
+
+    #[test]
+    fn records_sorted_by_date() {
+        let mut s = PdnsStore::new();
+        let f = fq("sorted.on.aws");
+        s.observe(&f, &a(1), day(5));
+        s.observe(&f, &a(1), day(1));
+        s.observe(&f, &a(1), day(3));
+        let recs = s.records_for(&f);
+        let dates: Vec<_> = recs.iter().map(|r| r.pdate).collect();
+        assert_eq!(dates, vec![day(1), day(3), day(5)]);
+    }
+}

@@ -1,0 +1,465 @@
+//! A recursive resolver with TTL caching and a passive-DNS sensor hook.
+//!
+//! This plays the role of the collaborating DNS operator in the paper: all
+//! client queries flow through recursive resolvers, and a sensor records
+//! `(fqdn, rdata)` observations into the PDNS store (`fw-dns::pdns`). The
+//! resolver also answers over RFC 1035 wire bytes via [`Resolver::serve_wire`].
+
+use crate::wire::{Message, QType, Rcode, ResourceRecord, RrData};
+use crate::zone::{LookupOutcome, Zone};
+use fw_types::{DayStamp, Fqdn, Rdata, RecordType};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum CNAME chain length before giving up.
+const MAX_CHAIN: usize = 8;
+
+/// Observer of resolved answers — the passive-DNS tap.
+pub trait Sensor: Send + Sync {
+    /// Called once per `(owner name, rdata)` answer pair of a successful
+    /// resolution observed on `day`.
+    fn observe(&self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp);
+}
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Name does not exist (authoritative NXDOMAIN).
+    NxDomain,
+    /// Name exists but has no records of the requested type.
+    NoRecords,
+    /// No zone is authoritative for the name (simulated internet only
+    /// contains provider zones).
+    NoZone,
+    /// CNAME chain exceeded [`MAX_CHAIN`].
+    ChainTooLong,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NxDomain => write!(f, "NXDOMAIN"),
+            ResolveError::NoRecords => write!(f, "no records of requested type"),
+            ResolveError::NoZone => write!(f, "no authoritative zone"),
+            ResolveError::ChainTooLong => write!(f, "cname chain too long"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// A successful resolution: the full answer chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// `(owner, rdata)` pairs, CNAMEs first, then terminal records.
+    pub answers: Vec<(Fqdn, Rdata)>,
+    /// Whether the answer came from the resolver cache.
+    pub from_cache: bool,
+}
+
+impl Resolution {
+    /// Terminal addresses (A/AAAA) of the chain.
+    pub fn addresses(&self) -> Vec<Rdata> {
+        self.answers
+            .iter()
+            .filter(|(_, r)| r.rtype() != RecordType::Cname)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    answers: Vec<(Fqdn, Rdata)>,
+    expires_at: u64,
+}
+
+/// Resolver counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    pub queries: u64,
+    pub cache_hits: u64,
+    pub nxdomain: u64,
+    pub servfail: u64,
+}
+
+/// The recursive resolver.
+pub struct Resolver {
+    zones: Vec<Zone>,
+    cache: HashMap<(Fqdn, RecordType), CacheEntry>,
+    sensor: Option<Arc<dyn Sensor>>,
+    stats: ResolverStats,
+}
+
+impl fmt::Debug for Resolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Resolver")
+            .field("zones", &self.zones.len())
+            .field("cache_entries", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Resolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Resolver {
+    pub fn new() -> Resolver {
+        Resolver {
+            zones: Vec::new(),
+            cache: HashMap::new(),
+            sensor: None,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Attach the passive-DNS sensor.
+    pub fn set_sensor(&mut self, sensor: Arc<dyn Sensor>) {
+        self.sensor = Some(sensor);
+    }
+
+    /// Register an authoritative zone.
+    pub fn add_zone(&mut self, zone: Zone) {
+        self.zones.push(zone);
+    }
+
+    /// Mutable access to the zone covering `name` (longest-origin match).
+    pub fn zone_for_mut(&mut self, name: &Fqdn) -> Option<&mut Zone> {
+        self.zones
+            .iter_mut()
+            .filter(|z| z.covers(name) || z.origin() == name)
+            .max_by_key(|z| z.origin().as_str().len())
+    }
+
+    fn zone_for(&self, name: &Fqdn) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| z.covers(name) || z.origin() == name)
+            .max_by_key(|z| z.origin().as_str().len())
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Drop all cached entries.
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Resolve `name` for record type `rtype` at virtual time `now`
+    /// (seconds). Every client query — cached or not — is observed by the
+    /// sensor, matching how a recursive-resolver PDNS vantage point sees
+    /// traffic.
+    pub fn resolve(
+        &mut self,
+        name: &Fqdn,
+        rtype: RecordType,
+        now: u64,
+    ) -> Result<Resolution, ResolveError> {
+        self.stats.queries += 1;
+        let key = (name.clone(), rtype);
+        if let Some(entry) = self.cache.get(&key) {
+            if entry.expires_at > now {
+                let answers = entry.answers.clone();
+                self.stats.cache_hits += 1;
+                self.sense(&answers, now);
+                return Ok(Resolution {
+                    answers,
+                    from_cache: true,
+                });
+            }
+            self.cache.remove(&key);
+        }
+
+        let mut answers: Vec<(Fqdn, Rdata)> = Vec::new();
+        let mut min_ttl: u32 = u32::MAX;
+        let mut cur = name.clone();
+        for _hop in 0..MAX_CHAIN {
+            let zone = match self.zone_for(&cur) {
+                Some(z) => z,
+                None => {
+                    // Off-platform CNAME target (e.g. a telecom ingress
+                    // domain): the chain ends here with what we have.
+                    if answers.is_empty() {
+                        return Err(ResolveError::NoZone);
+                    }
+                    break;
+                }
+            };
+            match zone.lookup(&cur, rtype) {
+                LookupOutcome::Records(recs) => {
+                    let mut next: Option<Fqdn> = None;
+                    for (rdata, ttl) in recs {
+                        min_ttl = min_ttl.min(ttl);
+                        if rdata.rtype() == RecordType::Cname && rtype != RecordType::Cname {
+                            if let Rdata::Name(target) = &rdata {
+                                next = Some(target.clone());
+                            }
+                        }
+                        answers.push((cur.clone(), rdata));
+                    }
+                    match next {
+                        Some(target) => cur = target,
+                        None => break,
+                    }
+                }
+                LookupOutcome::NoData => {
+                    if answers.is_empty() {
+                        return Err(ResolveError::NoRecords);
+                    }
+                    break;
+                }
+                LookupOutcome::NxDomain => {
+                    if answers.is_empty() {
+                        self.stats.nxdomain += 1;
+                        return Err(ResolveError::NxDomain);
+                    }
+                    break;
+                }
+            }
+            if answers.len() > 64 {
+                return Err(ResolveError::ChainTooLong);
+            }
+        }
+        if answers.is_empty() {
+            return Err(ResolveError::ChainTooLong);
+        }
+
+        let ttl = if min_ttl == u32::MAX { 60 } else { min_ttl };
+        self.cache.insert(
+            key,
+            CacheEntry {
+                answers: answers.clone(),
+                expires_at: now + u64::from(ttl),
+            },
+        );
+        self.sense(&answers, now);
+        Ok(Resolution {
+            answers,
+            from_cache: false,
+        })
+    }
+
+    fn sense(&self, answers: &[(Fqdn, Rdata)], now: u64) {
+        if let Some(sensor) = &self.sensor {
+            let day = DayStamp((now / 86_400) as i64);
+            for (owner, rdata) in answers {
+                sensor.observe(owner, rdata, day);
+            }
+        }
+    }
+
+    /// Answer a wire-format query. Always returns an encodable response
+    /// (FORMERR on undecodable input is impossible since we need the id —
+    /// undecodable input yields `None`).
+    pub fn serve_wire(&mut self, query: &[u8], now: u64) -> Option<Vec<u8>> {
+        let msg = Message::decode(query).ok()?;
+        let Some(q) = msg.questions.first() else {
+            let resp = Message::response_to(&msg, Rcode::FormErr);
+            return Some(resp.encode());
+        };
+        let rtype = match q.qtype {
+            QType::A => RecordType::A,
+            QType::Aaaa => RecordType::Aaaa,
+            QType::Cname => RecordType::Cname,
+            _ => {
+                let resp = Message::response_to(&msg, Rcode::NotImp);
+                return Some(resp.encode());
+            }
+        };
+        let mut resp = match self.resolve(&q.name, rtype, now) {
+            Ok(res) => {
+                let mut resp = Message::response_to(&msg, Rcode::NoError);
+                for (owner, rdata) in res.answers {
+                    let data = match rdata {
+                        Rdata::V4(ip) => RrData::A(ip),
+                        Rdata::V6(ip) => RrData::Aaaa(ip),
+                        Rdata::Name(n) => RrData::Cname(n),
+                    };
+                    resp.answers.push(ResourceRecord {
+                        name: owner,
+                        ttl: 60,
+                        data,
+                    });
+                }
+                resp
+            }
+            Err(ResolveError::NxDomain) => Message::response_to(&msg, Rcode::NxDomain),
+            Err(ResolveError::NoRecords) => Message::response_to(&msg, Rcode::NoError),
+            Err(_) => Message::response_to(&msg, Rcode::ServFail),
+        };
+        resp.flags.authoritative = false;
+        Some(resp.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::net::Ipv4Addr;
+
+    fn fq(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    fn a(last: u8) -> Rdata {
+        Rdata::V4(Ipv4Addr::new(203, 0, 113, last))
+    }
+
+    struct VecSensor(Mutex<Vec<(Fqdn, Rdata, DayStamp)>>);
+
+    impl Sensor for VecSensor {
+        fn observe(&self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp) {
+            self.0.lock().push((fqdn.clone(), rdata.clone(), day));
+        }
+    }
+
+    fn resolver_with_tencent() -> Resolver {
+        let mut r = Resolver::new();
+        let mut z = Zone::new(fq("scf.tencentcs.com"));
+        z.add(
+            fq("1300000001-abcdefghij-gz.scf.tencentcs.com"),
+            Rdata::Name(fq("gz.scf.tencentcs.com")),
+            120,
+        );
+        z.add(fq("gz.scf.tencentcs.com"), a(1), 60);
+        r.add_zone(z);
+        r
+    }
+
+    #[test]
+    fn follows_cname_chain() {
+        let mut r = resolver_with_tencent();
+        let res = r
+            .resolve(
+                &fq("1300000001-abcdefghij-gz.scf.tencentcs.com"),
+                RecordType::A,
+                0,
+            )
+            .unwrap();
+        assert_eq!(res.answers.len(), 2);
+        assert_eq!(res.answers[0].1.rtype(), RecordType::Cname);
+        assert_eq!(res.addresses(), vec![a(1)]);
+    }
+
+    #[test]
+    fn caches_within_ttl_and_expires_after() {
+        let mut r = resolver_with_tencent();
+        let name = fq("1300000001-abcdefghij-gz.scf.tencentcs.com");
+        let first = r.resolve(&name, RecordType::A, 0).unwrap();
+        assert!(!first.from_cache);
+        let second = r.resolve(&name, RecordType::A, 30).unwrap();
+        assert!(second.from_cache);
+        // min TTL of chain is 60 → expired at t=61.
+        let third = r.resolve(&name, RecordType::A, 61).unwrap();
+        assert!(!third.from_cache);
+        assert_eq!(r.stats().cache_hits, 1);
+        assert_eq!(r.stats().queries, 3);
+    }
+
+    #[test]
+    fn sensor_sees_every_query_including_cache_hits() {
+        let sensor = Arc::new(VecSensor(Mutex::new(Vec::new())));
+        let mut r = resolver_with_tencent();
+        r.set_sensor(sensor.clone());
+        let name = fq("1300000001-abcdefghij-gz.scf.tencentcs.com");
+        r.resolve(&name, RecordType::A, 0).unwrap();
+        r.resolve(&name, RecordType::A, 10).unwrap();
+        // Two queries × two answers each (CNAME + A).
+        assert_eq!(sensor.0.lock().len(), 4);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_tencent_name() {
+        // Tencent zone has no wildcard — the paper's deleted-function case.
+        let mut r = resolver_with_tencent();
+        let err = r
+            .resolve(&fq("9999999999-deleted000-gz.scf.tencentcs.com"), RecordType::A, 0)
+            .unwrap_err();
+        assert_eq!(err, ResolveError::NxDomain);
+        assert_eq!(r.stats().nxdomain, 1);
+    }
+
+    #[test]
+    fn wildcard_zone_answers_deleted_names() {
+        let mut r = Resolver::new();
+        let mut z = Zone::new(fq("on.aws"));
+        z.set_wildcard(vec![(a(50), 60)]);
+        r.add_zone(z);
+        let res = r
+            .resolve(&fq("deleted.lambda-url.us-east-1.on.aws"), RecordType::A, 0)
+            .unwrap();
+        assert_eq!(res.addresses(), vec![a(50)]);
+    }
+
+    #[test]
+    fn no_zone_error_for_foreign_names() {
+        let mut r = resolver_with_tencent();
+        assert_eq!(
+            r.resolve(&fq("example.org"), RecordType::A, 0),
+            Err(ResolveError::NoZone)
+        );
+    }
+
+    #[test]
+    fn off_platform_cname_target_ends_chain() {
+        // Baidu-style third-party telecom ingress: CNAME points outside any
+        // zone we serve; the resolution still succeeds with the CNAME.
+        let mut r = Resolver::new();
+        let mut z = Zone::new(fq("baidubce.com"));
+        z.add(
+            fq("abcdefghij123.cfc-execute.bj.baidubce.com"),
+            Rdata::Name(fq("ingress.ct-telecom.example.net")),
+            60,
+        );
+        r.add_zone(z);
+        let res = r
+            .resolve(
+                &fq("abcdefghij123.cfc-execute.bj.baidubce.com"),
+                RecordType::A,
+                0,
+            )
+            .unwrap();
+        assert_eq!(res.answers.len(), 1);
+        assert_eq!(res.answers[0].1.rtype(), RecordType::Cname);
+    }
+
+    #[test]
+    fn wire_roundtrip_through_resolver() {
+        use crate::wire::{Message, QType};
+        let mut r = resolver_with_tencent();
+        let q = Message::query(
+            77,
+            fq("1300000001-abcdefghij-gz.scf.tencentcs.com"),
+            QType::A,
+        );
+        let resp_bytes = r.serve_wire(&q.encode(), 0).unwrap();
+        let resp = Message::decode(&resp_bytes).unwrap();
+        assert_eq!(resp.id, 77);
+        assert!(resp.flags.response);
+        assert_eq!(resp.answers.len(), 2);
+    }
+
+    #[test]
+    fn wire_nxdomain() {
+        use crate::wire::{Message, QType, Rcode};
+        let mut r = resolver_with_tencent();
+        let q = Message::query(5, fq("nope.scf.tencentcs.com"), QType::A);
+        let resp = Message::decode(&r.serve_wire(&q.encode(), 0).unwrap()).unwrap();
+        assert_eq!(Rcode::from_code(resp.flags.rcode), Rcode::NxDomain);
+    }
+
+    #[test]
+    fn garbage_wire_input_yields_none() {
+        let mut r = resolver_with_tencent();
+        assert!(r.serve_wire(&[1, 2, 3], 0).is_none());
+    }
+}

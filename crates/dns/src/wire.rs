@@ -1,0 +1,646 @@
+//! RFC 1035 DNS message wire codec.
+//!
+//! Implements the subset the simulator speaks: header with flags and rcode,
+//! QTYPE A/NS/CNAME/TXT/AAAA, class IN, and domain-name encoding with
+//! message-compression pointers on decode (encode writes uncompressed names
+//! with an optional compression dictionary — both forms decode
+//! identically).
+//!
+//! The codec is defensive in the smoltcp spirit: malformed input yields a
+//! typed [`WireError`], never a panic; compression-pointer loops and
+//! truncated buffers are detected explicitly.
+
+use fw_types::Fqdn;
+use std::fmt;
+
+/// Maximum pointer hops while decoding one name (loop guard).
+const MAX_POINTER_HOPS: usize = 32;
+
+/// DNS wire decode/encode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    BadPointer,
+    PointerLoop,
+    LabelTooLong,
+    NameTooLong,
+    BadLabelBytes,
+    UnsupportedType(u16),
+    UnsupportedClass(u16),
+    BadRdataLength,
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "compression pointer out of range"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::LabelTooLong => write!(f, "label longer than 63 bytes"),
+            WireError::NameTooLong => write!(f, "name longer than 253 bytes"),
+            WireError::BadLabelBytes => write!(f, "label contains invalid bytes"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported rrtype {t}"),
+            WireError::UnsupportedClass(c) => write!(f, "unsupported class {c}"),
+            WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Query/record type codes the codec understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QType {
+    A,
+    Ns,
+    Cname,
+    Txt,
+    Aaaa,
+}
+
+impl QType {
+    pub fn code(self) -> u16 {
+        match self {
+            QType::A => 1,
+            QType::Ns => 2,
+            QType::Cname => 5,
+            QType::Txt => 16,
+            QType::Aaaa => 28,
+        }
+    }
+
+    pub fn from_code(code: u16) -> Result<Self, WireError> {
+        Ok(match code {
+            1 => QType::A,
+            2 => QType::Ns,
+            5 => QType::Cname,
+            16 => QType::Txt,
+            28 => QType::Aaaa,
+            other => return Err(WireError::UnsupportedType(other)),
+        })
+    }
+}
+
+/// Response code (RCODE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    NoError,
+    FormErr,
+    ServFail,
+    NxDomain,
+    NotImp,
+    Refused,
+}
+
+impl Rcode {
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Rcode {
+        match code {
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => Rcode::NoError,
+        }
+    }
+}
+
+/// Message header flags (the subset we model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    pub response: bool,
+    pub authoritative: bool,
+    pub truncated: bool,
+    pub recursion_desired: bool,
+    pub recursion_available: bool,
+    pub rcode: u8,
+}
+
+impl Flags {
+    fn to_u16(self) -> u16 {
+        let mut v = 0u16;
+        if self.response {
+            v |= 1 << 15;
+        }
+        // opcode 0 (QUERY)
+        if self.authoritative {
+            v |= 1 << 10;
+        }
+        if self.truncated {
+            v |= 1 << 9;
+        }
+        if self.recursion_desired {
+            v |= 1 << 8;
+        }
+        if self.recursion_available {
+            v |= 1 << 7;
+        }
+        v | u16::from(self.rcode & 0x0f)
+    }
+
+    fn from_u16(v: u16) -> Flags {
+        Flags {
+            response: v & (1 << 15) != 0,
+            authoritative: v & (1 << 10) != 0,
+            truncated: v & (1 << 9) != 0,
+            recursion_desired: v & (1 << 8) != 0,
+            recursion_available: v & (1 << 7) != 0,
+            rcode: (v & 0x0f) as u8,
+        }
+    }
+}
+
+/// A question entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    pub name: Fqdn,
+    pub qtype: QType,
+}
+
+/// Resource-record payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrData {
+    A(std::net::Ipv4Addr),
+    Ns(Fqdn),
+    Cname(Fqdn),
+    Txt(Vec<u8>),
+    Aaaa(std::net::Ipv6Addr),
+}
+
+impl RrData {
+    pub fn qtype(&self) -> QType {
+        match self {
+            RrData::A(_) => QType::A,
+            RrData::Ns(_) => QType::Ns,
+            RrData::Cname(_) => QType::Cname,
+            RrData::Txt(_) => QType::Txt,
+            RrData::Aaaa(_) => QType::Aaaa,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    pub name: Fqdn,
+    pub ttl: u32,
+    pub data: RrData,
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub id: u16,
+    pub flags: Flags,
+    pub questions: Vec<Question>,
+    pub answers: Vec<ResourceRecord>,
+    pub authorities: Vec<ResourceRecord>,
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Build a recursive query for one name/type.
+    pub fn query(id: u16, name: Fqdn, qtype: QType) -> Message {
+        Message {
+            id,
+            flags: Flags {
+                recursion_desired: true,
+                ..Flags::default()
+            },
+            questions: vec![Question { name, qtype }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build a response skeleton mirroring a query.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            id: query.id,
+            flags: Flags {
+                response: true,
+                recursion_desired: query.flags.recursion_desired,
+                recursion_available: true,
+                rcode: rcode.code(),
+                ..Flags::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Encode to wire bytes (names compressed against earlier occurrences).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        let mut dict: Vec<(String, usize)> = Vec::new();
+        put_u16(&mut buf, self.id);
+        put_u16(&mut buf, self.flags.to_u16());
+        put_u16(&mut buf, self.questions.len() as u16);
+        put_u16(&mut buf, self.answers.len() as u16);
+        put_u16(&mut buf, self.authorities.len() as u16);
+        put_u16(&mut buf, self.additionals.len() as u16);
+        for q in &self.questions {
+            encode_name(&mut buf, q.name.as_str(), &mut dict);
+            put_u16(&mut buf, q.qtype.code());
+            put_u16(&mut buf, 1); // class IN
+        }
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            encode_name(&mut buf, rr.name.as_str(), &mut dict);
+            put_u16(&mut buf, rr.data.qtype().code());
+            put_u16(&mut buf, 1); // class IN
+            put_u32(&mut buf, rr.ttl);
+            let rd_len_at = buf.len();
+            put_u16(&mut buf, 0); // placeholder
+            let start = buf.len();
+            match &rr.data {
+                RrData::A(ip) => buf.extend_from_slice(&ip.octets()),
+                RrData::Aaaa(ip) => buf.extend_from_slice(&ip.octets()),
+                RrData::Ns(n) | RrData::Cname(n) => {
+                    encode_name(&mut buf, n.as_str(), &mut dict)
+                }
+                RrData::Txt(t) => {
+                    // character-strings of up to 255 bytes each
+                    for chunk in t.chunks(255) {
+                        buf.push(chunk.len() as u8);
+                        buf.extend_from_slice(chunk);
+                    }
+                    if t.is_empty() {
+                        buf.push(0);
+                    }
+                }
+            }
+            let rd_len = (buf.len() - start) as u16;
+            buf[rd_len_at..rd_len_at + 2].copy_from_slice(&rd_len.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        let id = cur.u16()?;
+        let flags = Flags::from_u16(cur.u16()?);
+        let qd = cur.u16()? as usize;
+        let an = cur.u16()? as usize;
+        let ns = cur.u16()? as usize;
+        let ar = cur.u16()? as usize;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = cur.name()?;
+            let qtype = QType::from_code(cur.u16()?)?;
+            let class = cur.u16()?;
+            if class != 1 {
+                return Err(WireError::UnsupportedClass(class));
+            }
+            questions.push(Question { name, qtype });
+        }
+        let mut sections = [Vec::with_capacity(an), Vec::new(), Vec::new()];
+        for (i, count) in [an, ns, ar].into_iter().enumerate() {
+            for _ in 0..count {
+                sections[i].push(cur.record()?);
+            }
+        }
+        if cur.pos != bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            id,
+            flags,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Encode a name, emitting a compression pointer when a suffix of the name
+/// was already written at a pointer-addressable offset.
+fn encode_name(buf: &mut Vec<u8>, name: &str, dict: &mut Vec<(String, usize)>) {
+    let mut rest = name;
+    loop {
+        if rest.is_empty() {
+            buf.push(0);
+            return;
+        }
+        if let Some((_, off)) = dict.iter().find(|(n, off)| n == rest && *off < 0x4000) {
+            put_u16(buf, 0xC000 | (*off as u16));
+            return;
+        }
+        if buf.len() < 0x4000 {
+            dict.push((rest.to_string(), buf.len()));
+        }
+        let (label, tail) = match rest.split_once('.') {
+            Some((l, t)) => (l, t),
+            None => (rest, ""),
+        };
+        debug_assert!(label.len() <= 63);
+        buf.push(label.len() as u8);
+        buf.extend_from_slice(label.as_bytes());
+        rest = tail;
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Decode a (possibly compressed) name starting at the cursor.
+    fn name(&mut self) -> Result<Fqdn, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut pos = self.pos;
+        let mut hops = 0usize;
+        let mut jumped = false;
+        loop {
+            let len = *self.buf.get(pos).ok_or(WireError::Truncated)? as usize;
+            if len & 0xC0 == 0xC0 {
+                let b2 = *self.buf.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+                let target = ((len & 0x3F) << 8) | b2;
+                if target >= self.buf.len() {
+                    return Err(WireError::BadPointer);
+                }
+                if !jumped {
+                    self.pos = pos + 2;
+                    jumped = true;
+                }
+                hops += 1;
+                if hops > MAX_POINTER_HOPS {
+                    return Err(WireError::PointerLoop);
+                }
+                pos = target;
+                continue;
+            }
+            if len > 63 {
+                return Err(WireError::LabelTooLong);
+            }
+            if len == 0 {
+                if !jumped {
+                    self.pos = pos + 1;
+                }
+                break;
+            }
+            let bytes = self
+                .buf
+                .get(pos + 1..pos + 1 + len)
+                .ok_or(WireError::Truncated)?;
+            let label =
+                std::str::from_utf8(bytes).map_err(|_| WireError::BadLabelBytes)?;
+            labels.push(label.to_string());
+            pos += 1 + len;
+        }
+        let joined = labels.join(".");
+        if joined.len() > 253 {
+            return Err(WireError::NameTooLong);
+        }
+        Fqdn::parse(&joined).map_err(|_| WireError::BadLabelBytes)
+    }
+
+    fn record(&mut self) -> Result<ResourceRecord, WireError> {
+        let name = self.name()?;
+        let rtype = self.u16()?;
+        let class = self.u16()?;
+        if class != 1 {
+            return Err(WireError::UnsupportedClass(class));
+        }
+        let ttl = self.u32()?;
+        let rd_len = self.u16()? as usize;
+        let rd_end = self
+            .pos
+            .checked_add(rd_len)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or(WireError::Truncated)?;
+        let data = match QType::from_code(rtype)? {
+            QType::A => {
+                let o = self.take(4).map_err(|_| WireError::BadRdataLength)?;
+                if rd_len != 4 {
+                    return Err(WireError::BadRdataLength);
+                }
+                RrData::A(std::net::Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            QType::Aaaa => {
+                let o = self.take(16).map_err(|_| WireError::BadRdataLength)?;
+                if rd_len != 16 {
+                    return Err(WireError::BadRdataLength);
+                }
+                let mut oct = [0u8; 16];
+                oct.copy_from_slice(o);
+                RrData::Aaaa(std::net::Ipv6Addr::from(oct))
+            }
+            QType::Ns => {
+                let n = self.name()?;
+                if self.pos != rd_end {
+                    return Err(WireError::BadRdataLength);
+                }
+                RrData::Ns(n)
+            }
+            QType::Cname => {
+                let n = self.name()?;
+                if self.pos != rd_end {
+                    return Err(WireError::BadRdataLength);
+                }
+                RrData::Cname(n)
+            }
+            QType::Txt => {
+                let mut out = Vec::new();
+                while self.pos < rd_end {
+                    let l = self.u8()? as usize;
+                    out.extend_from_slice(self.take(l)?);
+                }
+                if self.pos != rd_end {
+                    return Err(WireError::BadRdataLength);
+                }
+                RrData::Txt(out)
+            }
+        };
+        Ok(ResourceRecord { name, ttl, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fq(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, fq("abc.scf.tencentcs.com"), QType::A);
+        let bytes = q.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn response_with_all_rr_types_roundtrips() {
+        let q = Message::query(7, fq("fn.fcapp.run"), QType::A);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(ResourceRecord {
+            name: fq("fn.fcapp.run"),
+            ttl: 300,
+            data: RrData::Cname(fq("ingress.cn-shanghai.fcapp.run")),
+        });
+        r.answers.push(ResourceRecord {
+            name: fq("ingress.cn-shanghai.fcapp.run"),
+            ttl: 60,
+            data: RrData::A("203.0.113.9".parse().unwrap()),
+        });
+        r.answers.push(ResourceRecord {
+            name: fq("ingress.cn-shanghai.fcapp.run"),
+            ttl: 60,
+            data: RrData::Aaaa("2001:db8::9".parse().unwrap()),
+        });
+        r.authorities.push(ResourceRecord {
+            name: fq("fcapp.run"),
+            ttl: 3600,
+            data: RrData::Ns(fq("ns1.fcapp.run")),
+        });
+        r.additionals.push(ResourceRecord {
+            name: fq("meta.fcapp.run"),
+            ttl: 30,
+            data: RrData::Txt(b"v=faas1".to_vec()),
+        });
+        let bytes = r.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_suffixes() {
+        let q = Message::query(1, fq("a.example.com"), QType::A);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        for i in 0..5 {
+            r.answers.push(ResourceRecord {
+                name: fq("a.example.com"),
+                ttl: 60,
+                data: RrData::A(std::net::Ipv4Addr::new(10, 0, 0, i)),
+            });
+        }
+        let bytes = r.encode();
+        // Uncompressed, "a.example.com" appears 6 times (15 bytes each).
+        // With pointers every repeat is 2 bytes.
+        assert!(bytes.len() < 12 + 6 * 15 + 6 * 14, "no compression applied");
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.answers.len(), 5);
+        assert_eq!(back.answers[4].name, fq("a.example.com"));
+    }
+
+    #[test]
+    fn nxdomain_flag_roundtrip() {
+        let q = Message::query(9, fq("gone.scf.tencentcs.com"), QType::A);
+        let r = Message::response_to(&q, Rcode::NxDomain);
+        let back = Message::decode(&r.encode()).unwrap();
+        assert_eq!(Rcode::from_code(back.flags.rcode), Rcode::NxDomain);
+        assert!(back.flags.response);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let q = Message::query(3, fq("x.on.aws"), QType::Aaaa);
+        let bytes = q.encode();
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pointer_loop_detected() {
+        // Header with 1 question whose name is a self-pointing pointer.
+        let mut bytes = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        bytes.extend_from_slice(&[0xC0, 0x0C]); // pointer to itself (offset 12)
+        bytes.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(Message::decode(&bytes), Err(WireError::PointerLoop));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let q = Message::query(4, fq("y.on.aws"), QType::A);
+        let mut bytes = q.encode();
+        bytes.push(0xFF);
+        assert_eq!(Message::decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn unsupported_class_rejected() {
+        let q = Message::query(5, fq("z.on.aws"), QType::A);
+        let mut bytes = q.encode();
+        let n = bytes.len();
+        bytes[n - 1] = 3; // class CH
+        assert_eq!(Message::decode(&bytes), Err(WireError::UnsupportedClass(3)));
+    }
+
+    #[test]
+    fn empty_txt_roundtrips() {
+        let q = Message::query(6, fq("t.on.aws"), QType::Txt);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(ResourceRecord {
+            name: fq("t.on.aws"),
+            ttl: 1,
+            data: RrData::Txt(Vec::new()),
+        });
+        let back = Message::decode(&r.encode()).unwrap();
+        assert_eq!(back.answers[0].data, RrData::Txt(Vec::new()));
+    }
+}

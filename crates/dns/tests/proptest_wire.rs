@@ -1,0 +1,117 @@
+//! Property tests for the DNS wire codec and PDNS aggregation.
+
+use fw_dns::pdns::PdnsStore;
+use fw_dns::wire::{Message, QType, Rcode, ResourceRecord, RrData};
+use fw_types::{DayStamp, Fqdn, Rdata};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}"
+}
+
+fn arb_fqdn() -> impl Strategy<Value = Fqdn> {
+    proptest::collection::vec(arb_label(), 2..5)
+        .prop_map(|labels| Fqdn::parse(&labels.join(".")).unwrap())
+}
+
+fn arb_rrdata() -> impl Strategy<Value = RrData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RrData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RrData::Aaaa(Ipv6Addr::from(o))),
+        arb_fqdn().prop_map(RrData::Cname),
+        arb_fqdn().prop_map(RrData::Ns),
+        proptest::collection::vec(any::<u8>(), 0..600).prop_map(RrData::Txt),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = ResourceRecord> {
+    (arb_fqdn(), any::<u32>(), arb_rrdata()).prop_map(|(name, ttl, data)| ResourceRecord {
+        name,
+        ttl,
+        data,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_fqdn(),
+        prop_oneof![
+            Just(QType::A),
+            Just(QType::Aaaa),
+            Just(QType::Cname),
+            Just(QType::Txt),
+            Just(QType::Ns)
+        ],
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        prop_oneof![Just(Rcode::NoError), Just(Rcode::NxDomain), Just(Rcode::ServFail)],
+    )
+        .prop_map(|(id, qname, qtype, answers, auth, rcode)| {
+            let q = Message::query(id, qname, qtype);
+            let mut resp = Message::response_to(&q, rcode);
+            resp.answers = answers;
+            resp.authorities = auth;
+            resp
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(msg in arb_message()) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("generated message must decode");
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_valid_messages(
+        msg in arb_message(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_to in any::<u8>(),
+    ) {
+        let mut bytes = msg.encode();
+        if !bytes.is_empty() {
+            let i = flip_at.index(bytes.len());
+            bytes[i] = flip_to;
+            let _ = Message::decode(&bytes);
+        }
+    }
+
+    /// Aggregation invariant: total_request_cnt equals the sum of per-day
+    /// counts, and days_count never exceeds the lifespan.
+    #[test]
+    fn pdns_aggregate_invariants(
+        observations in proptest::collection::vec((0i64..730, 1u64..100, 0u8..3), 1..60)
+    ) {
+        let mut store = PdnsStore::new();
+        let fqdn = Fqdn::parse("prop.on.aws").unwrap();
+        let rdatas = [
+            Rdata::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            Rdata::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            Rdata::Name(Fqdn::parse("edge.on.aws").unwrap()),
+        ];
+        let mut expected_total = 0u64;
+        for (day_off, cnt, which) in &observations {
+            store.observe_count(
+                &fqdn,
+                &rdatas[*which as usize],
+                DayStamp(19083 + day_off),
+                *cnt,
+            );
+            expected_total += cnt;
+        }
+        let agg = store.aggregate(&fqdn).unwrap();
+        prop_assert_eq!(agg.total_request_cnt, expected_total);
+        prop_assert!(i64::from(agg.days_count) <= agg.lifespan_days());
+        prop_assert!(agg.activity_density() > 0.0 && agg.activity_density() <= 1.0);
+        let dist_total: u64 = agg.rdata_dist.iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(dist_total, expected_total);
+    }
+}

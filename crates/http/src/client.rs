@@ -1,0 +1,303 @@
+//! Blocking HTTP client over pluggable transports.
+//!
+//! The [`Dialer`] trait abstracts how a socket to `(address, SNI)` is
+//! opened: [`SimDialer`] goes through the simulated internet (with
+//! simulated TLS on port 443), [`TcpDialer`] opens real TCP sockets. The
+//! prober composes this client with DNS resolution and its ethics policy.
+
+use crate::parse::{read_response, write_request, HttpError, Limits};
+use crate::types::{Method, Request, Response};
+use crate::url::Url;
+use fw_net::tcp::TcpConn;
+use fw_net::{Connection, SimNet, TlsClient, TlsError};
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Client configuration. The 60-second default timeout follows the paper
+/// (§3.3, "a uniform timeout of 60 seconds was applied").
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    pub read_timeout: Duration,
+    pub limits: Limits,
+    pub user_agent: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(60),
+            limits: Limits::default(),
+            user_agent: "faaswild-probe/0.1 (research; opt-out: see probe host)".to_string(),
+        }
+    }
+}
+
+/// Opens transport connections for the client.
+pub trait Dialer: Send + Sync {
+    /// Open a connection to `addr`. When `sni` is `Some`, negotiate TLS
+    /// for that server name. `timeout` bounds the handshake reads — on a
+    /// lossy network a dropped hello must not hang the dial forever.
+    fn dial(
+        &self,
+        addr: SocketAddr,
+        sni: Option<&str>,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, DialError>;
+}
+
+/// Why a dial failed — the prober distinguishes these (Figure 6's
+/// unreachable bucket vs. TLS fallback).
+#[derive(Debug)]
+pub enum DialError {
+    /// TCP-level failure (refused, timeout...).
+    Connect(io::Error),
+    /// TLS handshake failed; HTTP fallback may succeed.
+    Tls(TlsError),
+}
+
+impl std::fmt::Display for DialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DialError::Connect(e) => write!(f, "connect failed: {e}"),
+            DialError::Tls(e) => write!(f, "tls failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DialError {}
+
+/// Dialer over the simulated internet.
+#[derive(Clone)]
+pub struct SimDialer {
+    net: SimNet,
+}
+
+impl SimDialer {
+    pub fn new(net: SimNet) -> SimDialer {
+        SimDialer { net }
+    }
+}
+
+impl Dialer for SimDialer {
+    fn dial(
+        &self,
+        addr: SocketAddr,
+        sni: Option<&str>,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, DialError> {
+        let mut conn = self.net.connect(addr).map_err(DialError::Connect)?;
+        conn.set_read_timeout(Some(timeout))
+            .map_err(DialError::Connect)?;
+        match sni {
+            Some(name) => TlsClient::handshake(conn, name).map_err(DialError::Tls),
+            None => Ok(conn),
+        }
+    }
+}
+
+/// Dialer over real TCP (loopback examples). TLS-over-TCP uses the same
+/// simulated TLS framing, so a `fw-http` server must be on the other end.
+pub struct TcpDialer {
+    pub connect_timeout: Duration,
+}
+
+impl Default for TcpDialer {
+    fn default() -> Self {
+        TcpDialer {
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl Dialer for TcpDialer {
+    fn dial(
+        &self,
+        addr: SocketAddr,
+        sni: Option<&str>,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, DialError> {
+        let mut conn =
+            TcpConn::connect(addr, self.connect_timeout).map_err(DialError::Connect)?;
+        conn.set_read_timeout(Some(timeout))
+            .map_err(DialError::Connect)?;
+        let boxed: Box<dyn Connection> = Box::new(conn);
+        match sni {
+            Some(name) => TlsClient::handshake(boxed, name).map_err(DialError::Tls),
+            None => Ok(boxed),
+        }
+    }
+}
+
+/// Outcome of one HTTP exchange.
+#[derive(Debug)]
+pub enum FetchError {
+    Dial(DialError),
+    Http(HttpError),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Dial(e) => write!(f, "{e}"),
+            FetchError::Http(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// The blocking HTTP client.
+pub struct HttpClient<D: Dialer> {
+    dialer: D,
+    config: ClientConfig,
+}
+
+impl<D: Dialer> HttpClient<D> {
+    pub fn new(dialer: D, config: ClientConfig) -> HttpClient<D> {
+        HttpClient { dialer, config }
+    }
+
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Issue `req` to `addr` (resolved separately — the prober owns DNS).
+    /// `sni` switches TLS on.
+    pub fn send(
+        &self,
+        addr: SocketAddr,
+        sni: Option<&str>,
+        req: &Request,
+    ) -> Result<Response, FetchError> {
+        let mut conn = self
+            .dialer
+            .dial(addr, sni, self.config.read_timeout)
+            .map_err(FetchError::Dial)?;
+        conn.set_read_timeout(Some(self.config.read_timeout))
+            .map_err(|e| FetchError::Http(HttpError::Io(e)))?;
+        write_request(conn.as_mut(), req).map_err(FetchError::Http)?;
+        let head = req.method == Method::Head;
+        read_response(conn.as_mut(), &self.config.limits, head).map_err(FetchError::Http)
+    }
+
+    /// Parameter-free GET of a URL against a resolved address — the §3.3
+    /// probe shape: `User-Agent` identifies the research probe.
+    pub fn get_url(&self, addr: SocketAddr, url: &Url) -> Result<Response, FetchError> {
+        let mut req = Request::get(&url.target(), &url.host);
+        req.headers.insert("User-Agent", self.config.user_agent.clone());
+        req.headers.insert("Accept", "*/*");
+        req.headers.insert("Connection", "close");
+        let sni = if url.https { Some(url.host.as_str()) } else { None };
+        self.send(
+            SocketAddr::new(addr.ip(), url.port),
+            sni,
+            &req,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::write_response;
+    use crate::types::Response;
+    use fw_net::TlsServer;
+    use std::sync::Arc;
+
+    fn sim_with_server(tls_cert: Option<&'static str>) -> (SimNet, SocketAddr) {
+        let net = SimNet::new(1);
+        let addr: SocketAddr = "203.0.113.10:443".parse().unwrap();
+        net.listen(
+            addr,
+            Arc::new(move |conn: Box<dyn Connection>| {
+                let mut conn = match tls_cert {
+                    Some(cert) => match TlsServer::accept(conn, cert) {
+                        Ok((c, _sni)) => c,
+                        Err(_) => return,
+                    },
+                    None => conn,
+                };
+                let req = match crate::parse::read_request(conn.as_mut(), &Limits::default()) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                let resp = Response::json(200, &format!(r#"{{"path":"{}"}}"#, req.path()));
+                let _ = write_response(conn.as_mut(), &resp);
+            }),
+        );
+        (net, addr)
+    }
+
+    #[test]
+    fn get_over_simulated_tls() {
+        let (net, addr) = sim_with_server(Some("*.on.aws"));
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let url = Url::parse("https://fn.lambda-url.us-east-1.on.aws/").unwrap();
+        let resp = client.get_url(addr, &url).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text(), r#"{"path":"/"}"#);
+    }
+
+    #[test]
+    fn plain_http_when_url_is_http() {
+        let net = SimNet::new(2);
+        let addr: SocketAddr = "203.0.113.11:80".parse().unwrap();
+        net.listen_fn(addr, |mut conn| {
+            let _ = crate::parse::read_request(conn.as_mut(), &Limits::default());
+            let _ = write_response(conn.as_mut(), &Response::text(200, "plain"));
+        });
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let url = Url::parse("http://fn.lambda-url.us-east-1.on.aws/").unwrap();
+        let resp = client.get_url(addr, &url).unwrap();
+        assert_eq!(resp.body_text(), "plain");
+    }
+
+    #[test]
+    fn tls_cert_mismatch_is_a_dial_error() {
+        let (net, addr) = sim_with_server(Some("*.fcapp.run"));
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let url = Url::parse("https://fn.lambda-url.us-east-1.on.aws/").unwrap();
+        match client.get_url(addr, &url) {
+            Err(FetchError::Dial(DialError::Tls(TlsError::CertMismatch { .. }))) => {}
+            other => panic!("expected cert mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_refused_is_a_dial_error() {
+        let net = SimNet::new(3);
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let url = Url::parse("http://nobody.on.aws/").unwrap();
+        match client.get_url("203.0.113.99:80".parse().unwrap(), &url) {
+            Err(FetchError::Dial(DialError::Connect(e))) => {
+                assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused);
+            }
+            other => panic!("expected refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_on_silent_server() {
+        let net = SimNet::new(4);
+        let addr: SocketAddr = "203.0.113.12:80".parse().unwrap();
+        net.listen_fn(addr, |mut conn| {
+            // Read the request but never answer.
+            let mut buf = [0u8; 1024];
+            let _ = conn.read(&mut buf);
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let client = HttpClient::new(
+            SimDialer::new(net),
+            ClientConfig {
+                read_timeout: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+        );
+        let url = Url::parse("http://silent.on.aws/").unwrap();
+        match client.get_url(addr, &url) {
+            Err(FetchError::Http(e)) => assert!(e.is_timeout(), "{e:?}"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fw-http
+//!
+//! A from-scratch blocking HTTP/1.1 implementation over the byte-stream
+//! [`fw_net::Connection`] abstraction — the protocol layer both the active
+//! prober (paper §3.3) and the simulated cloud ingress speak.
+//!
+//! * [`types`] — methods, status codes, case-insensitive header map,
+//!   request/response representations.
+//! * [`url`] — `http(s)://host[:port]/path?query` parsing.
+//! * [`parse`] — incremental head parsing with size limits, body framing
+//!   via `Content-Length`, `Transfer-Encoding: chunked`, or read-to-EOF.
+//! * [`client`] — request serialization + response reading with deadlines,
+//!   over any [`Dialer`] (simulated network or real TCP).
+//! * [`server`] — a per-connection serve loop with keep-alive semantics,
+//!   used by the cloud ingress nodes.
+//!
+//! The parser is defensive: header/body size caps, typed errors, no panics
+//! on malformed input (property-tested in `tests/`).
+
+pub mod client;
+pub mod parse;
+pub mod server;
+pub mod types;
+pub mod url;
+
+pub use client::{ClientConfig, Dialer, HttpClient, SimDialer, TcpDialer};
+pub use parse::HttpError;
+pub use types::{HeaderMap, Method, Request, Response};
+pub use url::Url;

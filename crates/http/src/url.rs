@@ -1,0 +1,182 @@
+//! Minimal URL parsing for `http`/`https` endpoints.
+//!
+//! The prober builds URLs from PDNS-observed domains
+//! (`https://<fqdn>/`), and the abuse analysis extracts redirect targets
+//! from response bodies; both only need scheme/host/port/path/query.
+
+use std::fmt;
+
+/// URL parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    MissingScheme,
+    UnsupportedScheme(String),
+    EmptyHost,
+    BadPort(String),
+}
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlError::MissingScheme => write!(f, "missing '://' scheme separator"),
+            UrlError::UnsupportedScheme(s) => write!(f, "unsupported scheme {s:?}"),
+            UrlError::EmptyHost => write!(f, "empty host"),
+            UrlError::BadPort(p) => write!(f, "invalid port {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+/// A parsed `http`/`https` URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    pub https: bool,
+    pub host: String,
+    pub port: u16,
+    /// Path, always starting with `/`.
+    pub path: String,
+    /// Query string without the leading `?`, if present.
+    pub query: Option<String>,
+}
+
+impl Url {
+    /// Parse an absolute URL.
+    pub fn parse(raw: &str) -> Result<Url, UrlError> {
+        let raw = raw.trim();
+        let (scheme, rest) = raw.split_once("://").ok_or(UrlError::MissingScheme)?;
+        let https = match scheme.to_ascii_lowercase().as_str() {
+            "http" => false,
+            "https" => true,
+            other => return Err(UrlError::UnsupportedScheme(other.to_string())),
+        };
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()) => {
+                let port: u16 = p.parse().map_err(|_| UrlError::BadPort(p.to_string()))?;
+                (h, port)
+            }
+            Some((_, p)) if p.bytes().any(|b| !b.is_ascii_digit()) => {
+                return Err(UrlError::BadPort(p.to_string()))
+            }
+            _ => (authority, if https { 443 } else { 80 }),
+        };
+        if host.is_empty() {
+            return Err(UrlError::EmptyHost);
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path_query.to_string(), None),
+        };
+        Ok(Url {
+            https,
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+            query,
+        })
+    }
+
+    /// Build the probe URL for a bare domain: `https://<host>/` or the
+    /// HTTP fallback.
+    pub fn for_domain(host: &str, https: bool) -> Url {
+        Url {
+            https,
+            host: host.to_ascii_lowercase(),
+            port: if https { 443 } else { 80 },
+            path: "/".to_string(),
+            query: None,
+        }
+    }
+
+    /// Origin-form request target (`/path?query`).
+    pub fn target(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// Is the port the scheme default?
+    pub fn default_port(&self) -> bool {
+        (self.https && self.port == 443) || (!self.https && self.port == 80)
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}://{}",
+            if self.https { "https" } else { "http" },
+            self.host
+        )?;
+        if !self.default_port() {
+            write!(f, ":{}", self.port)?;
+        }
+        write!(f, "{}", self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_url() {
+        let u = Url::parse("https://fn.lambda-url.us-east-1.on.aws:8443/a/b?x=1").unwrap();
+        assert!(u.https);
+        assert_eq!(u.host, "fn.lambda-url.us-east-1.on.aws");
+        assert_eq!(u.port, 8443);
+        assert_eq!(u.path, "/a/b");
+        assert_eq!(u.query.as_deref(), Some("x=1"));
+        assert_eq!(u.target(), "/a/b?x=1");
+    }
+
+    #[test]
+    fn default_ports() {
+        assert_eq!(Url::parse("http://h.example").unwrap().port, 80);
+        assert_eq!(Url::parse("https://h.example").unwrap().port, 443);
+        assert_eq!(Url::parse("https://h.example").unwrap().path, "/");
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        for s in [
+            "https://a.example/",
+            "http://a.example:8080/x?q=1",
+            "https://b.example/path",
+        ] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Url::parse("ftp://x/").unwrap_err(), UrlError::UnsupportedScheme("ftp".into()));
+        assert_eq!(Url::parse("no-scheme"), Err(UrlError::MissingScheme));
+        assert_eq!(Url::parse("https:///p"), Err(UrlError::EmptyHost));
+        assert!(matches!(Url::parse("http://h:99999/"), Err(UrlError::BadPort(_))));
+        assert!(matches!(Url::parse("http://h:8a/"), Err(UrlError::BadPort(_))));
+    }
+
+    #[test]
+    fn host_lowercased() {
+        assert_eq!(Url::parse("https://FN.On.AWS/").unwrap().host, "fn.on.aws");
+    }
+
+    #[test]
+    fn for_domain_builder() {
+        let u = Url::for_domain("x.scf.tencentcs.com", true);
+        assert_eq!(u.to_string(), "https://x.scf.tencentcs.com/");
+        let u = Url::for_domain("x.scf.tencentcs.com", false);
+        assert_eq!(u.port, 80);
+    }
+}

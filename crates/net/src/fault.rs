@@ -1,0 +1,148 @@
+//! Fault injection for the simulated internet.
+//!
+//! Modeled on the knobs smoltcp exposes in its example suite
+//! (`--drop-chance`, `--corrupt-chance`, rate shaping): every connection
+//! attempt and every written chunk passes through the fault layer, which
+//! may refuse, reset, drop, corrupt, or delay with configured
+//! probabilities. All randomness flows from a seeded RNG owned by
+//! [`crate::SimNet`], so failures are reproducible.
+
+use rand::Rng;
+
+/// Probabilistic fault configuration. All probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a `connect` is refused outright.
+    pub refuse_chance: f64,
+    /// Probability an established connection is reset immediately after
+    /// the handshake.
+    pub reset_chance: f64,
+    /// Probability a written chunk is silently dropped (manifests as a
+    /// peer timeout).
+    pub drop_chance: f64,
+    /// Probability one byte of a written chunk is flipped.
+    pub corrupt_chance: f64,
+    /// Fixed per-chunk delivery delay, microseconds (kept tiny so tests
+    /// stay fast; large values simulate slow links).
+    pub delay_us: u64,
+}
+
+impl Default for FaultConfig {
+    /// A perfectly healthy network.
+    fn default() -> Self {
+        FaultConfig {
+            refuse_chance: 0.0,
+            reset_chance: 0.0,
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            delay_us: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The smoltcp README's suggested starting point for adverse-network
+    /// experiments: 15% drop, 15% corrupt.
+    pub fn adverse() -> Self {
+        FaultConfig {
+            refuse_chance: 0.0,
+            reset_chance: 0.05,
+            drop_chance: 0.15,
+            corrupt_chance: 0.15,
+            delay_us: 50,
+        }
+    }
+
+    /// Validate all probabilities are within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("refuse_chance", self.refuse_chance),
+            ("reset_chance", self.reset_chance),
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decision taken for one written chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkFate {
+    Deliver,
+    Drop,
+    /// Deliver with the byte at the given offset flipped.
+    Corrupt(usize),
+}
+
+/// Roll the dice for one chunk of `len` bytes.
+pub fn chunk_fate<R: Rng>(config: &FaultConfig, len: usize, rng: &mut R) -> ChunkFate {
+    if len == 0 {
+        return ChunkFate::Deliver;
+    }
+    if config.drop_chance > 0.0 && rng.gen_bool(config.drop_chance) {
+        return ChunkFate::Drop;
+    }
+    if config.corrupt_chance > 0.0 && rng.gen_bool(config.corrupt_chance) {
+        return ChunkFate::Corrupt(rng.gen_range(0..len));
+    }
+    ChunkFate::Deliver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_is_healthy() {
+        let c = FaultConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(chunk_fate(&c, 100, &mut rng), ChunkFate::Deliver);
+        }
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn adverse_drops_and_corrupts_sometimes() {
+        let c = FaultConfig::adverse();
+        c.validate().unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut drops = 0;
+        let mut corrupts = 0;
+        for _ in 0..1000 {
+            match chunk_fate(&c, 64, &mut rng) {
+                ChunkFate::Drop => drops += 1,
+                ChunkFate::Corrupt(off) => {
+                    assert!(off < 64);
+                    corrupts += 1;
+                }
+                ChunkFate::Deliver => {}
+            }
+        }
+        // 15% each with generous tolerance.
+        assert!((50..300).contains(&drops), "drops = {drops}");
+        assert!((50..300).contains(&corrupts), "corrupts = {corrupts}");
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let bad = FaultConfig {
+            drop_chance: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn empty_chunk_always_delivers() {
+        let c = FaultConfig::adverse();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(chunk_fate(&c, 0, &mut rng), ChunkFate::Deliver);
+    }
+}

@@ -1,0 +1,394 @@
+//! The simulated internet.
+//!
+//! [`SimNet`] is a registry of listeners keyed by socket address. A client
+//! [`SimNet::connect`]s to an address and receives a byte-stream
+//! [`Connection`]; the listener's handler runs on its own thread with the
+//! other end of the duplex pipe, exactly as a blocking accept-loop server
+//! would. All connections pass through the fault layer ([`FaultConfig`]),
+//! and global counters ([`NetStats`]) make fault behaviour observable.
+
+use crate::conn::{pipe_pair, Connection, PipeConn};
+use crate::fault::{chunk_fate, ChunkFate, FaultConfig};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server-side connection handler. Runs on a dedicated thread per
+/// connection; returning closes the server end.
+pub type Handler = Arc<dyn Fn(Box<dyn Connection>) + Send + Sync>;
+
+/// Global network counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub connections: AtomicU64,
+    pub refused: AtomicU64,
+    pub resets_injected: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub chunks_dropped: AtomicU64,
+    pub chunks_corrupted: AtomicU64,
+}
+
+impl NetStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.connections.load(Ordering::Relaxed),
+            self.refused.load(Ordering::Relaxed),
+            self.resets_injected.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.chunks_dropped.load(Ordering::Relaxed),
+            self.chunks_corrupted.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Inner {
+    listeners: RwLock<HashMap<SocketAddr, Handler>>,
+    faults: RwLock<FaultConfig>,
+    rng: Mutex<SmallRng>,
+    stats: NetStats,
+    next_client_port: AtomicU64,
+}
+
+/// Handle to the simulated internet. Cheap to clone.
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("listeners", &self.inner.listeners.read().len())
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// Create a healthy network with a seeded fault RNG.
+    pub fn new(seed: u64) -> SimNet {
+        SimNet {
+            inner: Arc::new(Inner {
+                listeners: RwLock::new(HashMap::new()),
+                faults: RwLock::new(FaultConfig::default()),
+                rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+                stats: NetStats::default(),
+                next_client_port: AtomicU64::new(40_000),
+            }),
+        }
+    }
+
+    /// Install a listener. Replaces any previous listener on the address.
+    pub fn listen(&self, addr: SocketAddr, handler: Handler) {
+        self.inner.listeners.write().insert(addr, handler);
+    }
+
+    /// Convenience wrapper taking a closure.
+    pub fn listen_fn<F>(&self, addr: SocketAddr, f: F)
+    where
+        F: Fn(Box<dyn Connection>) + Send + Sync + 'static,
+    {
+        self.listen(addr, Arc::new(f));
+    }
+
+    /// Remove a listener; future connects are refused.
+    pub fn unlisten(&self, addr: &SocketAddr) {
+        self.inner.listeners.write().remove(addr);
+    }
+
+    /// Number of registered listeners.
+    pub fn listener_count(&self) -> usize {
+        self.inner.listeners.read().len()
+    }
+
+    /// Replace the fault configuration.
+    pub fn set_faults(&self, config: FaultConfig) {
+        config.validate().expect("invalid fault config");
+        *self.inner.faults.write() = config;
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Open a connection to `addr`. The listener's handler is started on
+    /// its own thread with the server end.
+    pub fn connect(&self, addr: SocketAddr) -> io::Result<Box<dyn Connection>> {
+        let faults = *self.inner.faults.read();
+        {
+            let mut rng = self.inner.rng.lock();
+            if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
+                self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "connection refused (injected fault)",
+                ));
+            }
+        }
+        let handler = match self.inner.listeners.read().get(&addr) {
+            Some(h) => h.clone(),
+            None => {
+                self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("nothing listening on {addr}"),
+                ));
+            }
+        };
+        let port = self.inner.next_client_port.fetch_add(1, Ordering::Relaxed);
+        let client_addr = SocketAddr::new(
+            IpAddr::V4(Ipv4Addr::new(100, 64, (port >> 8) as u8 & 0x3f, port as u8)),
+            (20_000 + (port % 40_000)) as u16,
+        );
+        let (client_end, server_end) = pipe_pair(client_addr, addr);
+
+        // Injected hard reset right after establishment.
+        {
+            let mut rng = self.inner.rng.lock();
+            if faults.reset_chance > 0.0 && rng.gen_bool(faults.reset_chance) {
+                client_end.inject_reset();
+                self.inner
+                    .stats
+                    .resets_injected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        self.inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let server_conn: Box<dyn Connection> = Box::new(FaultedConn {
+            inner: server_end,
+            net: self.inner.clone(),
+        });
+        std::thread::Builder::new()
+            .name(format!("sim-handler-{addr}"))
+            .spawn(move || handler(server_conn))
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+
+        Ok(Box::new(FaultedConn {
+            inner: client_end,
+            net: self.inner.clone(),
+        }))
+    }
+}
+
+/// A pipe endpoint whose writes pass through the fault layer.
+struct FaultedConn {
+    inner: PipeConn,
+    net: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FaultedConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultedConn").field("inner", &self.inner).finish()
+    }
+}
+
+impl Connection for FaultedConn {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let faults = *self.net.faults.read();
+        self.net
+            .stats
+            .bytes_sent
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let fate = {
+            let mut rng = self.net.rng.lock();
+            chunk_fate(&faults, buf.len(), &mut *rng)
+        };
+        if faults.delay_us > 0 {
+            std::thread::sleep(Duration::from_micros(faults.delay_us));
+        }
+        match fate {
+            ChunkFate::Deliver => self.inner.write_all(buf),
+            ChunkFate::Drop => {
+                self.net.stats.chunks_dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(()) // silently vanishes: the peer will time out
+            }
+            ChunkFate::Corrupt(off) => {
+                self.net
+                    .stats
+                    .chunks_corrupted
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut copy = buf.to_vec();
+                copy[off] ^= 0x20;
+                self.inner.write_all(&copy)
+            }
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn shutdown_write(&mut self) {
+        self.inner.shutdown_write()
+    }
+
+    fn peer_addr(&self) -> SocketAddr {
+        self.inner.peer_addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_handler() -> Handler {
+        Arc::new(|mut conn: Box<dyn Connection>| {
+            let mut buf = [0u8; 1024];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    fn addr(last: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::new(203, 0, 113, last)), port)
+    }
+
+    #[test]
+    fn connect_and_echo() {
+        let net = SimNet::new(1);
+        net.listen(addr(1, 80), echo_handler());
+        let mut conn = net.connect(addr(1, 80)).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 16];
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let n = conn.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn connect_to_nothing_is_refused() {
+        let net = SimNet::new(1);
+        let err = net.connect(addr(9, 80)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(net.stats().refused.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unlisten_refuses_future_connects() {
+        let net = SimNet::new(1);
+        net.listen(addr(1, 80), echo_handler());
+        assert!(net.connect(addr(1, 80)).is_ok());
+        net.unlisten(&addr(1, 80));
+        assert!(net.connect(addr(1, 80)).is_err());
+    }
+
+    #[test]
+    fn injected_refusals_respect_probability() {
+        let net = SimNet::new(42);
+        net.listen(addr(1, 80), echo_handler());
+        net.set_faults(FaultConfig {
+            refuse_chance: 1.0,
+            ..FaultConfig::default()
+        });
+        for _ in 0..10 {
+            assert!(net.connect(addr(1, 80)).is_err());
+        }
+    }
+
+    #[test]
+    fn injected_reset_surfaces_as_connection_reset() {
+        let net = SimNet::new(7);
+        net.listen(addr(1, 80), echo_handler());
+        net.set_faults(FaultConfig {
+            reset_chance: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut conn = net.connect(addr(1, 80)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let mut buf = [0u8; 4];
+        let kind = match conn.write_all(b"ping") {
+            Err(e) => e.kind(),
+            Ok(()) => conn.read(&mut buf).unwrap_err().kind(),
+        };
+        assert_eq!(kind, io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn dropped_chunks_cause_peer_timeout() {
+        let net = SimNet::new(5);
+        net.listen(addr(1, 80), echo_handler());
+        net.set_faults(FaultConfig {
+            drop_chance: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut conn = net.connect(addr(1, 80)).unwrap();
+        conn.write_all(b"lost").unwrap(); // vanishes
+        conn.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(conn.read(&mut buf).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert!(net.stats().chunks_dropped.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let net = SimNet::new(9);
+        net.listen(addr(1, 80), echo_handler());
+        net.set_faults(FaultConfig {
+            corrupt_chance: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut conn = net.connect(addr(1, 80)).unwrap();
+        conn.write_all(b"aaaa").unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        // The echo server ALSO corrupts its reply (both directions pass the
+        // fault layer), so 0, 1 or 2 bytes differ (two flips at the same
+        // offset cancel out). The counters prove both flips happened.
+        let diff = buf.iter().filter(|b| **b != b'a').count();
+        assert!(diff <= 2, "diff = {diff}, buf = {buf:?}");
+        assert!(net.stats().chunks_corrupted.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        let net = SimNet::new(3);
+        net.listen(addr(1, 80), echo_handler());
+        let mut handles = Vec::new();
+        for i in 0..32u8 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut conn = net.connect(addr(1, 80)).unwrap();
+                let msg = vec![i; 128];
+                conn.write_all(&msg).unwrap();
+                conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                let mut buf = vec![0u8; 128];
+                conn.read_exact(&mut buf).unwrap();
+                assert_eq!(buf, msg);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.stats().connections.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn distinct_client_addresses() {
+        let net = SimNet::new(11);
+        net.listen(addr(1, 80), echo_handler());
+        let c1 = net.connect(addr(1, 80)).unwrap();
+        let c2 = net.connect(addr(1, 80)).unwrap();
+        assert_eq!(c1.peer_addr(), addr(1, 80));
+        assert_eq!(c2.peer_addr(), addr(1, 80));
+    }
+}

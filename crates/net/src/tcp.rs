@@ -1,0 +1,124 @@
+//! Real-socket adapter: [`Connection`] over `std::net::TcpStream`.
+//!
+//! The probing and HTTP stacks are written against the [`Connection`]
+//! trait; this adapter lets the exact same code drive real TCP sockets.
+//! `examples/live_probe.rs` uses it to run an end-to-end probe over the
+//! host's loopback interface.
+
+use crate::conn::Connection;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A [`Connection`] backed by a real TCP stream.
+#[derive(Debug)]
+pub struct TcpConn {
+    stream: TcpStream,
+    peer: SocketAddr,
+}
+
+impl TcpConn {
+    /// Connect with a timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpConn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn { stream, peer: addr })
+    }
+
+    /// Wrap an accepted stream (server side).
+    pub fn from_stream(stream: TcpStream) -> io::Result<TcpConn> {
+        let peer = stream.peer_addr()?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn { stream, peer })
+    }
+}
+
+impl Connection for TcpConn {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.stream.write_all(buf)
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.stream.read(buf) {
+            // Map WouldBlock (some platforms use it for SO_RCVTIMEO) onto
+            // TimedOut so callers see one timeout kind.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"))
+            }
+            other => other,
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn shutdown_write(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+
+    fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn loopback_echo_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = TcpConn::from_stream(stream).unwrap();
+            let mut buf = [0u8; 64];
+            let n = conn.read(&mut buf).unwrap();
+            conn.write_all(&buf[..n]).unwrap();
+        });
+
+        let mut client = TcpConn::connect(addr, Duration::from_secs(5)).unwrap();
+        client.write_all(b"over real tcp").unwrap();
+        client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 64];
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"over real tcp");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_maps_to_timedout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Keep the listener alive but never write.
+        let _server = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let mut client = TcpConn::connect(addr, Duration::from_secs(5)).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            client.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn connect_refused_on_closed_port() {
+        // Bind then drop to find a (very likely) free port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = TcpConn::connect(addr, Duration::from_millis(300)).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::ConnectionRefused | io::ErrorKind::TimedOut
+        ));
+    }
+}

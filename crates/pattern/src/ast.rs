@@ -1,0 +1,424 @@
+//! Pattern parser: text → [`Ast`].
+//!
+//! A hand-written recursive-descent parser over ASCII bytes. The grammar:
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom quantifier?
+//! quantifier  := ('*' | '+' | '?' | '{' n (',' m?)? '}') '?'?
+//! atom        := literal | '.' | class | '(' alternation ')' | '^' | '$' | escape
+//! ```
+
+use std::fmt;
+
+/// One item inside a character class: a single byte or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    Byte(u8),
+    Range(u8, u8),
+}
+
+impl ClassItem {
+    pub fn contains(self, b: u8) -> bool {
+        match self {
+            ClassItem::Byte(x) => b == x,
+            ClassItem::Range(lo, hi) => (lo..=hi).contains(&b),
+        }
+    }
+}
+
+/// Parsed pattern node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal byte.
+    Literal(u8),
+    /// `.` — any byte except newline.
+    AnyChar,
+    /// `[...]` — set of items, possibly negated.
+    Class { items: Vec<ClassItem>, negated: bool },
+    /// Sequence of nodes.
+    Concat(Vec<Ast>),
+    /// `a|b|c`.
+    Alternation(Vec<Ast>),
+    /// Quantified node. `max == None` means unbounded.
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
+    /// Capturing group; `index` is 1-based.
+    Group { index: usize, node: Box<Ast> },
+    /// `^`.
+    StartAnchor,
+    /// `$`.
+    EndAnchor,
+}
+
+/// Pattern compilation error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    group_count: usize,
+}
+
+/// Parse a pattern, returning the AST and the number of capture groups.
+pub fn parse(source: &str) -> Result<(Ast, usize), ParseError> {
+    let mut p = Parser {
+        src: source.as_bytes(),
+        pos: 0,
+        group_count: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.src.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok((ast, p.group_count))
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Ast::Alternation(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                (0, None)
+            }
+            Some(b'+') => {
+                self.bump();
+                (1, None)
+            }
+            Some(b'?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                self.bump();
+                let min = self.integer()?;
+                let max = if self.peek() == Some(b',') {
+                    self.bump();
+                    if self.peek() == Some(b'}') {
+                        None
+                    } else {
+                        Some(self.integer()?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if self.bump() != Some(b'}') {
+                    return Err(self.err("expected '}' to close repetition"));
+                }
+                if let Some(max) = max {
+                    if max < min {
+                        return Err(self.err("repetition max is less than min"));
+                    }
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor | Ast::Empty) {
+            return Err(self.err("quantifier applied to nothing"));
+        }
+        // A second quantifier directly after one means lazy ('?') or error.
+        let greedy = if self.peek() == Some(b'?') {
+            self.bump();
+            false
+        } else {
+            true
+        };
+        if matches!(self.peek(), Some(b'*') | Some(b'+')) {
+            return Err(self.err("double quantifier"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    fn integer(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number in repetition"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf-8")
+            .parse()
+            .map_err(|_| self.err("repetition count too large"))
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                self.group_count += 1;
+                let index = self.group_count;
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced '('"));
+                }
+                Ok(Ast::Group {
+                    index,
+                    node: Box::new(inner),
+                })
+            }
+            Some(b'[') => self.class(),
+            Some(b'.') => Ok(Ast::AnyChar),
+            Some(b'^') => Ok(Ast::StartAnchor),
+            Some(b'$') => Ok(Ast::EndAnchor),
+            Some(b'\\') => self.escape(),
+            Some(b @ (b'*' | b'+' | b'?')) => {
+                self.pos -= 1;
+                Err(self.err(&format!("dangling quantifier '{}'", b as char)))
+            }
+            Some(b) => Ok(Ast::Literal(b)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        let Some(b) = self.bump() else {
+            return Err(self.err("trailing backslash"));
+        };
+        let class = |items: Vec<ClassItem>, negated: bool| Ast::Class { items, negated };
+        Ok(match b {
+            b'd' => class(vec![ClassItem::Range(b'0', b'9')], false),
+            b'D' => class(vec![ClassItem::Range(b'0', b'9')], true),
+            b'w' => class(word_items(), false),
+            b'W' => class(word_items(), true),
+            b's' => class(space_items(), false),
+            b'S' => class(space_items(), true),
+            b'n' => Ast::Literal(b'\n'),
+            b'r' => Ast::Literal(b'\r'),
+            b't' => Ast::Literal(b'\t'),
+            b'.' | b'\\' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'|' | b'*' | b'+'
+            | b'?' | b'^' | b'$' | b'-' | b'/' => Ast::Literal(b),
+            other => {
+                self.pos -= 1;
+                return Err(self.err(&format!("unknown escape '\\{}'", other as char)));
+            }
+        })
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.err("unterminated character class"));
+            };
+            match b {
+                b']' if !items.is_empty() || negated => break,
+                b']' => break, // empty class `[]` would be useless but accept-close
+                b'\\' => {
+                    let Some(e) = self.bump() else {
+                        return Err(self.err("trailing backslash in class"));
+                    };
+                    let lit = match e {
+                        b'd' => {
+                            items.push(ClassItem::Range(b'0', b'9'));
+                            continue;
+                        }
+                        b'w' => {
+                            items.extend(word_items());
+                            continue;
+                        }
+                        b's' => {
+                            items.extend(space_items());
+                            continue;
+                        }
+                        b'n' => b'\n',
+                        b'r' => b'\r',
+                        b't' => b'\t',
+                        other => other,
+                    };
+                    items.push(self.maybe_range(lit)?);
+                }
+                b => items.push(self.maybe_range(b)?),
+            }
+        }
+        Ok(Ast::Class { items, negated })
+    }
+
+    /// After seeing `lo` inside a class, check for a `-hi` range.
+    fn maybe_range(&mut self, lo: u8) -> Result<ClassItem, ParseError> {
+        if self.peek() == Some(b'-') && self.src.get(self.pos + 1) != Some(&b']') {
+            self.bump(); // '-'
+            let Some(hi) = self.bump() else {
+                return Err(self.err("unterminated class range"));
+            };
+            let hi = if hi == b'\\' {
+                self.bump().ok_or_else(|| self.err("trailing backslash"))?
+            } else {
+                hi
+            };
+            if hi < lo {
+                return Err(self.err("inverted class range"));
+            }
+            Ok(ClassItem::Range(lo, hi))
+        } else {
+            Ok(ClassItem::Byte(lo))
+        }
+    }
+}
+
+fn word_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Range(b'a', b'z'),
+        ClassItem::Range(b'A', b'Z'),
+        ClassItem::Range(b'0', b'9'),
+        ClassItem::Byte(b'_'),
+    ]
+}
+
+fn space_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Byte(b' '),
+        ClassItem::Byte(b'\t'),
+        ClassItem::Byte(b'\n'),
+        ClassItem::Byte(b'\r'),
+        ClassItem::Byte(0x0b),
+        ClassItem::Byte(0x0c),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_concat() {
+        let (ast, groups) = parse("ab").unwrap();
+        assert_eq!(groups, 0);
+        assert_eq!(ast, Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')]));
+    }
+
+    #[test]
+    fn counts_groups_left_to_right() {
+        let (_, groups) = parse("(a(b))(c)").unwrap();
+        assert_eq!(groups, 3);
+    }
+
+    #[test]
+    fn class_with_range_and_literal_hyphen() {
+        let (ast, _) = parse("[a-z-]").unwrap();
+        match ast {
+            Ast::Class { items, negated } => {
+                assert!(!negated);
+                assert_eq!(items, vec![ClassItem::Range(b'a', b'z'), ClassItem::Byte(b'-')]);
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closing_bracket_first_is_literal() {
+        // `[]a]` — leading `]` right after `[` closes an empty class in this
+        // dialect; we keep it an error-free minimal behaviour: empty class.
+        let (ast, _) = parse("[]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                items: vec![],
+                negated: false
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_rep_forms() {
+        for (pat, min, max) in [("a{3}", 3, Some(3)), ("a{2,5}", 2, Some(5)), ("a{4,}", 4, None)] {
+            let (ast, _) = parse(pat).unwrap();
+            match ast {
+                Ast::Repeat { min: m, max: x, greedy, .. } => {
+                    assert_eq!((m, x), (min, max));
+                    assert!(greedy);
+                }
+                other => panic!("unexpected ast {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_flag() {
+        let (ast, _) = parse("a+?").unwrap();
+        assert!(matches!(ast, Ast::Repeat { greedy: false, .. }));
+    }
+
+    #[test]
+    fn error_positions_are_set() {
+        let e = parse("ab(").unwrap_err();
+        assert_eq!(e.pos, 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! # fw-pattern
+//!
+//! A from-scratch regular-expression engine sized for the paper's needs.
+//!
+//! Paper §3.2 converts each provider's function-URL format into a domain
+//! regular expression (Table 1) and filters billions of PDNS records through
+//! them. This crate implements exactly the construct set those expressions
+//! (and the sensitive-data detectors in `fw-abuse`) require:
+//!
+//! * anchors `^` `$`
+//! * literals, escaped metacharacters (`\.`), escape classes
+//!   (`\d \D \w \W \s \S`)
+//! * the any-char dot `.`
+//! * character classes `[a-z0-9]`, ranges, negation `[^...]`
+//! * groups `(...)` with alternation `a|b|c`; groups capture
+//! * quantifiers `*` `+` `?` and bounded repetition `{n}` `{m,n}` `{m,}`,
+//!   each with a lazy variant (`*?` ...)
+//!
+//! Matching uses a Pike VM (Thompson NFA simulation with capture slots), so
+//! it runs in `O(len(input) × len(program))` — no catastrophic backtracking,
+//! which matters when scanning PDNS-scale fqdn streams. A companion
+//! [`Sampler`] generates random strings that match a pattern; the workload
+//! generator uses it to mint provider-shaped domains, and the property tests
+//! use it to cross-validate the matcher.
+//!
+//! ```
+//! use fw_pattern::Pattern;
+//! let p = Pattern::compile(r"^[0-9]{10}-[a-z0-9]{10}-(.*)\.scf\.tencentcs\.com$").unwrap();
+//! let caps = p.captures("1257890123-a1b2c3d4e5-gz.scf.tencentcs.com").unwrap();
+//! assert_eq!(caps.get(1), Some("gz"));
+//! assert!(!p.is_match("a.scf.tencentcs.com"));
+//! ```
+
+mod ast;
+mod compile;
+mod sample;
+mod vm;
+
+pub use ast::{Ast, ClassItem, ParseError};
+pub use sample::{Rng, Sampler, SamplerConfig, XorShiftRng};
+
+use compile::Program;
+
+/// A compiled pattern, ready for matching.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    source: String,
+    ast: Ast,
+    program: Program,
+    group_count: usize,
+}
+
+impl Pattern {
+    /// Parse and compile a pattern.
+    pub fn compile(source: &str) -> Result<Pattern, ParseError> {
+        let (ast, group_count) = ast::parse(source)?;
+        let program = compile::compile(&ast, group_count);
+        Ok(Pattern {
+            source: source.to_string(),
+            ast,
+            program,
+            group_count,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of capture groups (excluding the implicit whole-match group 0).
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// Does the pattern match anywhere in `input`?
+    /// (Anchors inside the pattern still apply.)
+    pub fn is_match(&self, input: &str) -> bool {
+        vm::search(&self.program, input.as_bytes()).is_some()
+    }
+
+    /// Leftmost match with capture groups, or `None`.
+    pub fn captures<'i>(&self, input: &'i str) -> Option<Captures<'i>> {
+        let slots = vm::search(&self.program, input.as_bytes())?;
+        Some(Captures { input, slots })
+    }
+
+    /// Leftmost match span `(start, end)` in byte offsets, or `None`.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        let slots = vm::search(&self.program, input.as_bytes())?;
+        match (slots[0], slots[1]) {
+            (Some(s), Some(e)) => Some((s, e)),
+            _ => None,
+        }
+    }
+
+    /// All non-overlapping match spans, leftmost-first.
+    pub fn find_all(&self, input: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let bytes = input.as_bytes();
+        let mut at = 0;
+        while at <= bytes.len() {
+            match vm::search_at(&self.program, bytes, at) {
+                Some(slots) => {
+                    let (s, e) = (slots[0].unwrap(), slots[1].unwrap());
+                    out.push((s, e));
+                    // Empty matches must still advance the cursor.
+                    at = if e > at { e } else { at + 1 };
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The parsed AST (used by [`Sampler`] and tests).
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+}
+
+/// Capture groups for one match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'i> {
+    input: &'i str,
+    slots: Vec<Option<usize>>,
+}
+
+impl<'i> Captures<'i> {
+    /// Text of group `idx`, if the group participated in the match.
+    pub fn get(&self, idx: usize) -> Option<&'i str> {
+        let s = *self.slots.get(idx * 2)?;
+        let e = *self.slots.get(idx * 2 + 1)?;
+        match (s, e) {
+            (Some(s), Some(e)) => self.input.get(s..e),
+            _ => None,
+        }
+    }
+
+    /// Number of groups including group 0.
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(pat: &str, input: &str) -> bool {
+        Pattern::compile(pat).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_and_anchors() {
+        assert!(ok("^abc$", "abc"));
+        assert!(!ok("^abc$", "abcd"));
+        assert!(!ok("^abc$", "zabc"));
+        assert!(ok("abc", "zabcd")); // unanchored search
+        assert!(!ok("abc", "ab"));
+    }
+
+    #[test]
+    fn dot_and_escape() {
+        assert!(ok(r"^a.c$", "abc"));
+        assert!(ok(r"^a.c$", "a-c"));
+        assert!(!ok(r"^a\.c$", "abc"));
+        assert!(ok(r"^a\.c$", "a.c"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(ok(r"^[a-z0-9]$", "q"));
+        assert!(ok(r"^[a-z0-9]$", "7"));
+        assert!(!ok(r"^[a-z0-9]$", "Q"));
+        assert!(ok(r"^[^a-z]$", "Q"));
+        assert!(!ok(r"^[^a-z]$", "q"));
+        assert!(ok(r"^[-a]$", "-")); // leading hyphen is literal
+        assert!(ok(r"^[a\]]$", "]")); // escaped bracket
+    }
+
+    #[test]
+    fn escape_classes() {
+        assert!(ok(r"^\d+$", "0198"));
+        assert!(!ok(r"^\d+$", "01a8"));
+        assert!(ok(r"^\w+$", "a_9Z"));
+        assert!(ok(r"^\s$", " "));
+        assert!(ok(r"^\S$", "x"));
+        assert!(ok(r"^\D$", "x"));
+        assert!(!ok(r"^\D$", "5"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(ok("^ab*c$", "ac"));
+        assert!(ok("^ab*c$", "abbbc"));
+        assert!(ok("^ab+c$", "abc"));
+        assert!(!ok("^ab+c$", "ac"));
+        assert!(ok("^ab?c$", "ac"));
+        assert!(ok("^ab?c$", "abc"));
+        assert!(!ok("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(ok(r"^[a-z]{10}$", "abcdefghij"));
+        assert!(!ok(r"^[a-z]{10}$", "abcdefghi"));
+        assert!(!ok(r"^[a-z]{10}$", "abcdefghijk"));
+        assert!(ok(r"^a{2,4}$", "aa"));
+        assert!(ok(r"^a{2,4}$", "aaaa"));
+        assert!(!ok(r"^a{2,4}$", "a"));
+        assert!(!ok(r"^a{2,4}$", "aaaaa"));
+        assert!(ok(r"^a{2,}$", "aaaaaaa"));
+        assert!(!ok(r"^a{2,}$", "a"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(ok("^(foo|bar)$", "foo"));
+        assert!(ok("^(foo|bar)$", "bar"));
+        assert!(!ok("^(foo|bar)$", "baz"));
+        assert!(ok("^(a|b)(c|d)$", "ad"));
+    }
+
+    #[test]
+    fn captures_basic() {
+        let p = Pattern::compile(r"^(\d+)-([a-z]+)$").unwrap();
+        let c = p.captures("123-abc").unwrap();
+        assert_eq!(c.get(0), Some("123-abc"));
+        assert_eq!(c.get(1), Some("123"));
+        assert_eq!(c.get(2), Some("abc"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        let g = Pattern::compile(r"^(a*)(a*)$").unwrap();
+        let c = g.captures("aaa").unwrap();
+        assert_eq!(c.get(1), Some("aaa"));
+        assert_eq!(c.get(2), Some(""));
+
+        let l = Pattern::compile(r"^(a*?)(a*)$").unwrap();
+        let c = l.captures("aaa").unwrap();
+        assert_eq!(c.get(1), Some(""));
+        assert_eq!(c.get(2), Some("aaa"));
+    }
+
+    #[test]
+    fn leftmost_match_and_find() {
+        let p = Pattern::compile("b+").unwrap();
+        assert_eq!(p.find("aabbbabb"), Some((2, 5)));
+        assert_eq!(p.find_all("aabbbabb"), vec![(2, 5), (6, 8)]);
+    }
+
+    #[test]
+    fn find_all_with_empty_matches_terminates() {
+        let p = Pattern::compile("a*").unwrap();
+        let spans = p.find_all("ba");
+        // Must not loop forever; empty match at 0, then "a" at 1.
+        assert!(spans.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn table1_tencent_pattern() {
+        let p = Pattern::compile(r"^[0-9]{10}-[a-z0-9]{10}-(.*)\.scf\.tencentcs\.com$").unwrap();
+        assert!(p.is_match("1300000001-abcde01234-ap-guangzhou.scf.tencentcs.com"));
+        assert!(!p.is_match("130000001-abcde01234-gz.scf.tencentcs.com")); // 9-digit uid
+        assert!(!p.is_match("1300000001-abcde01234-gz.scf.tencentcs.org"));
+        let c = p
+            .captures("1300000001-abcde01234-ap-guangzhou.scf.tencentcs.com")
+            .unwrap();
+        assert_eq!(c.get(1), Some("ap-guangzhou"));
+    }
+
+    #[test]
+    fn table1_google_pattern() {
+        let p = Pattern::compile(
+            r"^(asia|europe|us|australia|northamerica|southamerica)-(.*)-(.*)\.cloudfunctions\.net$",
+        )
+        .unwrap();
+        let c = p.captures("us-central1-myproj.cloudfunctions.net").unwrap();
+        assert_eq!(c.get(1), Some("us"));
+        assert!(!p.is_match("africa-south1-x.cloudfunctions.net"));
+    }
+
+    #[test]
+    fn no_pathological_blowup() {
+        // The classic (a|a)* trap: a Pike VM handles this in linear time.
+        let p = Pattern::compile("^(a|a)*b$").unwrap();
+        let input = "a".repeat(200); // no trailing b => no match
+        assert!(!p.is_match(&input));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["(", ")", "a{", "a{2", "[a", r"\q", "a**", "*a", "a{4,2}"] {
+            assert!(Pattern::compile(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_alternation_branch() {
+        let p = Pattern::compile("^a(b|)c$").unwrap();
+        assert!(p.is_match("abc"));
+        assert!(p.is_match("ac"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Pike VM: NFA simulation with capture slots.
+//!
+//! Runs in `O(input × program)` time regardless of pattern shape. Threads
+//! are kept in priority order (earlier = higher priority), which gives
+//! leftmost-first match semantics with greedy/lazy quantifier behaviour
+//! driven by `Split` operand order.
+
+use crate::compile::{Inst, Program};
+
+type Slots = Vec<Option<usize>>;
+
+struct ThreadList {
+    /// `(pc, slots)` in priority order.
+    threads: Vec<(usize, Slots)>,
+    /// Generation marker per pc to dedupe adds within one step.
+    seen: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(len: usize) -> Self {
+        ThreadList {
+            threads: Vec::new(),
+            // `seen` starts at generation 0; the live generation starts at 1
+            // so a fresh list has no instruction marked as seen.
+            seen: vec![0; len],
+            gen: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+}
+
+/// Add a thread, following zero-width instructions.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    pos: usize,
+    input_len: usize,
+    slots: &mut Slots,
+) {
+    if list.seen[pc] == list.gen {
+        return;
+    }
+    list.seen[pc] = list.gen;
+    match &prog.insts[pc] {
+        Inst::Jump(t) => add_thread(prog, list, *t, pos, input_len, slots),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, pos, input_len, slots);
+            add_thread(prog, list, *b, pos, input_len, slots);
+        }
+        Inst::Save(n) => {
+            let old = slots[*n];
+            slots[*n] = Some(pos);
+            add_thread(prog, list, pc + 1, pos, input_len, slots);
+            slots[*n] = old;
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, list, pc + 1, pos, input_len, slots);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == input_len {
+                add_thread(prog, list, pc + 1, pos, input_len, slots);
+            }
+        }
+        _ => list.threads.push((pc, slots.clone())),
+    }
+}
+
+/// Search the whole input for the leftmost match. Returns capture slots.
+pub fn search(prog: &Program, input: &[u8]) -> Option<Slots> {
+    search_at(prog, input, 0)
+}
+
+/// Search starting at byte offset `start`.
+pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    let mut matched: Option<Slots> = None;
+    let anchored = prog.anchored_start();
+
+    // One iteration per input position, inclusive of the end-of-input step
+    // (pos == input.len()) where `$`/Match threads fire with byte == None.
+    for pos in start..=input.len() {
+        // Seed a fresh start thread at the lowest priority, unless a match
+        // was already found (leftmost wins) or the pattern is start-anchored
+        // and this is past the only legal start position.
+        if matched.is_none() && (!anchored || pos == start) {
+            let mut slots: Slots = vec![None; prog.slot_count];
+            add_thread(prog, &mut clist, 0, pos, input.len(), &mut slots);
+        }
+        if clist.threads.is_empty() {
+            if matched.is_some() || anchored {
+                break;
+            }
+            continue;
+        }
+
+        let byte = input.get(pos).copied();
+        nlist.clear();
+        let threads = std::mem::take(&mut clist.threads);
+        for (pc, slots) in threads {
+            match &prog.insts[pc] {
+                Inst::Byte(b) => {
+                    if byte == Some(*b) {
+                        let mut s = slots;
+                        add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                    }
+                }
+                Inst::Any => {
+                    if matches!(byte, Some(b) if b != b'\n') {
+                        let mut s = slots;
+                        add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                    }
+                }
+                Inst::Class { items, negated } => {
+                    if let Some(b) = byte {
+                        let inside = items.iter().any(|i| i.contains(b));
+                        if inside != *negated {
+                            let mut s = slots;
+                            add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                        }
+                    }
+                }
+                Inst::Match => {
+                    // Highest-priority thread reaching Match at this step
+                    // wins; lower-priority threads are discarded. Threads
+                    // already moved to nlist have higher priority and may
+                    // still produce a better (earlier-starting, longer)
+                    // match on later steps, overriding this one.
+                    matched = Some(slots);
+                    break;
+                }
+                // Zero-width instructions never appear in thread lists.
+                _ => unreachable!("zero-width inst in thread list"),
+            }
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Pattern;
+
+    #[test]
+    fn empty_pattern_matches_empty_input() {
+        let p = Pattern::compile("").unwrap();
+        assert!(p.is_match(""));
+        assert!(p.is_match("abc")); // matches empty prefix
+        assert_eq!(p.find("abc"), Some((0, 0)));
+    }
+
+    #[test]
+    fn anchored_end_only() {
+        let p = Pattern::compile("abc$").unwrap();
+        assert!(p.is_match("xxabc"));
+        assert!(!p.is_match("abcx"));
+    }
+
+    #[test]
+    fn match_at_exact_end_of_input() {
+        let p = Pattern::compile("^a+$").unwrap();
+        assert!(p.is_match("a"));
+        assert!(p.is_match("aaaa"));
+        assert!(!p.is_match(""));
+    }
+
+    #[test]
+    fn leftmost_priority_over_longer_later() {
+        let p = Pattern::compile("a|aa").unwrap();
+        assert_eq!(p.find("aa"), Some((0, 1)));
+    }
+
+    #[test]
+    fn unanchored_long_scan() {
+        let hay = format!("{}{}", "x".repeat(10_000), "needle");
+        let p = Pattern::compile("needle$").unwrap();
+        assert_eq!(p.find(&hay), Some((10_000, 10_006)));
+    }
+}

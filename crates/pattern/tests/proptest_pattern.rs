@@ -1,0 +1,86 @@
+//! Property tests for the pattern engine.
+//!
+//! Two core invariants:
+//! 1. every string produced by the sampler matches its source pattern;
+//! 2. matching never panics on arbitrary input, and `find` spans are
+//!    well-formed (`start <= end <= len`, on char boundaries for ASCII).
+
+use fw_pattern::{Pattern, Sampler, XorShiftRng};
+use proptest::prelude::*;
+
+const TABLE1_PATTERNS: &[&str] = &[
+    r"^(.*)-(.*)-[a-z]{10}\.(.*)\.fcapp\.run$",
+    r"^[a-z0-9]{13}\.cfc-execute\.(.*)\.baidubce\.com$",
+    r"^[0-9]{10}-[a-z0-9]{10}-(.*)\.scf\.tencentcs\.com$",
+    r"^(.*)-(eu-east-1|cn-beijing-6)\.ksyuncf\.com$",
+    r"^(.*)\.lambda-url\.(.*)\.on\.aws$",
+    r"^(asia|europe|us|australia|northamerica|southamerica)-(.*)-(.*)\.cloudfunctions\.net$",
+    r"^(.*)-[a-z0-9]{10}-(.*)\.a\.run\.app$",
+    r"^(us-south|us-east|eu-gb|eu-de|jp-tok|au-syd)\.functions\.appdomain\.cloud$",
+    r"^[a-z0-9]{11}\.(.*)\.functions\.oci\.oraclecloud\.com$",
+    r"^(.*)\.azurewebsites\.net$",
+];
+
+proptest! {
+    #[test]
+    fn sampled_strings_match(seed in any::<u64>(), idx in 0usize..10) {
+        let pat = Pattern::compile(TABLE1_PATTERNS[idx]).unwrap();
+        let mut rng = XorShiftRng::new(seed);
+        let s = Sampler::new(&pat).sample(&mut rng);
+        prop_assert!(pat.is_match(&s), "sample {:?} must match {}", s, TABLE1_PATTERNS[idx]);
+    }
+
+    #[test]
+    fn matching_never_panics(input in "\\PC*", idx in 0usize..10) {
+        let pat = Pattern::compile(TABLE1_PATTERNS[idx]).unwrap();
+        let _ = pat.is_match(&input);
+        if let Some((s, e)) = pat.find(&input) {
+            prop_assert!(s <= e && e <= input.len());
+        }
+    }
+
+    #[test]
+    fn literal_patterns_agree_with_contains(hay in "[a-c]{0,20}", needle in "[a-c]{1,4}") {
+        let pat = Pattern::compile(&needle).unwrap();
+        prop_assert_eq!(pat.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn find_all_spans_are_sorted_and_disjoint(hay in "[ab]{0,30}") {
+        let pat = Pattern::compile("a+").unwrap();
+        let spans = pat.find_all(&hay);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping spans {:?}", spans);
+        }
+        // Every span consists solely of 'a's and is maximal.
+        for (s, e) in &spans {
+            prop_assert!(hay[*s..*e].bytes().all(|b| b == b'a'));
+            prop_assert!(*e - *s >= 1);
+            if *e < hay.len() {
+                prop_assert_ne!(hay.as_bytes()[*e], b'a');
+            }
+            if *s > 0 {
+                prop_assert_ne!(hay.as_bytes()[*s - 1], b'a');
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_exact_class_rep(n in 1usize..30, input in "[a-z0-9]{0,35}") {
+        let pat = Pattern::compile(&format!("^[a-z0-9]{{{n}}}$")).unwrap();
+        prop_assert_eq!(pat.is_match(&input), input.len() == n);
+    }
+}
+
+/// Captures of sampled Tencent domains always expose the region group.
+#[test]
+fn sampled_tencent_captures_region() {
+    let pat = Pattern::compile(TABLE1_PATTERNS[2]).unwrap();
+    let mut rng = XorShiftRng::new(7);
+    for _ in 0..200 {
+        let s = Sampler::new(&pat).sample(&mut rng);
+        let caps = pat.captures(&s).expect("sample must match");
+        let region = caps.get(1).expect("region group set");
+        assert!(s.contains(region));
+    }
+}

@@ -1,0 +1,228 @@
+//! Active C2 fingerprint scanning (§5.1).
+//!
+//! For each candidate domain, the scanner connects on :443 (falling back
+//! to :80), replays each family's probe payload from the fingerprint
+//! corpus, and matches the responses at the binary level. A relay only
+//! answers its own family's handshake, so a hit identifies both the relay
+//! and the malware family. This can only find *active* C2 relays — the
+//! paper notes the count is therefore a lower bound.
+
+use fw_abuse::c2::{corpus, C2Fingerprint};
+use fw_dns::resolver::Resolver;
+use fw_http::client::{ClientConfig, FetchError, HttpClient, SimDialer};
+use fw_net::SimNet;
+use fw_types::{Fqdn, Rdata, RecordType};
+use parking_lot::RwLock;
+use std::net::{IpAddr, SocketAddr};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A confirmed C2 relay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct C2Detection {
+    pub fqdn: Fqdn,
+    pub family: &'static str,
+    pub signature_id: &'static str,
+}
+
+/// The C2 scanner.
+pub struct C2Scanner {
+    net: SimNet,
+    resolver: Arc<RwLock<Resolver>>,
+    fingerprints: Vec<C2Fingerprint>,
+    timeout: Duration,
+    now: u64,
+}
+
+impl C2Scanner {
+    pub fn new(net: SimNet, resolver: Arc<RwLock<Resolver>>) -> C2Scanner {
+        C2Scanner {
+            net,
+            resolver,
+            fingerprints: corpus(),
+            timeout: Duration::from_secs(10),
+            now: 0,
+        }
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> C2Scanner {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Number of signatures loaded.
+    pub fn signature_count(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Scan one domain with every signature; first hit wins.
+    pub fn scan_one(&self, fqdn: &Fqdn) -> Option<C2Detection> {
+        let addrs = self
+            .resolver
+            .write()
+            .resolve(fqdn, RecordType::A, self.now)
+            .ok()?
+            .addresses();
+        let ip = addrs.iter().find_map(|r| match r {
+            Rdata::V4(ip) => Some(*ip),
+            _ => None,
+        })?;
+        let client = HttpClient::new(
+            SimDialer::new(self.net.clone()),
+            ClientConfig {
+                read_timeout: self.timeout,
+                ..ClientConfig::default()
+            },
+        );
+        // Ports 80 and 443, like the paper.
+        for (port, sni) in [(443u16, Some(fqdn.as_str())), (80u16, None)] {
+            let addr = SocketAddr::new(IpAddr::V4(ip), port);
+            for sig in &self.fingerprints {
+                let req = sig.probe.to_request(fqdn.as_str());
+                match client.send(addr, sni, &req) {
+                    Ok(resp) => {
+                        if sig.matches(&resp) {
+                            return Some(C2Detection {
+                                fqdn: fqdn.clone(),
+                                family: sig.family,
+                                signature_id: sig.signature_id,
+                            });
+                        }
+                    }
+                    // Port closed → try the other port; per-request
+                    // failures just skip the signature.
+                    Err(FetchError::Dial(_)) => break,
+                    Err(FetchError::Http(_)) => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Scan many domains; returns only the hits (input order preserved).
+    pub fn scan(&self, domains: &[Fqdn]) -> Vec<C2Detection> {
+        self.scan_parallel(domains, 8)
+    }
+
+    /// Scan with an explicit worker count.
+    pub fn scan_parallel(&self, domains: &[Fqdn], workers: usize) -> Vec<C2Detection> {
+        if domains.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, domains.len());
+        if workers == 1 {
+            return domains.iter().filter_map(|d| self.scan_one(d)).collect();
+        }
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, Fqdn)>();
+        let (hit_tx, hit_rx) = crossbeam::channel::unbounded::<(usize, C2Detection)>();
+        for (i, d) in domains.iter().enumerate() {
+            task_tx.send((i, d.clone())).expect("queue open");
+        }
+        drop(task_tx);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let hit_tx = hit_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok((i, fqdn)) = task_rx.recv() {
+                        if let Some(hit) = self.scan_one(&fqdn) {
+                            if hit_tx.send((i, hit)).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(hit_tx);
+            let mut hits: Vec<(usize, C2Detection)> = hit_rx.iter().collect();
+            hits.sort_by_key(|(i, _)| *i);
+            hits.into_iter().map(|(_, h)| h).collect()
+        })
+        .expect("c2 scan workers do not panic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_abuse::c2::relay_template;
+    use fw_cloud::behavior::Behavior;
+    use fw_cloud::platform::{CloudPlatform, DeploySpec, PlatformConfig};
+    use fw_types::ProviderId;
+
+    fn world() -> (CloudPlatform, SimNet, Arc<RwLock<Resolver>>) {
+        let net = SimNet::new(17);
+        let resolver = Arc::new(RwLock::new(Resolver::new()));
+        let platform =
+            CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
+        (platform, net, resolver)
+    }
+
+    fn deploy_relay(platform: &CloudPlatform, family_idx: usize) -> Fqdn {
+        let tpl = relay_template(family_idx);
+        platform
+            .deploy(DeploySpec::new(
+                ProviderId::Tencent,
+                Behavior::C2Relay {
+                    family: tpl.family.to_string(),
+                    trigger_path: tpl.trigger_path,
+                    trigger_magic: tpl.trigger_magic,
+                    reply: tpl.reply,
+                },
+            ))
+            .unwrap()
+            .fqdn
+    }
+
+    #[test]
+    fn finds_planted_relays_with_correct_family() {
+        let (platform, net, resolver) = world();
+        let relay0 = deploy_relay(&platform, 0); // CobaltStrike
+        let relay1 = deploy_relay(&platform, 1); // InfoStealer
+        let benign = platform
+            .deploy(DeploySpec::new(
+                ProviderId::Tencent,
+                Behavior::JsonApi { service: "clean".into() },
+            ))
+            .unwrap()
+            .fqdn;
+
+        let scanner = C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
+        assert_eq!(scanner.signature_count(), 26);
+        let hits = scanner.scan(&[relay0.clone(), benign.clone(), relay1.clone()]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].fqdn, relay0);
+        assert_eq!(hits[0].family, "CobaltStrike");
+        assert_eq!(hits[1].fqdn, relay1);
+        assert_eq!(hits[1].family, "InfoStealer");
+    }
+
+    #[test]
+    fn benign_population_yields_no_hits() {
+        let (platform, net, resolver) = world();
+        let mut domains = Vec::new();
+        for behavior in [
+            Behavior::JsonApi { service: "a".into() },
+            Behavior::HtmlPage { title: "b".into() },
+            Behavior::PathGated { good_path: "/real".into() },
+            Behavior::Crasher,
+        ] {
+            domains.push(
+                platform
+                    .deploy(DeploySpec::new(ProviderId::Aws, behavior))
+                    .unwrap()
+                    .fqdn,
+            );
+        }
+        let scanner = C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
+        assert!(scanner.scan(&domains).is_empty());
+    }
+
+    #[test]
+    fn unresolvable_domain_is_skipped() {
+        let (_platform, net, resolver) = world();
+        let scanner = C2Scanner::new(net, resolver);
+        let ghost = Fqdn::parse("ghost.nonexistent-zone.example").unwrap();
+        assert!(scanner.scan_one(&ghost).is_none());
+    }
+}

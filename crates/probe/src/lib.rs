@@ -1,0 +1,21 @@
+//! # fw-probe
+//!
+//! The active information-collection stage (paper §3.3) and the C2
+//! fingerprint scanner (§5.1).
+//!
+//! * [`prober`] — for each function domain: resolve through the shared
+//!   recursive resolver, then issue a parameter-free GET over HTTPS,
+//!   falling back to HTTP on failure; both attempts bounded by the ethics
+//!   budget (≤ 3 requests per function) and the uniform 60-second timeout.
+//!   Domains failing both schemes are recorded unreachable; DNS failures
+//!   (deleted Tencent functions) are recorded separately. A worker pool
+//!   drives the sweep concurrently.
+//! * [`c2probe`] — connects to candidate domains on :443/:80, replays
+//!   each family's probe payload from the fingerprint corpus and matches
+//!   the binary responses.
+
+pub mod c2probe;
+pub mod prober;
+
+pub use c2probe::{C2Detection, C2Scanner};
+pub use prober::{OptOutRegistry, ProbeConfig, ProbeOutcome, ProbeRecord, Prober};

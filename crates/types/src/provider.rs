@@ -1,0 +1,253 @@
+//! Serverless cloud function providers studied in the paper (Table 1).
+//!
+//! Nine vendors are covered; Google ships two URL formats (1st and 2nd
+//! generation), so like the paper we track ten *provider formats*. Two flags
+//! reproduce the paper's scoping decisions:
+//!
+//! * [`ProviderId::dns_identifiable`] — Azure shares `azurewebsites.net`
+//!   with non-function web apps, so its functions cannot be identified from
+//!   domain patterns alone and it is excluded from PDNS collection.
+//! * [`ProviderId::path_identified`] — Google (1st gen), IBM, Oracle and
+//!   Azure embed the function identifier in the URL *path*, which passive
+//!   DNS cannot observe; these are excluded from active probing and from
+//!   per-function aggregation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a provider exposes the function URL at creation time (Table 1,
+/// "Generation Mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UrlGenerationMode {
+    /// URL is generated automatically when the function is created.
+    Automatic,
+    /// The user must create an HTTP trigger by hand (Baidu).
+    Manual,
+    /// Function-URL invocation is opt-in during setup (AWS, Kingsoft,
+    /// Google).
+    Optional,
+}
+
+impl fmt::Display for UrlGenerationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UrlGenerationMode::Automatic => "Automatic",
+            UrlGenerationMode::Manual => "Manual",
+            UrlGenerationMode::Optional => "Optional",
+        })
+    }
+}
+
+/// One of the ten provider URL formats from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProviderId {
+    Aliyun,
+    Baidu,
+    Tencent,
+    Kingsoft,
+    Aws,
+    Google,
+    Google2,
+    Ibm,
+    Oracle,
+    Azure,
+}
+
+impl ProviderId {
+    /// All ten provider formats, in Table 1 order.
+    pub const ALL: [ProviderId; 10] = [
+        ProviderId::Aliyun,
+        ProviderId::Baidu,
+        ProviderId::Tencent,
+        ProviderId::Kingsoft,
+        ProviderId::Aws,
+        ProviderId::Google,
+        ProviderId::Google2,
+        ProviderId::Ibm,
+        ProviderId::Oracle,
+        ProviderId::Azure,
+    ];
+
+    /// Human-readable product name.
+    pub fn product_name(self) -> &'static str {
+        match self {
+            ProviderId::Aliyun => "Aliyun Function Compute",
+            ProviderId::Baidu => "Baidu Cloud Function Compute",
+            ProviderId::Tencent => "Tencent Serverless Cloud Function",
+            ProviderId::Kingsoft => "Kingsoft Cloud Function",
+            ProviderId::Aws => "AWS Lambda",
+            ProviderId::Google => "Google Cloud Function",
+            ProviderId::Google2 => "Google Cloud Function (2nd gen)",
+            ProviderId::Ibm => "IBM Cloud Function",
+            ProviderId::Oracle => "Oracle Cloud Functions",
+            ProviderId::Azure => "Azure Function",
+        }
+    }
+
+    /// Short label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProviderId::Aliyun => "Aliyun",
+            ProviderId::Baidu => "Baidu",
+            ProviderId::Tencent => "Tencent",
+            ProviderId::Kingsoft => "Ksyun",
+            ProviderId::Aws => "AWS",
+            ProviderId::Google => "Google",
+            ProviderId::Google2 => "Google2",
+            ProviderId::Ibm => "IBM",
+            ProviderId::Oracle => "Oracle",
+            ProviderId::Azure => "Azure",
+        }
+    }
+
+    /// Launch year of this function-URL format (Table 1).
+    pub fn launch_year(self) -> i32 {
+        match self {
+            ProviderId::Aliyun => 2017,
+            ProviderId::Baidu => 2017,
+            ProviderId::Tencent => 2017,
+            ProviderId::Kingsoft => 2022,
+            ProviderId::Aws => 2014,
+            ProviderId::Google => 2017,
+            ProviderId::Google2 => 2022,
+            ProviderId::Ibm => 2016,
+            ProviderId::Oracle => 2019,
+            ProviderId::Azure => 2016,
+        }
+    }
+
+    /// The registrable domain suffix used by the format (Table 1,
+    /// "Domain-Suffix" column, without the user prefix).
+    pub fn domain_suffix(self) -> &'static str {
+        match self {
+            ProviderId::Aliyun => "fcapp.run",
+            ProviderId::Baidu => "baidubce.com",
+            ProviderId::Tencent => "scf.tencentcs.com",
+            ProviderId::Kingsoft => "ksyuncf.com",
+            ProviderId::Aws => "on.aws",
+            ProviderId::Google => "cloudfunctions.net",
+            ProviderId::Google2 => "a.run.app",
+            ProviderId::Ibm => "functions.appdomain.cloud",
+            ProviderId::Oracle => "oci.oraclecloud.com",
+            ProviderId::Azure => "azurewebsites.net",
+        }
+    }
+
+    /// URL generation mode at function creation (Table 1).
+    pub fn generation_mode(self) -> UrlGenerationMode {
+        match self {
+            ProviderId::Aliyun
+            | ProviderId::Tencent
+            | ProviderId::Ibm
+            | ProviderId::Oracle
+            | ProviderId::Azure => UrlGenerationMode::Automatic,
+            ProviderId::Baidu => UrlGenerationMode::Manual,
+            ProviderId::Kingsoft | ProviderId::Aws | ProviderId::Google | ProviderId::Google2 => {
+                UrlGenerationMode::Optional
+            }
+        }
+    }
+
+    /// Can functions of this format be identified from the domain name in
+    /// passive DNS? Only Azure fails this (shared `azurewebsites.net`
+    /// suffix), so it is excluded from collection (§3.2, grey row).
+    pub fn dns_identifiable(self) -> bool {
+        !matches!(self, ProviderId::Azure)
+    }
+
+    /// Does the format put the function identifier in the URL *path*
+    /// (invisible to passive DNS)? These formats are excluded from active
+    /// probing and per-function aggregation (§3.3, blue rows).
+    pub fn path_identified(self) -> bool {
+        matches!(
+            self,
+            ProviderId::Google | ProviderId::Ibm | ProviderId::Oracle | ProviderId::Azure
+        )
+    }
+
+    /// Formats included in PDNS collection (all but Azure).
+    pub fn collected() -> impl Iterator<Item = ProviderId> {
+        Self::ALL.into_iter().filter(|p| p.dns_identifiable())
+    }
+
+    /// Formats included in active probing: collected *and* not
+    /// path-identified (AWS, Google2, Tencent, Baidu, Aliyun, Kingsoft).
+    pub fn actively_probed() -> impl Iterator<Item = ProviderId> {
+        Self::collected().filter(|p| !p.path_identified())
+    }
+
+    /// Formats whose domains map one-to-one to a specific cloud function,
+    /// enabling invocation-frequency and lifespan analysis (§4.3 excludes
+    /// Google, IBM and Oracle).
+    pub fn function_identifiable(self) -> bool {
+        self.dns_identifiable() && !self.path_identified()
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_formats_nine_vendors() {
+        assert_eq!(ProviderId::ALL.len(), 10);
+        // Google appears twice (two URL formats), all other labels unique.
+        let mut labels: Vec<_> = ProviderId::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn collection_scope_matches_paper() {
+        let collected: Vec<_> = ProviderId::collected().collect();
+        assert_eq!(collected.len(), 9);
+        assert!(!collected.contains(&ProviderId::Azure));
+    }
+
+    #[test]
+    fn active_probing_scope_matches_paper() {
+        let probed: Vec<_> = ProviderId::actively_probed().collect();
+        // §3.3: AWS, Google2, Tencent, Baidu, Aliyun and Kingsoft.
+        assert_eq!(
+            probed,
+            vec![
+                ProviderId::Aliyun,
+                ProviderId::Baidu,
+                ProviderId::Tencent,
+                ProviderId::Kingsoft,
+                ProviderId::Aws,
+                ProviderId::Google2,
+            ]
+        );
+    }
+
+    #[test]
+    fn function_identifiable_excludes_google_ibm_oracle() {
+        for p in [ProviderId::Google, ProviderId::Ibm, ProviderId::Oracle] {
+            assert!(!p.function_identifiable(), "{p}");
+        }
+        for p in ProviderId::actively_probed() {
+            assert!(p.function_identifiable(), "{p}");
+        }
+    }
+
+    #[test]
+    fn table1_metadata_spot_checks() {
+        assert_eq!(ProviderId::Aws.launch_year(), 2014);
+        assert_eq!(ProviderId::Google2.launch_year(), 2022);
+        assert_eq!(ProviderId::Tencent.domain_suffix(), "scf.tencentcs.com");
+        assert_eq!(ProviderId::Baidu.generation_mode(), UrlGenerationMode::Manual);
+        assert_eq!(ProviderId::Aws.generation_mode(), UrlGenerationMode::Optional);
+        assert_eq!(
+            ProviderId::Oracle.generation_mode(),
+            UrlGenerationMode::Automatic
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! DNS record types and rdata as they appear in passive-DNS tuples.
+//!
+//! The paper's analysis (Table 2) distinguishes three resolution outcomes:
+//! A (rtype=1), CNAME (rtype=5) and AAAA (rtype=28). The wire codec in
+//! `fw-dns` supports a few more types; this module only carries the subset
+//! the measurement pipeline reasons about.
+
+use crate::Fqdn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// DNS record type, with the numeric code used in PDNS `rtype` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address record (rtype = 1).
+    A,
+    /// Canonical name record (rtype = 5).
+    Cname,
+    /// IPv6 address record (rtype = 28).
+    Aaaa,
+}
+
+impl RecordType {
+    /// Numeric code as used in DNS wire format and PDNS dumps.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Cname => 5,
+            RecordType::Aaaa => 28,
+        }
+    }
+
+    /// Parse from the numeric code.
+    pub fn from_code(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(RecordType::A),
+            5 => Some(RecordType::Cname),
+            28 => Some(RecordType::Aaaa),
+            _ => None,
+        }
+    }
+
+    pub const ALL: [RecordType; 3] = [RecordType::A, RecordType::Cname, RecordType::Aaaa];
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecordType::A => "A",
+            RecordType::Cname => "CNAME",
+            RecordType::Aaaa => "AAAA",
+        })
+    }
+}
+
+/// Resolution data: the right-hand side of a DNS answer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rdata {
+    V4(Ipv4Addr),
+    V6(Ipv6Addr),
+    Name(Fqdn),
+}
+
+impl Rdata {
+    /// The record type this rdata corresponds to.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            Rdata::V4(_) => RecordType::A,
+            Rdata::V6(_) => RecordType::Aaaa,
+            Rdata::Name(_) => RecordType::Cname,
+        }
+    }
+
+    /// Canonical textual rendering, as a PDNS dump would store it.
+    pub fn text(&self) -> String {
+        match self {
+            Rdata::V4(ip) => ip.to_string(),
+            Rdata::V6(ip) => ip.to_string(),
+            Rdata::Name(n) => n.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Rdata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_iana() {
+        assert_eq!(RecordType::A.code(), 1);
+        assert_eq!(RecordType::Cname.code(), 5);
+        assert_eq!(RecordType::Aaaa.code(), 28);
+        for t in RecordType::ALL {
+            assert_eq!(RecordType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RecordType::from_code(16), None);
+    }
+
+    #[test]
+    fn rdata_type_and_text() {
+        let v4 = Rdata::V4(Ipv4Addr::new(203, 0, 113, 7));
+        assert_eq!(v4.rtype(), RecordType::A);
+        assert_eq!(v4.text(), "203.0.113.7");
+
+        let name = Rdata::Name(Fqdn::parse("gz.scf.tencentcs.com").unwrap());
+        assert_eq!(name.rtype(), RecordType::Cname);
+        assert_eq!(name.text(), "gz.scf.tencentcs.com");
+
+        let v6 = Rdata::V6("2001:db8::1".parse().unwrap());
+        assert_eq!(v6.rtype(), RecordType::Aaaa);
+    }
+}

@@ -1,0 +1,147 @@
+//! Abuse hunt: hand-deploy one function per abuse archetype on specific
+//! providers, then let the detection stack rediscover each one — the
+//! paper's §5 in miniature, with full visibility into every step.
+//!
+//! ```sh
+//! cargo run --release --example abuse_hunt
+//! ```
+
+use faaswild::abuse::c2::relay_template;
+use faaswild::abuse::review::review_exemplar;
+use faaswild::abuse::threatintel::ThreatIntel;
+use faaswild::cloud::behavior::Behavior;
+use faaswild::cloud::platform::{CloudPlatform, DeploySpec, PlatformConfig};
+use faaswild::dns::resolver::Resolver;
+use faaswild::net::SimNet;
+use faaswild::probe::c2probe::C2Scanner;
+use faaswild::probe::prober::{ProbeConfig, ProbeOutcome, Prober};
+use faaswild::types::{Fqdn, ProviderId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let net = SimNet::new(2024);
+    let resolver = Arc::new(RwLock::new(Resolver::new()));
+    let platform = CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
+
+    // ---- the adversary's deployments ----
+    let c2 = relay_template(0); // CobaltStrike-like
+    let deployments: Vec<(&str, DeploySpec)> = vec![
+        (
+            "covert C2 relay (Tencent, like §5.1)",
+            DeploySpec::new(
+                ProviderId::Tencent,
+                Behavior::C2Relay {
+                    family: c2.family.to_string(),
+                    trigger_path: c2.trigger_path.clone(),
+                    trigger_magic: c2.trigger_magic.clone(),
+                    reply: c2.reply.clone(),
+                },
+            ),
+        ),
+        (
+            "gambling site (Google2, like §5.2)",
+            DeploySpec::new(
+                ProviderId::Google2,
+                Behavior::GamblingSite {
+                    brand: "LuckyWin".into(),
+                    campaign: 42,
+                },
+            ),
+        ),
+        (
+            "random-splice redirect (Aliyun, Table 4)",
+            DeploySpec::new(
+                ProviderId::Aliyun,
+                Behavior::RedirectRandomSplice {
+                    suffix: "yerbsdga-like.xyz".into(),
+                },
+            ),
+        ),
+        (
+            "OpenAI key resale promo (Aliyun, §5.3)",
+            DeploySpec::new(
+                ProviderId::Aliyun,
+                Behavior::OpenAiKeyPromo {
+                    contact: "WeChat: wx_keyshop_007".into(),
+                    key_prefix: "sk-s5S5BoV".into(),
+                },
+            ),
+        ),
+        (
+            "ticket-bot proxy (AWS, §5.4)",
+            DeploySpec::new(
+                ProviderId::Aws,
+                Behavior::IllegalServiceProxy {
+                    service: "ticketmaster".into(),
+                },
+            ),
+        ),
+        (
+            "VPN geo-bypass proxy (AWS overseas region, §5.4)",
+            DeploySpec::new(ProviderId::Aws, Behavior::VpnProxy).in_region("eu-west-1"),
+        ),
+        (
+            "benign control (should NOT be flagged)",
+            DeploySpec::new(
+                ProviderId::Google2,
+                Behavior::JsonApi { service: "weather".into() },
+            ),
+        ),
+    ];
+
+    let mut domains: Vec<(String, Fqdn)> = Vec::new();
+    for (label, spec) in deployments {
+        let d = platform.deploy(spec).expect("deploys cleanly");
+        println!("deployed {label}\n  -> https://{}/", d.fqdn);
+        domains.push((label.to_string(), d.fqdn));
+    }
+
+    // ---- the investigator's side ----
+    println!("\nprobing each domain (parameter-free GET, HTTPS-first)...\n");
+    let prober = Prober::new(
+        net.clone(),
+        resolver.clone(),
+        ProbeConfig {
+            timeout: Duration::from_millis(500),
+            workers: 4,
+            ..ProbeConfig::default()
+        },
+    );
+    let c2_scanner =
+        C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
+
+    for (label, fqdn) in &domains {
+        let record = prober.probe_one(fqdn);
+        let verdict = match &record.outcome {
+            ProbeOutcome::Responded { response, .. } => {
+                match review_exemplar(response) {
+                    Some(abuse) => format!("CONTENT ABUSE: {}", abuse.label()),
+                    None => match c2_scanner.scan_one(fqdn) {
+                        Some(hit) => format!(
+                            "C2 RELAY: family {} (signature {})",
+                            hit.family, hit.signature_id
+                        ),
+                        None => format!("clean (status {})", response.status),
+                    },
+                }
+            }
+            other => format!("no response: {other:?}"),
+        };
+        println!("{label}\n  {fqdn}\n  => {verdict}\n");
+    }
+
+    // ---- Finding 10 in miniature ----
+    let c2_domains: Vec<Fqdn> = vec![domains[0].1.clone()];
+    let ti = ThreatIntel::with_paper_coverage(&c2_domains);
+    let flagged = domains
+        .iter()
+        .filter(|(_, f)| ti.is_flagged(f))
+        .count();
+    println!(
+        "threat-intel cross-check: {flagged}/{} of the abusive domains flagged \
+         (the paper found 4/594 — the defence gap of Finding 10)",
+        domains.len() - 1
+    );
+}

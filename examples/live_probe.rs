@@ -1,0 +1,137 @@
+//! Live probe: the same HTTP stack over REAL TCP sockets. Starts an
+//! `fw-http` server on the host loopback that mimics cloud-function
+//! endpoints (one per archetype, routed by Host header like a cloud
+//! ingress), then probes it with the `fw-http` client through
+//! `TcpDialer` — proving the protocol code is real networking code, not
+//! simulation glue. A second listener speaks the simulated-TLS framing
+//! over TCP to exercise the HTTPS path end to end.
+//!
+//! ```sh
+//! cargo run --release --example live_probe
+//! ```
+
+use faaswild::abuse::review::review_exemplar;
+use faaswild::http::client::{ClientConfig, Dialer, HttpClient, TcpDialer};
+use faaswild::http::parse::Limits;
+use faaswild::http::server::serve_connection;
+use faaswild::http::types::{Request, Response};
+use faaswild::http::url::Url;
+use faaswild::net::tcp::TcpConn;
+use faaswild::net::{Connection, TlsServer};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Host-routed handler imitating a cloud ingress.
+fn route(req: &Request) -> Response {
+    match req.host().unwrap_or("") {
+        "gamble-fn-x1y2z3a4b5-uc.a.run.app" => Response::html(
+            200,
+            r#"<html><head><meta name="google-site-verification" content="gsv-live-1"></head>
+               <body>slot slot slot betting casino jackpot deposit bonus</body></html>"#,
+        ),
+        "promo-proj-abcdefghij.cn-shanghai.fcapp.run" => Response::text(
+            200,
+            "To purchase an OpenAI API key (sk-s5S5BoV***), contact via WeChat: wx_live_shop.",
+        ),
+        "clean-api.lambda-url.us-east-1.on.aws" => {
+            Response::json(200, r#"{"service":"clean","status":"ok"}"#)
+        }
+        _ => Response::text(404, "Not Found"),
+    }
+}
+
+fn spawn_plain_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            std::thread::spawn(move || {
+                if let Ok(mut conn) = TcpConn::from_stream(stream) {
+                    serve_connection(&mut conn, &Limits::default(), &route);
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn spawn_tls_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            std::thread::spawn(move || {
+                let Ok(conn) = TcpConn::from_stream(stream) else {
+                    return;
+                };
+                let boxed: Box<dyn Connection> = Box::new(conn);
+                // A wildcard certificate for every suffix we host would
+                // need SNI-based selection; use the suffix of the lone
+                // HTTPS host below.
+                if let Ok((mut tls_conn, _sni)) = TlsServer::accept(boxed, "*.a.run.app") {
+                    serve_connection(tls_conn.as_mut(), &Limits::default(), &route);
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn main() {
+    let plain_addr = spawn_plain_server();
+    let tls_addr = spawn_tls_server();
+    println!("fw-http servers on real TCP: plain {plain_addr}, tls {tls_addr}\n");
+
+    let client = HttpClient::new(
+        TcpDialer::default(),
+        ClientConfig {
+            read_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        },
+    );
+
+    // Plain-HTTP probes of the three hosted "functions".
+    for host in [
+        "gamble-fn-x1y2z3a4b5-uc.a.run.app",
+        "promo-proj-abcdefghij.cn-shanghai.fcapp.run",
+        "clean-api.lambda-url.us-east-1.on.aws",
+        "ghost.lambda-url.us-east-1.on.aws",
+    ] {
+        let url = Url::parse(&format!("http://{host}/")).unwrap();
+        let resp = client
+            .send(plain_addr, None, &Request::get("/", host))
+            .expect("live fetch");
+        let verdict = review_exemplar(&resp)
+            .map(|a| a.label().to_string())
+            .unwrap_or_else(|| format!("clean ({})", resp.status));
+        println!("GET {url}\n  over real TCP -> {} {} => {verdict}\n", resp.status, resp.reason);
+    }
+
+    // HTTPS (simulated-TLS framing over real TCP) against the Google2
+    // host, exercising SNI + certificate validation on the wire.
+    let host = "gamble-fn-x1y2z3a4b5-uc.a.run.app";
+    let resp = client
+        .send(tls_addr, Some(host), &Request::get("/", host))
+        .expect("tls fetch");
+    println!(
+        "GET https://{host}/ (TLS framing over real TCP)\n  -> {} {} => {}",
+        resp.status,
+        resp.reason,
+        review_exemplar(&resp)
+            .map(|a| a.label().to_string())
+            .unwrap_or_else(|| "clean".into())
+    );
+
+    // Certificate mismatch must fail closed.
+    let bad = client.send(tls_addr, Some("evil.example.com"), &Request::get("/", "evil.example.com"));
+    println!(
+        "\nTLS with non-matching SNI -> {}",
+        match bad {
+            Err(e) => format!("rejected as expected: {e}"),
+            Ok(r) => format!("UNEXPECTED success ({})", r.status),
+        }
+    );
+
+    // Suppress unused warning for Dialer trait import used via generics.
+    let _ = |d: &dyn Dialer| d.dial(plain_addr, None, Duration::from_secs(1)).is_ok();
+}
