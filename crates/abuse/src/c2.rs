@@ -66,11 +66,7 @@ impl C2Fingerprint {
             MatchOp::HeaderEquals(n, v) => resp.headers.get(n) == Some(*v),
             MatchOp::BodyPrefix(p) => resp.body.starts_with(p),
             MatchOp::BodyContains(needle) => {
-                !needle.is_empty()
-                    && resp
-                        .body
-                        .windows(needle.len())
-                        .any(|w| w == &needle[..])
+                !needle.is_empty() && resp.body.windows(needle.len()).any(|w| w == &needle[..])
             }
             MatchOp::BodyLenAtLeast(n) => resp.body.len() >= *n,
         })
@@ -116,10 +112,22 @@ fn family_reply(idx: usize) -> Vec<u8> {
 fn family_path(idx: usize, variant: usize) -> String {
     // Benign-looking beacon paths, family-specific.
     let paths = [
-        "pixel.gif", "jquery.min.js", "updates.rss", "cdn.css", "ga.js",
-        "submit.php", "fwlink", "load", "ptj", "match",
+        "pixel.gif",
+        "jquery.min.js",
+        "updates.rss",
+        "cdn.css",
+        "ga.js",
+        "submit.php",
+        "fwlink",
+        "load",
+        "ptj",
+        "match",
     ];
-    format!("/{}{}", paths[(idx + variant) % paths.len()], if variant > 0 { "2" } else { "" })
+    format!(
+        "/{}{}",
+        paths[(idx + variant) % paths.len()],
+        if variant > 0 { "2" } else { "" }
+    )
 }
 
 /// Build the 26-signature corpus: every family gets one signature; the
@@ -271,7 +279,8 @@ mod tests {
             assert_eq!(tpl.family, sig.family);
             assert_eq!(tpl.trigger_path, sig.probe.path);
             let mut resp = Response::new(200);
-            resp.headers.insert("Content-Type", "application/octet-stream");
+            resp.headers
+                .insert("Content-Type", "application/octet-stream");
             resp.body = tpl.reply.clone();
             assert!(sig.matches(&resp));
         }

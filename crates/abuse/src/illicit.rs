@@ -52,7 +52,9 @@ fn patterns() -> &'static Patterns {
     P.get_or_init(|| Patterns {
         href: pat(r#"location\.href\s*=\s*["']([^"']+)["']"#),
         meta: pat(r#"http-equiv=["']refresh["'][^>]*url=([^"'>]+)"#),
-        splice: pat(r#"location\.href\s*=\s*["']https?://["']\s*\+\s*\w+\s*\+\s*["']\.([a-z0-9.-]+)["']"#),
+        splice: pat(
+            r#"location\.href\s*=\s*["']https?://["']\s*\+\s*\w+\s*\+\s*["']\.([a-z0-9.-]+)["']"#,
+        ),
         url_in_list: pat(r#"'(https?://[^']+)'"#),
         wechat: pat(r"(wechat|weixin|微信)[:\s]*([a-zA-Z][a-zA-Z0-9_-]{4,19})"),
         qq: pat(r"(qq|QQ)[:\s]*([0-9]{5,11})"),
@@ -96,10 +98,7 @@ pub fn extract_redirects(resp: &Response) -> Vec<RedirectFinding> {
             }
         }
     }
-    if out
-        .iter()
-        .all(|f| f.method != RedirectMethod::RandomSplice)
-    {
+    if out.iter().all(|f| f.method != RedirectMethod::RandomSplice) {
         if let Some(c) = p.href.captures(&body) {
             // Skip dynamic hrefs already handled above (contain no scheme
             // or were spliced).
@@ -319,8 +318,7 @@ mod tests {
 
     #[test]
     fn contact_extraction_variants() {
-        let contacts =
-            extract_contacts("WeChat: seller_abc QQ: 88877766 mail seller@example.com");
+        let contacts = extract_contacts("WeChat: seller_abc QQ: 88877766 mail seller@example.com");
         assert!(contacts.contains(&Contact::WeChat("seller_abc".into())));
         assert!(contacts.contains(&Contact::Qq("88877766".into())));
         assert!(contacts.contains(&Contact::Email("seller@example.com".into())));

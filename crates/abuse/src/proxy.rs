@@ -44,15 +44,15 @@ pub fn detect_proxy(body: &str) -> Option<ProxyKind> {
     let about_openai = lower.contains("openai") || lower.contains("chatgpt");
     if about_openai {
         // Resale promos are §5.3's case, not proxies.
-        let resale = lower.contains("purchase") || lower.contains("for sale") || lower.contains("rmb");
+        let resale =
+            lower.contains("purchase") || lower.contains("for sale") || lower.contains("rmb");
         if resale {
             return None;
         }
-        let frontend = lower.contains("<input")
-            || lower.contains("input box")
-            || lower.contains("<html");
+        let frontend =
+            lower.contains("<input") || lower.contains("input box") || lower.contains("<html");
         let relay = lower.contains("api") || lower.contains("proxied") || lower.contains("forward");
-        if frontend && lower.contains("ask") || lower.contains("chat") && frontend {
+        if frontend && (lower.contains("ask") || lower.contains("chat")) {
             return Some(ProxyKind::OpenAiFrontend);
         }
         if relay {
@@ -69,8 +69,7 @@ pub fn detect_proxy(body: &str) -> Option<ProxyKind> {
     if lower.contains("scraper") && (lower.contains("egress") || lower.contains("rotating")) {
         return Some(ProxyKind::IllegalService(IllegalService::Scraper));
     }
-    if lower.contains("ticketmaster") || (lower.contains("ticket") && lower.contains("puppeteer"))
-    {
+    if lower.contains("ticketmaster") || (lower.contains("ticket") && lower.contains("puppeteer")) {
         return Some(ProxyKind::IllegalService(IllegalService::TicketBot));
     }
     if lower.contains("tiktok") && (lower.contains("watermark") || lower.contains("download")) {
@@ -166,7 +165,9 @@ mod tests {
         assert!(is_geo_bypass(ProxyKind::OpenAiFrontend));
         assert!(is_geo_bypass(ProxyKind::GithubProxy));
         assert!(is_geo_bypass(ProxyKind::VpnProxy));
-        assert!(!is_geo_bypass(ProxyKind::IllegalService(IllegalService::Scraper)));
+        assert!(!is_geo_bypass(ProxyKind::IllegalService(
+            IllegalService::Scraper
+        )));
     }
 
     #[test]

@@ -32,11 +32,7 @@ impl ThreatIntel {
         let mut sorted: Vec<&Fqdn> = c2_domains.iter().collect();
         sorted.sort();
         ThreatIntel {
-            flagged: sorted
-                .into_iter()
-                .take(PAPER_FLAGGED_C2)
-                .cloned()
-                .collect(),
+            flagged: sorted.into_iter().take(PAPER_FLAGGED_C2).cloned().collect(),
         }
     }
 
@@ -52,10 +48,7 @@ impl ThreatIntel {
 
     /// Count of flagged domains among a set (the Finding 10 numerator).
     pub fn flagged_among<'a, I: IntoIterator<Item = &'a Fqdn>>(&self, domains: I) -> usize {
-        domains
-            .into_iter()
-            .filter(|d| self.is_flagged(d))
-            .count()
+        domains.into_iter().filter(|d| self.is_flagged(d)).count()
     }
 
     pub fn flagged_count(&self) -> usize {
@@ -113,7 +106,7 @@ impl UrlReputation {
             "www.google.com",
             "github.com",
         ];
-        if WELL_KNOWN.iter().any(|w| host == *w) {
+        if WELL_KNOWN.contains(&host) {
             return UrlVerdict::WellKnown;
         }
         if self.blacklist.contains(host) {
@@ -171,7 +164,10 @@ mod tests {
         rep.blacklist_host("dlcy.zeldalink.top");
         // Well-known destinations (the §5.3 exclusions).
         assert_eq!(rep.assess("https://www.sogou.com/"), UrlVerdict::WellKnown);
-        assert_eq!(rep.assess("https://www.bilibili.com/"), UrlVerdict::WellKnown);
+        assert_eq!(
+            rep.assess("https://www.bilibili.com/"),
+            UrlVerdict::WellKnown
+        );
         // Explicit blacklist.
         assert_eq!(
             rep.assess("http://dlcy.zeldalink.top/wlxcList.html"),

@@ -17,21 +17,31 @@ pub enum WebAbuseKind {
 
 /// Gambling keywords ("Slot", "Betting", ... §5.2).
 const GAMBLING_KEYWORDS: &[&str] = &[
-    "slot", "betting", "casino", "jackpot", "baccarat", "roulette", "gambl",
-    "judi", "bet365", "sicbo", "lottery",
+    "slot", "betting", "casino", "jackpot", "baccarat", "roulette", "gambl", "judi", "bet365",
+    "sicbo", "lottery",
 ];
 
 /// Porn keywords ("porn", "sex", "av", ... §5.2).
 const PORN_KEYWORDS: &[&str] = &[
-    "porn", "sex video", "adult video", "adult store", "uncensored", " av ",
-    "18+", "adult gaming",
+    "porn",
+    "sex video",
+    "adult video",
+    "adult store",
+    "uncensored",
+    " av ",
+    "18+",
+    "adult gaming",
 ];
 
 /// Cheating-tool keywords (email changer / age modification /
 /// verification generators, §5.2).
 const CHEAT_KEYWORDS: &[&str] = &[
-    "email changer", "age modification", "verification generator",
-    "bypass parental", "cheat", "unlimited uses",
+    "email changer",
+    "age modification",
+    "verification generator",
+    "bypass parental",
+    "cheat",
+    "unlimited uses",
 ];
 
 /// Structure/semantic features the reviewers looked at.
@@ -116,11 +126,17 @@ mod tests {
 
     #[test]
     fn gambling_detected_with_structure() {
-        assert_eq!(classify_keywords(GAMBLING_PAGE), Some(WebAbuseKind::Gambling));
+        assert_eq!(
+            classify_keywords(GAMBLING_PAGE),
+            Some(WebAbuseKind::Gambling)
+        );
         let f = page_features(GAMBLING_PAGE);
         assert!(f.has_site_verification);
         assert!(f.stuffing_score >= 4, "stuffing = {}", f.stuffing_score);
-        assert_eq!(campaign_marker(GAMBLING_PAGE).as_deref(), Some("gsv-campaign-0042"));
+        assert_eq!(
+            campaign_marker(GAMBLING_PAGE).as_deref(),
+            Some("gsv-campaign-0042")
+        );
     }
 
     #[test]

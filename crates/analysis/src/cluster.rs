@@ -199,7 +199,7 @@ fn nn_chain_average(vecs: &[SparseVec], threshold: f32) -> Vec<u32> {
 
     // Cut: union-find over merges with distance ≤ threshold.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -243,7 +243,7 @@ fn leader_cluster(vecs: &[SparseVec], threshold: f32) -> Vec<u32> {
 }
 
 /// Convert a union-find parent table to dense cluster ids `0..k`.
-fn normalize_roots(parent: &mut Vec<usize>) -> Vec<u32> {
+fn normalize_roots(parent: &mut [usize]) -> Vec<u32> {
     let n = parent.len();
     let mut ids: HashMap<usize, u32> = HashMap::new();
     let mut out = Vec::with_capacity(n);
@@ -318,7 +318,9 @@ mod tests {
 
     #[test]
     fn leader_fallback_used_above_limit() {
-        let docs: Vec<String> = (0..30).map(|i| format!("doc number {i} unique terms {i}")).collect();
+        let docs: Vec<String> = (0..30)
+            .map(|i| format!("doc number {i} unique terms {i}"))
+            .collect();
         let c = cluster_corpus(
             &docs,
             &ClusterParams {

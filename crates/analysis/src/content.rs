@@ -160,7 +160,11 @@ mod tests {
             "<html><head></head></html>",
             "  <HTML><BODY>caps</BODY></HTML>",
         ] {
-            assert_eq!(ContentType::classify(body, None), ContentType::Html, "{body}");
+            assert_eq!(
+                ContentType::classify(body, None),
+                ContentType::Html,
+                "{body}"
+            );
         }
     }
 
@@ -192,10 +196,17 @@ mod tests {
             "[DEBUG] cache warm, 0 pending jobs",
             "[WARN] retrying",
         ] {
-            assert_eq!(ContentType::classify(body, None), ContentType::Plaintext, "{body}");
+            assert_eq!(
+                ContentType::classify(body, None),
+                ContentType::Plaintext,
+                "{body}"
+            );
         }
         // Real JSON arrays still detected.
-        assert_eq!(ContentType::classify(r#"["a","b"]"#, None), ContentType::Json);
+        assert_eq!(
+            ContentType::classify(r#"["a","b"]"#, None),
+            ContentType::Json
+        );
         assert_eq!(ContentType::classify("[1, 2]", None), ContentType::Json);
         assert_eq!(ContentType::classify("[]", None), ContentType::Json);
         assert_eq!(ContentType::classify("[null]", None), ContentType::Json);

@@ -55,13 +55,17 @@ fn bench_full_pipeline(c: &mut Criterion) {
             },
             |w| {
                 let pipeline = Pipeline::new(w.net.clone(), w.resolver.clone());
-                let mut config = fw_core::pipeline::PipelineConfig::default();
-                config.probe = ProbeConfig {
-                    timeout: Duration::from_millis(100),
-                    workers: 8,
-                    ..ProbeConfig::default()
+                let config = fw_core::pipeline::PipelineConfig {
+                    probe: ProbeConfig {
+                        timeout: Duration::from_millis(100),
+                        workers: 8,
+                        ..ProbeConfig::default()
+                    },
+                    abuse: fw_core::abusescan::AbuseScanConfig {
+                        c2_timeout: Duration::from_millis(200),
+                        ..Default::default()
+                    },
                 };
-                config.abuse.c2_timeout = Duration::from_millis(200);
                 let report = pipeline.run(&w.pdns, &config);
                 black_box(report.abuse.total_abused_functions())
             },

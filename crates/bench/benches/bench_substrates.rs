@@ -107,10 +107,7 @@ fn bench_pdns(c: &mut Criterion) {
 }
 
 fn bench_http(c: &mut Criterion) {
-    let resp = fw_http::types::Response::html(
-        200,
-        &"<html><body>benchmark body ".repeat(40),
-    );
+    let resp = fw_http::types::Response::html(200, &"<html><body>benchmark body ".repeat(40));
     c.bench_function("http/serialize_parse_response", |b| {
         b.iter(|| {
             let (mut a, mut bb) = pipe_pair(

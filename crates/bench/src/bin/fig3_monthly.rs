@@ -57,15 +57,20 @@ fn main() {
     }
     // Kingsoft and Tencent appear at their launch months.
     for (provider, label, paper) in [
-        (ProviderId::Kingsoft, "Kingsoft first observed month", "2022-08"),
-        (ProviderId::Tencent, "Tencent first observed month", "2023-08"),
+        (
+            ProviderId::Kingsoft,
+            "Kingsoft first observed month",
+            "2022-08",
+        ),
+        (
+            ProviderId::Tencent,
+            "Tencent first observed month",
+            "2023-08",
+        ),
     ] {
         if let Some(s) = series.for_provider(provider) {
             let first = s.iter().position(|v| *v > 0).unwrap_or(0);
-            println!(
-                "{}",
-                compare(label, paper, &series.months[first].label())
-            );
+            println!("{}", compare(label, paper, &series.months[first].label()));
         }
     }
 
@@ -74,14 +79,9 @@ fn main() {
             .months
             .iter()
             .enumerate()
-            .map(|(i, m)| {
-                vec![
-                    m.label(),
-                    total[i].to_string(),
-                    cumulative[i].to_string(),
-                ]
-            })
+            .map(|(i, m)| vec![m.label(), total[i].to_string(), cumulative[i].to_string()])
             .collect();
         println!("\n{}", tsv(&["month", "new_fqdns", "cumulative"], &rows));
     }
+    fw_bench::maybe_dump_metrics();
 }

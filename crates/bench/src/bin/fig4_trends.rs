@@ -24,14 +24,17 @@ fn main() {
                 if *v == 0 {
                     ' '
                 } else {
-                    let idx = (((*v as f64).ln() / max.max(2.0).ln())
-                        * (glyphs.len() - 1) as f64)
+                    let idx = (((*v as f64).ln() / max.max(2.0).ln()) * (glyphs.len() - 1) as f64)
                         .round() as usize;
                     glyphs[idx.min(glyphs.len() - 1)]
                 }
             })
             .collect();
-        println!("{:<8} |{line}|  total {}", provider.label(), s.iter().sum::<u64>());
+        println!(
+            "{:<8} |{line}|  total {}",
+            provider.label(),
+            s.iter().sum::<u64>()
+        );
     }
     println!(
         "          {}",
@@ -41,7 +44,10 @@ fn main() {
             .map(|m| if m.month == 1 { "J" } else { "·" })
             .collect::<String>()
     );
-    println!("          window: {} .. {}", series.months[0], series.months[23]);
+    println!(
+        "          window: {} .. {}",
+        series.months[0], series.months[23]
+    );
 
     header("§4.1 event checks (paper vs. measured)");
     // Kingsoft appears Aug 2022; Tencent appears Aug 2023.
@@ -65,7 +71,11 @@ fn main() {
     if let Some(s) = series.for_provider(ProviderId::Tencent) {
         let dec_2023 = s[20] as f64; // Dec 2023
         let jan_2024 = s[21] as f64;
-        let drop = if dec_2023 > 0.0 { jan_2024 / dec_2023 } else { 1.0 };
+        let drop = if dec_2023 > 0.0 {
+            jan_2024 / dec_2023
+        } else {
+            1.0
+        };
         println!(
             "{}",
             compare(
@@ -93,8 +103,12 @@ fn main() {
         .iter()
         .filter_map(|p| series.for_provider(*p).map(|s| (*p, s.iter().sum())))
         .collect();
-    totals.sort_by(|a, b| b.1.cmp(&a.1));
-    let leaders: Vec<String> = totals.iter().take(2).map(|(p, _)| p.label().to_string()).collect();
+    totals.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+    let leaders: Vec<String> = totals
+        .iter()
+        .take(2)
+        .map(|(p, _)| p.label().to_string())
+        .collect();
     println!(
         "{}",
         compare("volume leaders", "Google, Aliyun", &leaders.join(", "))
@@ -120,4 +134,5 @@ fn main() {
         }
         println!("\n{}", tsv(&headers, &rows));
     }
+    fw_bench::maybe_dump_metrics();
 }

@@ -13,19 +13,18 @@ fn main() {
     let entries: Vec<(String, f64)> = inv
         .log_histogram
         .iter()
-        .map(|b| {
-            (
-                format!("10^{:.2}–10^{:.2}", b.lo, b.hi),
-                b.count as f64,
-            )
-        })
+        .map(|b| (format!("10^{:.2}–10^{:.2}", b.lo, b.hi), b.count as f64))
         .collect();
     println!("{}", bar_chart(&entries, 56));
 
     header("Figure 5 / §4.3 anchors (paper vs. measured)");
     println!(
         "{}",
-        compare("functions analysed", "410,460 (×scale)", &inv.functions.to_string())
+        compare(
+            "functions analysed",
+            "410,460 (×scale)",
+            &inv.functions.to_string()
+        )
     );
     println!(
         "{}",
@@ -78,4 +77,5 @@ fn main() {
             println!("{x:.4}\t{y:.6}");
         }
     }
+    fw_bench::maybe_dump_metrics();
 }

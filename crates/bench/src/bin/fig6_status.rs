@@ -23,7 +23,11 @@ fn main() {
     header("§4.4 anchors (paper vs. measured)");
     println!(
         "{}",
-        compare("probed functions", "410,460 (×scale)", &s.probed.to_string())
+        compare(
+            "probed functions",
+            "410,460 (×scale)",
+            &s.probed.to_string()
+        )
     );
     println!(
         "{}",
@@ -39,12 +43,28 @@ fn main() {
     );
     println!(
         "{}",
-        compare("HTTPS supported (reachable)", "99.82%", &pct(s.frac_https()))
+        compare(
+            "HTTPS supported (reachable)",
+            "99.82%",
+            &pct(s.frac_https())
+        )
     );
-    println!("{}", compare("status 404", "89.31%", &pct(s.frac_status(404))));
-    println!("{}", compare("status 200", "3.14%", &pct(s.frac_status(200))));
-    println!("{}", compare("status 502", "2.82%", &pct(s.frac_status(502))));
-    println!("{}", compare("status 401", "0.13%", &pct(s.frac_status(401))));
+    println!(
+        "{}",
+        compare("status 404", "89.31%", &pct(s.frac_status(404)))
+    );
+    println!(
+        "{}",
+        compare("status 200", "3.14%", &pct(s.frac_status(200)))
+    );
+    println!(
+        "{}",
+        compare("status 502", "2.82%", &pct(s.frac_status(502)))
+    );
+    println!(
+        "{}",
+        compare("status 401", "0.13%", &pct(s.frac_status(401)))
+    );
     let nonempty = s.ok_with_content as f64 / (s.ok_with_content + s.ok_empty).max(1) as f64;
     println!(
         "{}",
@@ -55,9 +75,7 @@ fn main() {
     let aws_502 = report
         .probe_records
         .iter()
-        .filter(|r| {
-            r.outcome.status() == Some(502) && r.fqdn.as_str().ends_with("on.aws")
-        })
+        .filter(|r| r.outcome.status() == Some(502) && r.fqdn.as_str().ends_with("on.aws"))
         .count() as f64;
     let all_502 = report
         .probe_records
@@ -67,7 +85,11 @@ fn main() {
     if all_502 > 0.0 {
         println!(
             "{}",
-            compare("AWS share of 502 responses", "50.56%", &pct(aws_502 / all_502))
+            compare(
+                "AWS share of 502 responses",
+                "50.56%",
+                &pct(aws_502 / all_502)
+            )
         );
     }
 
@@ -79,4 +101,5 @@ fn main() {
              fallback buys (paper §3.3 justifies the ≤3-request ethics budget)."
         );
     }
+    fw_bench::maybe_dump_metrics();
 }

@@ -73,7 +73,11 @@ fn main() {
         .unwrap_or(0);
     println!(
         "{}",
-        compare("resale functions", "243 (×scale)", &resale_functions.to_string())
+        compare(
+            "resale functions",
+            "243 (×scale)",
+            &resale_functions.to_string()
+        )
     );
 
     if cli.tsv {
@@ -90,4 +94,5 @@ fn main() {
             .collect();
         println!("\n{}", tsv(&["month", "requests", "new_functions"], &rows));
     }
+    fw_bench::maybe_dump_metrics();
 }

@@ -37,8 +37,16 @@ fn main() {
     ]);
     println!("{}", table.render());
 
-    let tokens_keys = abuse.sensitive.get(&SensitiveKind::AccessToken).copied().unwrap_or(0)
-        + abuse.sensitive.get(&SensitiveKind::ApiKey).copied().unwrap_or(0);
+    let tokens_keys = abuse
+        .sensitive
+        .get(&SensitiveKind::AccessToken)
+        .copied()
+        .unwrap_or(0)
+        + abuse
+            .sensitive
+            .get(&SensitiveKind::ApiKey)
+            .copied()
+            .unwrap_or(0);
     println!(
         "{}",
         compare(
@@ -62,11 +70,16 @@ fn main() {
     println!(
         "attack: 100 req/s × 24 h against a 1 GB / 1 s AWS function\n\
          → {} invocations, {:.0} GB-s, bill ${:.2} (request ${:.2} + compute ${:.2})",
-        bill.invocations, bill.gb_seconds, bill.total_usd, bill.request_cost_usd, bill.compute_cost_usd
+        bill.invocations,
+        bill.gb_seconds,
+        bill.total_usd,
+        bill.request_cost_usd,
+        bill.compute_cost_usd
     );
     let gentle = PriceModel::AWS.dow_cost(1.0, 3600.0, 128, 20);
     println!(
         "baseline: 1 req/s × 1 h against a 128 MB / 20 ms function → within free tier: {}",
         gentle.within_free_tier
     );
+    fw_bench::maybe_dump_metrics();
 }

@@ -32,8 +32,18 @@ fn main() {
             p.launch_year().to_string(),
             f.template.to_string(),
             p.generation_mode().to_string(),
-            if p.dns_identifiable() { "yes" } else { "no (suffix collision)" }.to_string(),
-            if p.function_identifiable() { "yes" } else { "no (path-identified)" }.to_string(),
+            if p.dns_identifiable() {
+                "yes"
+            } else {
+                "no (suffix collision)"
+            }
+            .to_string(),
+            if p.function_identifiable() {
+                "yes"
+            } else {
+                "no (path-identified)"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());
@@ -74,7 +84,11 @@ fn main() {
     println!();
     println!(
         "validation: {}",
-        if all_ok { "all formats OK" } else { "FAILURES present" }
+        if all_ok {
+            "all formats OK"
+        } else {
+            "FAILURES present"
+        }
     );
 
     if cli.has_flag("--suffix-only") {
@@ -114,4 +128,5 @@ fn main() {
         ProviderId::collected().count(),
         ProviderId::actively_probed().count(),
     );
+    fw_bench::maybe_dump_metrics();
 }

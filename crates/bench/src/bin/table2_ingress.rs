@@ -60,7 +60,12 @@ fn main() {
     println!("{}", table.render());
 
     header("Concentration ablation: Top-10 share vs. Shannon entropy (A records)");
-    let mut ab = TextTable::new(vec!["Provider", "Top10 share", "Entropy (bits)", "rdata_cnt"]);
+    let mut ab = TextTable::new(vec![
+        "Provider",
+        "Top10 share",
+        "Entropy (bits)",
+        "rdata_cnt",
+    ]);
     for row in &report.ingress {
         ab.row(vec![
             row.provider.label().to_string(),
@@ -89,7 +94,12 @@ fn main() {
             c.provider.label(),
             paper_cname_heavy,
             measured_cname_heavy,
-            if paper_cname_heavy == measured_cname_heavy { "OK" } else { "MISMATCH" }
+            if paper_cname_heavy == measured_cname_heavy {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
         );
     }
+    fw_bench::maybe_dump_metrics();
 }

@@ -51,7 +51,11 @@ fn main() {
             / abuse.corpus_size.max(1) as f64;
         println!(
             "{}",
-            compare(&format!("content mix {}", ct.label()), &pct(paper), &pct(measured))
+            compare(
+                &format!("content mix {}", ct.label()),
+                &pct(paper),
+                &pct(measured)
+            )
         );
     }
     println!(
@@ -113,7 +117,11 @@ fn main() {
     let abuse_rate = total_fn as f64 / abuse.corpus_size.max(1) as f64;
     println!(
         "{}",
-        compare("abused share of content-rich corpus", "4.89%", &pct(abuse_rate))
+        compare(
+            "abused share of content-rich corpus",
+            "4.89%",
+            &pct(abuse_rate)
+        )
     );
 
     header("§5.3 — OpenAI resale group structure (contact → functions)");
@@ -169,4 +177,5 @@ fn main() {
             &abuse.sensitive_total.to_string()
         )
     );
+    fw_bench::maybe_dump_metrics();
 }

@@ -10,6 +10,8 @@
 //! --scale <f64>   population scale vs. the paper (default varies)
 //! --seed <u64>    world seed (default 42)
 //! --tsv           additionally print machine-readable TSV series
+//! --metrics       enable fw-obs telemetry; report dumped to stderr
+//!                 on exit (equivalent: FW_METRICS=1 in the env)
 //! ```
 
 use fw_cloud::platform::PlatformConfig;
@@ -54,9 +56,10 @@ impl Cli {
                         .unwrap_or_else(|| die("--seed needs an integer"));
                 }
                 "--tsv" => cli.tsv = true,
+                "--metrics" => fw_obs::set_enabled(true),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f64>] [--seed <u64>] [--tsv] [binary-specific flags]"
+                        "usage: [--scale <f64>] [--seed <u64>] [--tsv] [--metrics] [binary-specific flags]"
                     );
                     std::process::exit(0);
                 }
@@ -108,7 +111,9 @@ pub fn pipeline_config(single_shot: bool) -> PipelineConfig {
         probe: ProbeConfig {
             timeout: Duration::from_millis(300),
             workers: 16,
-            max_requests_per_function: if single_shot { 1 } else { 3 },
+            // Appendix A: "< 3 content requests" per function, i.e. at
+            // most 2 (HTTPS + HTTP fallback).
+            max_requests_per_function: if single_shot { 1 } else { 2 },
             now: 0,
         },
         abuse: AbuseScanConfig {
@@ -162,4 +167,13 @@ pub fn header(title: &str) {
     println!();
     println!("== {title} ==");
     println!();
+}
+
+/// Dump the fw-obs telemetry report to **stderr** if metrics are
+/// enabled (`--metrics` or `FW_METRICS=1`); a no-op otherwise, so
+/// stdout stays byte-identical either way. Call at the end of `main`.
+pub fn maybe_dump_metrics() {
+    if fw_obs::enabled() {
+        eprint!("{}", fw_obs::registry().render_text());
+    }
 }

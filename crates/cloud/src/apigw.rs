@@ -234,7 +234,11 @@ impl GatewayInner {
         fwd.headers.set("Host", fqdn.to_string());
         fwd.headers.set("X-Forwarded-For", "gateway");
         fwd.headers.remove("connection");
-        match client.send(SocketAddr::new(IpAddr::V4(*ip), 443), Some(fqdn.as_str()), &fwd) {
+        match client.send(
+            SocketAddr::new(IpAddr::V4(*ip), 443),
+            Some(fqdn.as_str()),
+            &fwd,
+        ) {
             Ok(resp) => resp,
             Err(_) => Response::json(502, r#"{"message":"backend error"}"#),
         }
@@ -259,8 +263,7 @@ mod tests {
     fn setup() -> (SimNet, Arc<parking_lot::RwLock<Resolver>>, CloudPlatform) {
         let net = SimNet::new(31);
         let resolver = Arc::new(parking_lot::RwLock::new(Resolver::new()));
-        let platform =
-            CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
+        let platform = CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
         (net, resolver, platform)
     }
 
@@ -274,7 +277,11 @@ mod tests {
         )
     }
 
-    fn gw(net: &SimNet, resolver: &Arc<parking_lot::RwLock<Resolver>>, p: &CloudPlatform) -> ApiGateway {
+    fn gw(
+        net: &SimNet,
+        resolver: &Arc<parking_lot::RwLock<Resolver>>,
+        p: &CloudPlatform,
+    ) -> ApiGateway {
         ApiGateway::create(
             net.clone(),
             resolver.clone(),
@@ -291,7 +298,9 @@ mod tests {
         let backend = platform
             .deploy(DeploySpec::new(
                 fw_types::ProviderId::Aws,
-                Behavior::JsonApi { service: "orders".into() },
+                Behavior::JsonApi {
+                    service: "orders".into(),
+                },
             ))
             .unwrap();
         let gw = gw(&net, &resolver, &platform);
@@ -303,11 +312,18 @@ mod tests {
             cache: false,
         });
         let req = Request::get("/v1/orders", gw.host.as_str());
-        let resp = client(&net).send(gw.addr, Some(gw.host.as_str()), &req).unwrap();
+        let resp = client(&net)
+            .send(gw.addr, Some(gw.host.as_str()), &req)
+            .unwrap();
         assert_eq!(resp.status, 200);
         assert!(resp.body_text().contains("orders"));
         // The backend invocation was billed to the function.
-        assert_eq!(platform.with_billing(|b| b.usage(&backend.fqdn)).invocations, 1);
+        assert_eq!(
+            platform
+                .with_billing(|b| b.usage(&backend.fqdn))
+                .invocations,
+            1
+        );
     }
 
     #[test]
@@ -323,7 +339,11 @@ mod tests {
         });
         let c = client(&net);
         let denied = c
-            .send(gw.addr, Some(gw.host.as_str()), &Request::get("/secure/x", gw.host.as_str()))
+            .send(
+                gw.addr,
+                Some(gw.host.as_str()),
+                &Request::get("/secure/x", gw.host.as_str()),
+            )
             .unwrap();
         assert_eq!(denied.status, 403);
         let mut authed = Request::get("/secure/x", gw.host.as_str());
@@ -365,13 +385,19 @@ mod tests {
         assert_eq!(statuses, vec![200, 200, 429]);
         gw.reset_rate_windows();
         assert_eq!(
-            c.send(gw.addr, Some(host), &Request::get("/limited/a", host)).unwrap().status,
+            c.send(gw.addr, Some(host), &Request::get("/limited/a", host))
+                .unwrap()
+                .status,
             200
         );
         // Cache: second hit served from cache.
-        let first = c.send(gw.addr, Some(host), &Request::get("/cached/a", host)).unwrap();
+        let first = c
+            .send(gw.addr, Some(host), &Request::get("/cached/a", host))
+            .unwrap();
         assert_eq!(first.headers.get("x-cache"), None);
-        let second = c.send(gw.addr, Some(host), &Request::get("/cached/a", host)).unwrap();
+        let second = c
+            .send(gw.addr, Some(host), &Request::get("/cached/a", host))
+            .unwrap();
         assert_eq!(second.headers.get("x-cache"), Some("HIT"));
         assert_eq!(gw.cache_hits(), 1);
         assert_eq!(first.body_text(), second.body_text());
@@ -386,7 +412,9 @@ mod tests {
         let backend = platform
             .deploy(DeploySpec::new(
                 fw_types::ProviderId::Google2,
-                Behavior::JsonApi { service: "faas".into() },
+                Behavior::JsonApi {
+                    service: "faas".into(),
+                },
             ))
             .unwrap();
         let gw = gw(&net, &resolver, &platform);
@@ -409,8 +437,18 @@ mod tests {
         // Both routes answer under the same custom domain...
         let c = client(&net);
         let host = gw.host.as_str();
-        assert_eq!(c.send(gw.addr, Some(host), &Request::get("/faas/x", host)).unwrap().status, 200);
-        assert_eq!(c.send(gw.addr, Some(host), &Request::get("/vm/x", host)).unwrap().status, 200);
+        assert_eq!(
+            c.send(gw.addr, Some(host), &Request::get("/faas/x", host))
+                .unwrap()
+                .status,
+            200
+        );
+        assert_eq!(
+            c.send(gw.addr, Some(host), &Request::get("/vm/x", host))
+                .unwrap()
+                .status,
+            200
+        );
         // ...and that domain does not identify as a function, while the
         // backend's own domain does.
         assert!(!identifiable_as_function(&gw.host));

@@ -80,18 +80,28 @@ pub enum LeakItem {
 pub enum Behavior {
     // ---- benign population ----
     /// 200, JSON API response.
-    JsonApi { service: String },
+    JsonApi {
+        service: String,
+    },
     /// 200, ordinary HTML page.
-    HtmlPage { title: String },
+    HtmlPage {
+        title: String,
+    },
     /// 200, plaintext output (logs, text).
-    PlainLog { tag: String },
+    PlainLog {
+        tag: String,
+    },
     /// 200 with an empty body.
     EmptyOk,
     /// 200, JavaScript/XML output (the "Others" content bucket).
-    ScriptOutput { xml: bool },
+    ScriptOutput {
+        xml: bool,
+    },
     /// The function only answers on a specific path; the parameter-free
     /// probe GET on `/` gets 404 (the dominant Figure 6 bucket).
-    PathGated { good_path: String },
+    PathGated {
+        good_path: String,
+    },
     /// IAM-protected: 401 on unauthenticated requests.
     AuthRequired,
     /// Unhandled exception / broken dependency: 502 Bad Gateway.
@@ -100,10 +110,15 @@ pub enum Behavior {
     /// (client observes a timeout).
     InternalOnly,
     /// 200 JSON, but the debug payload leaks sensitive data.
-    SensitiveLeak { service: String, items: Vec<LeakItem> },
+    SensitiveLeak {
+        service: String,
+        items: Vec<LeakItem>,
+    },
     /// Any other fixed status code (405, 400, 500, 504... — the minor
     /// Figure 6 buckets).
-    FixedStatus { status: u16 },
+    FixedStatus {
+        status: u16,
+    },
 
     // ---- Abuse I: covert C2 relay ----
     /// Relays traffic to a hidden C2. Answers family-consistent binary
@@ -117,26 +132,48 @@ pub enum Behavior {
     },
 
     // ---- Abuse II: malicious websites ----
-    GamblingSite { brand: String, campaign: u32 },
-    PornSite { name: String },
-    CheatTool { tool: String },
+    GamblingSite {
+        brand: String,
+        campaign: u32,
+    },
+    PornSite {
+        name: String,
+    },
+    CheatTool {
+        tool: String,
+    },
 
     // ---- Abuse III: hidden illicit services ----
     /// HTTP 302 with a Location header.
-    RedirectHttp { location: String },
+    RedirectHttp {
+        location: String,
+    },
     /// HTML with `location.href = "..."`.
-    RedirectJs { target: String },
+    RedirectJs {
+        target: String,
+    },
     /// HTML `<meta http-equiv="refresh">`.
-    RedirectMetaRefresh { target: String },
+    RedirectMetaRefresh {
+        target: String,
+    },
     /// JS that splices a random subdomain (Table 4 "Random Splicing").
-    RedirectRandomSplice { suffix: String },
+    RedirectRandomSplice {
+        suffix: String,
+    },
     /// JS that picks a random URL from a list (Table 4 "Random
     /// Selection").
-    RedirectRandomSelect { urls: Vec<String> },
+    RedirectRandomSelect {
+        urls: Vec<String>,
+    },
     /// Plaintext promo selling OpenAI API keys.
-    OpenAiKeyPromo { contact: String, key_prefix: String },
+    OpenAiKeyPromo {
+        contact: String,
+        key_prefix: String,
+    },
     /// Plaintext promo selling OpenAI accounts.
-    OpenAiAccountSale { contact: String },
+    OpenAiAccountSale {
+        contact: String,
+    },
 
     // ---- Abuse IV: egress/proxy abuse ----
     /// HTML chat front-end proxying OpenAI.
@@ -147,7 +184,9 @@ pub enum Behavior {
     VpnProxy,
     /// Proxy for an underground service: "scraper", "ticketmaster",
     /// "tiktok", "music".
-    IllegalServiceProxy { service: String },
+    IllegalServiceProxy {
+        service: String,
+    },
 }
 
 /// Per-invocation context handed to a behaviour.
@@ -488,11 +527,20 @@ mod tests {
 
     #[test]
     fn benign_status_codes() {
-        assert_eq!(respond(&Behavior::JsonApi { service: "s".into() }).status, 200);
+        assert_eq!(
+            respond(&Behavior::JsonApi {
+                service: "s".into()
+            })
+            .status,
+            200
+        );
         assert_eq!(respond(&Behavior::EmptyOk).status, 200);
         assert!(respond(&Behavior::EmptyOk).body.is_empty());
         assert_eq!(
-            respond(&Behavior::PathGated { good_path: "/api/v1".into() }).status,
+            respond(&Behavior::PathGated {
+                good_path: "/api/v1".into()
+            })
+            .status,
             404
         );
         assert_eq!(respond(&Behavior::AuthRequired).status, 401);
@@ -501,7 +549,9 @@ mod tests {
 
     #[test]
     fn path_gated_answers_on_its_path() {
-        let b = Behavior::PathGated { good_path: "/api/v1".into() };
+        let b = Behavior::PathGated {
+            good_path: "/api/v1".into(),
+        };
         let req = Request::get("/api/v1", "h");
         match b.respond(&req, &mut ctx()) {
             Outcome::Respond(r) => assert_eq!(r.status, 200),
@@ -547,8 +597,14 @@ mod tests {
 
     #[test]
     fn gambling_pages_share_campaign_structure() {
-        let a = respond(&Behavior::GamblingSite { brand: "LuckyWin".into(), campaign: 3 });
-        let b = respond(&Behavior::GamblingSite { brand: "MegaBet".into(), campaign: 3 });
+        let a = respond(&Behavior::GamblingSite {
+            brand: "LuckyWin".into(),
+            campaign: 3,
+        });
+        let b = respond(&Behavior::GamblingSite {
+            brand: "MegaBet".into(),
+            campaign: 3,
+        });
         for page in [&a, &b] {
             let text = page.body_text();
             assert!(text.contains("google-site-verification"));
@@ -560,21 +616,31 @@ mod tests {
 
     #[test]
     fn redirect_variants_expose_targets() {
-        let r = respond(&Behavior::RedirectHttp { location: "https://fxbtg.example/x".into() });
+        let r = respond(&Behavior::RedirectHttp {
+            location: "https://fxbtg.example/x".into(),
+        });
         assert_eq!(r.status, 302);
         assert_eq!(r.headers.get("location"), Some("https://fxbtg.example/x"));
 
-        let r = respond(&Behavior::RedirectJs { target: "http://dlcy.zeldalink.top/wlxcList.html".into() });
-        assert!(r.body_text().contains("location.href = \"http://dlcy.zeldalink.top"));
+        let r = respond(&Behavior::RedirectJs {
+            target: "http://dlcy.zeldalink.top/wlxcList.html".into(),
+        });
+        assert!(r
+            .body_text()
+            .contains("location.href = \"http://dlcy.zeldalink.top"));
 
-        let r = respond(&Behavior::RedirectRandomSplice { suffix: "yerbsdga.xyz".into() });
+        let r = respond(&Behavior::RedirectRandomSplice {
+            suffix: "yerbsdga.xyz".into(),
+        });
         assert!(r.body_text().contains("Math.random() * 999999"));
         assert!(r.body_text().contains("yerbsdga.xyz"));
 
         let r = respond(&Behavior::RedirectRandomSelect {
             urls: vec!["https://a.example/".into(), "https://b.example/".into()],
         });
-        assert!(r.body_text().contains("Math.floor(Math.random() * urls.length)"));
+        assert!(r
+            .body_text()
+            .contains("Math.floor(Math.random() * urls.length)"));
     }
 
     #[test]
@@ -609,17 +675,28 @@ mod tests {
     #[test]
     fn ground_truth_labels() {
         assert_eq!(
-            Behavior::GamblingSite { brand: "x".into(), campaign: 0 }.abuse_case(),
+            Behavior::GamblingSite {
+                brand: "x".into(),
+                campaign: 0
+            }
+            .abuse_case(),
             Some(AbuseCase::Gambling)
         );
         assert_eq!(Behavior::VpnProxy.abuse_case(), Some(AbuseCase::GeoProxy));
         assert_eq!(
-            Behavior::IllegalServiceProxy { service: "tiktok".into() }.abuse_case(),
+            Behavior::IllegalServiceProxy {
+                service: "tiktok".into()
+            }
+            .abuse_case(),
             Some(AbuseCase::IllegalProxy)
         );
         assert_eq!(Behavior::EmptyOk.abuse_case(), None);
         assert_eq!(
-            Behavior::SensitiveLeak { service: "s".into(), items: vec![] }.abuse_case(),
+            Behavior::SensitiveLeak {
+                service: "s".into(),
+                items: vec![]
+            }
+            .abuse_case(),
             None
         );
     }

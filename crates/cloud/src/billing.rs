@@ -64,8 +64,7 @@ impl PriceModel {
             .invocations
             .saturating_sub(self.free_requests_per_month);
         let billable_gbs = (usage.gb_seconds - self.free_gb_seconds_per_month).max(0.0);
-        let request_cost =
-            billable_requests as f64 / 1_000_000.0 * self.price_per_million_requests;
+        let request_cost = billable_requests as f64 / 1_000_000.0 * self.price_per_million_requests;
         let compute_cost = billable_gbs * self.price_per_gb_second;
         Invoice {
             invocations: usage.invocations,

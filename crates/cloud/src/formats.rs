@@ -52,9 +52,8 @@ pub struct UrlFormat {
 impl UrlFormat {
     /// The compiled domain pattern.
     pub fn pattern(&self) -> &Pattern {
-        self.pattern.get_or_init(|| {
-            Pattern::compile(self.regex).expect("table 1 regex must compile")
-        })
+        self.pattern
+            .get_or_init(|| Pattern::compile(self.regex).expect("table 1 regex must compile"))
     }
 
     /// Does `fqdn` match this format?
@@ -85,7 +84,10 @@ impl UrlFormat {
         let p = parts;
         let (host, path) = match self.provider {
             ProviderId::Aliyun => (
-                format!("{}-{}-{}.{}.fcapp.run", p.fname, p.pname, p.random, p.region),
+                format!(
+                    "{}-{}-{}.{}.fcapp.run",
+                    p.fname, p.pname, p.random, p.region
+                ),
                 "/".to_string(),
             ),
             ProviderId::Baidu => (
@@ -117,10 +119,7 @@ impl UrlFormat {
                 format!("/api/v1/web/{}/default/{}", p.pname, p.fname),
             ),
             ProviderId::Oracle => (
-                format!(
-                    "{}.{}.functions.oci.oraclecloud.com",
-                    p.random, p.region
-                ),
+                format!("{}.{}.functions.oci.oraclecloud.com", p.random, p.region),
                 format!("/20181201/functions/{}/actions/invoke", p.fname),
             ),
             ProviderId::Azure => (

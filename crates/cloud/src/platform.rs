@@ -121,7 +121,10 @@ impl DeploySpec {
 /// Deployment failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeployError {
-    UnknownRegion { provider: ProviderId, region: String },
+    UnknownRegion {
+        provider: ProviderId,
+        region: String,
+    },
     /// Azure cannot be simulated at DNS level (excluded from the study).
     UnsupportedProvider(ProviderId),
 }
@@ -294,7 +297,11 @@ impl CloudPlatform {
                 r.clone()
             }
             None => {
-                let idx = self.inner.rng.lock().gen_range(0..pstate.spec.regions.len());
+                let idx = self
+                    .inner
+                    .rng
+                    .lock()
+                    .gen_range(0..pstate.spec.regions.len());
                 pstate.spec.regions[idx].to_string()
             }
         };
@@ -327,7 +334,9 @@ impl CloudPlatform {
             memory_mb: spec_req
                 .memory_mb
                 .unwrap_or(self.inner.config.default_memory_mb),
-            exec_ms: spec_req.exec_ms.unwrap_or(self.inner.config.default_exec_ms),
+            exec_ms: spec_req
+                .exec_ms
+                .unwrap_or(self.inner.config.default_exec_ms),
             seed,
             deleted: AtomicBool::new(false),
             invocations: AtomicU64::new(0),
@@ -382,14 +391,14 @@ impl CloudPlatform {
             .cloned()
             .ok_or_else(|| fw_types::FwError::Cloud(format!("unknown function {fqdn}")))?;
         if entry.deleted.load(Ordering::Relaxed) {
-            return Err(fw_types::FwError::Cloud(format!("function deleted: {fqdn}")));
+            return Err(fw_types::FwError::Cloud(format!(
+                "function deleted: {fqdn}"
+            )));
         }
         let now = self.inner.clock_ms.load(Ordering::Relaxed);
         let cold = {
             let mut envs = entry.envs.lock();
-            envs.retain(|last| {
-                now.saturating_sub(*last) <= self.inner.config.warm_keepalive_ms
-            });
+            envs.retain(|last| now.saturating_sub(*last) <= self.inner.config.warm_keepalive_ms);
             match envs.iter_mut().min_by_key(|l| **l) {
                 Some(slot) => {
                     *slot = now;
@@ -407,7 +416,12 @@ impl CloudPlatform {
         } else {
             self.inner.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
         }
-        let exec_ms = entry.exec_ms + if cold { self.inner.config.cold_start_ms } else { 0 };
+        let exec_ms = entry.exec_ms
+            + if cold {
+                self.inner.config.cold_start_ms
+            } else {
+                0
+            };
         self.inner
             .billing
             .lock()
@@ -461,8 +475,8 @@ impl CloudPlatform {
         };
         let fname = spec_req.fname.clone().unwrap_or_else(|| {
             let names = [
-                "api", "webhook", "hello", "svc", "worker", "handler", "app",
-                "fn", "gateway", "task",
+                "api", "webhook", "hello", "svc", "worker", "handler", "app", "fn", "gateway",
+                "task",
             ];
             format!(
                 "{}{}",
@@ -510,10 +524,7 @@ impl CloudPlatform {
         self.create_zone(&state);
         self.install_listeners(&state);
 
-        self.inner
-            .providers
-            .write()
-            .insert(provider, state.clone());
+        self.inner.providers.write().insert(provider, state.clone());
         state
     }
 
@@ -581,25 +592,26 @@ impl CloudPlatform {
                 let inner = self.inner.clone();
                 let cert = cert.clone();
                 let addr = SocketAddr::new(IpAddr::V4(ip), port);
-                self.net.listen_fn(addr, move |mut conn: Box<dyn Connection>| {
-                    // Idle timeout: on a lossy network a client's dropped
-                    // handshake or request must not pin this handler
-                    // thread forever.
-                    let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(60)));
-                    let mut conn = if tls {
-                        match TlsServer::accept(conn, &cert) {
-                            Ok((c, _sni)) => c,
-                            Err(_) => return,
-                        }
-                    } else {
-                        conn
-                    };
-                    let limits = Limits::default();
-                    let inner = inner.clone();
-                    serve_connection(conn.as_mut(), &limits, &move |req: &Request| {
-                        inner.route(provider, req)
+                self.net
+                    .listen_fn(addr, move |mut conn: Box<dyn Connection>| {
+                        // Idle timeout: on a lossy network a client's dropped
+                        // handshake or request must not pin this handler
+                        // thread forever.
+                        let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+                        let mut conn = if tls {
+                            match TlsServer::accept(conn, &cert) {
+                                Ok((c, _sni)) => c,
+                                Err(_) => return,
+                            }
+                        } else {
+                            conn
+                        };
+                        let limits = Limits::default();
+                        let inner = inner.clone();
+                        serve_connection(conn.as_mut(), &limits, &move |req: &Request| {
+                            inner.route(provider, req)
+                        });
                     });
-                });
             }
         }
     }
@@ -615,7 +627,11 @@ impl CloudPlatform {
             IngressArch::DirectIp { .. } => {
                 // Deterministic node choice per function.
                 let pick = stable_hash(fqdn.as_str()) as usize;
-                zone.add(fqdn.clone(), Rdata::V4(ingress.v4[pick % ingress.v4.len()]), ttl);
+                zone.add(
+                    fqdn.clone(),
+                    Rdata::V4(ingress.v4[pick % ingress.v4.len()]),
+                    ttl,
+                );
                 if !ingress.v6.is_empty() {
                     zone.add(
                         fqdn.clone(),
@@ -663,8 +679,7 @@ impl PlatformInner {
         if entry.auth_protected {
             let authed = req.headers.get("authorization").is_some();
             if !authed {
-                let mut r =
-                    Response::json(401, r#"{"message":"Missing Authentication Token"}"#);
+                let mut r = Response::json(401, r#"{"message":"Missing Authentication Token"}"#);
                 r.headers.insert("WWW-Authenticate", "IAM");
                 return r;
             }
@@ -729,7 +744,10 @@ impl PlatformInner {
 fn provider_404(provider: ProviderId) -> Response {
     match provider {
         ProviderId::Aws => Response::json(403, r#"{"Message":"Forbidden"}"#),
-        _ => Response::json(404, r#"{"code":"ResourceNotFound","message":"no such function"}"#),
+        _ => Response::json(
+            404,
+            r#"{"code":"ResourceNotFound","message":"no such function"}"#,
+        ),
     }
 }
 
@@ -769,7 +787,16 @@ fn plan_region_ingress(
                 .collect(),
             v6: (0..n6)
                 .map(|k| {
-                    Ipv6Addr::new(0x2001, 0x0db8, u16::from(provider_idx), 0, 0, 0, 0, u16::from(k) + 1)
+                    Ipv6Addr::new(
+                        0x2001,
+                        0x0db8,
+                        u16::from(provider_idx),
+                        0,
+                        0,
+                        0,
+                        0,
+                        u16::from(k) + 1,
+                    )
                 })
                 .collect(),
             cnames: Vec::new(),
@@ -851,12 +878,7 @@ mod tests {
         }
     }
 
-    fn fetch(
-        net: &SimNet,
-        resolver: &Arc<RwLock<Resolver>>,
-        fqdn: &Fqdn,
-        https: bool,
-    ) -> Response {
+    fn fetch(net: &SimNet, resolver: &Arc<RwLock<Resolver>>, fqdn: &Fqdn, https: bool) -> Response {
         let ip = resolve_v4(resolver, fqdn);
         let client = HttpClient::new(
             SimDialer::new(net.clone()),
@@ -877,7 +899,9 @@ mod tests {
         let d = platform
             .deploy(DeploySpec::new(
                 ProviderId::Aws,
-                Behavior::JsonApi { service: "greeter".into() },
+                Behavior::JsonApi {
+                    service: "greeter".into(),
+                },
             ))
             .unwrap();
         assert!(format_for(ProviderId::Aws).matches(&d.fqdn));
@@ -893,13 +917,12 @@ mod tests {
         let d = platform
             .deploy(DeploySpec::new(
                 ProviderId::Aliyun,
-                Behavior::HtmlPage { title: "shop".into() },
+                Behavior::HtmlPage {
+                    title: "shop".into(),
+                },
             ))
             .unwrap();
-        let res = resolver
-            .write()
-            .resolve(&d.fqdn, RecordType::A, 0)
-            .unwrap();
+        let res = resolver.write().resolve(&d.fqdn, RecordType::A, 0).unwrap();
         // Chain: function CNAME → ingress A.
         assert!(res.answers[0].1.rtype() == RecordType::Cname);
         assert!(!res.addresses().is_empty());
@@ -914,10 +937,7 @@ mod tests {
         let d = platform
             .deploy(DeploySpec::new(ProviderId::Baidu, Behavior::EmptyOk))
             .unwrap();
-        let res = resolver
-            .write()
-            .resolve(&d.fqdn, RecordType::A, 0)
-            .unwrap();
+        let res = resolver.write().resolve(&d.fqdn, RecordType::A, 0).unwrap();
         let cname = res
             .answers
             .iter()
@@ -975,7 +995,9 @@ mod tests {
             .deploy(
                 DeploySpec::new(
                     ProviderId::Aws,
-                    Behavior::JsonApi { service: "secret".into() },
+                    Behavior::JsonApi {
+                        service: "secret".into(),
+                    },
                 )
                 .with_auth(),
             )
@@ -1052,28 +1074,25 @@ mod tests {
     fn google_anycast_single_node() {
         let (platform, _net, resolver) = make_platform();
         let a = platform
-            .deploy(
-                DeploySpec::new(ProviderId::Google, Behavior::EmptyOk)
-                    .in_region("us-central1"),
-            )
+            .deploy(DeploySpec::new(ProviderId::Google, Behavior::EmptyOk).in_region("us-central1"))
             .unwrap();
         let b = platform
             .deploy(
-                DeploySpec::new(ProviderId::Google, Behavior::EmptyOk)
-                    .in_region("europe-west1"),
+                DeploySpec::new(ProviderId::Google, Behavior::EmptyOk).in_region("europe-west1"),
             )
             .unwrap();
         // Same ingress node regardless of region (anycast).
-        assert_eq!(resolve_v4(&resolver, &a.fqdn), resolve_v4(&resolver, &b.fqdn));
+        assert_eq!(
+            resolve_v4(&resolver, &a.fqdn),
+            resolve_v4(&resolver, &b.fqdn)
+        );
     }
 
     #[test]
     fn unknown_region_rejected() {
         let (platform, _net, _resolver) = make_platform();
         let err = platform
-            .deploy(
-                DeploySpec::new(ProviderId::Aws, Behavior::EmptyOk).in_region("mars-north-1"),
-            )
+            .deploy(DeploySpec::new(ProviderId::Aws, Behavior::EmptyOk).in_region("mars-north-1"))
             .unwrap_err();
         assert!(matches!(err, DeployError::UnknownRegion { .. }));
     }

@@ -57,11 +57,27 @@ pub struct ProviderSpec {
 
 /// Aliyun Function Compute regions (21 in the measurement window).
 const ALIYUN_REGIONS: &[&str] = &[
-    "cn-hangzhou", "cn-shanghai", "cn-qingdao", "cn-beijing", "cn-zhangjiakou",
-    "cn-huhehaote", "cn-shenzhen", "cn-chengdu", "cn-hongkong", "ap-southeast-1",
-    "ap-southeast-2", "ap-southeast-3", "ap-southeast-5", "ap-northeast-1",
-    "ap-northeast-2", "ap-south-1", "us-west-1", "us-east-1", "eu-central-1",
-    "eu-west-1", "me-east-1",
+    "cn-hangzhou",
+    "cn-shanghai",
+    "cn-qingdao",
+    "cn-beijing",
+    "cn-zhangjiakou",
+    "cn-huhehaote",
+    "cn-shenzhen",
+    "cn-chengdu",
+    "cn-hongkong",
+    "ap-southeast-1",
+    "ap-southeast-2",
+    "ap-southeast-3",
+    "ap-southeast-5",
+    "ap-northeast-1",
+    "ap-northeast-2",
+    "ap-south-1",
+    "us-west-1",
+    "us-east-1",
+    "eu-central-1",
+    "eu-west-1",
+    "me-east-1",
 ];
 
 /// Baidu CFC: three cities (Beijing, Shenzhen [gz prefix], Suzhou).
@@ -69,11 +85,28 @@ const BAIDU_REGIONS: &[&str] = &["bj", "gz", "su"];
 
 /// Tencent SCF regions (22).
 const TENCENT_REGIONS: &[&str] = &[
-    "ap-guangzhou", "ap-shanghai", "ap-nanjing", "ap-beijing", "ap-chengdu",
-    "ap-chongqing", "ap-hongkong", "ap-singapore", "ap-bangkok", "ap-mumbai",
-    "ap-seoul", "ap-tokyo", "na-siliconvalley", "na-ashburn", "na-toronto",
-    "eu-frankfurt", "eu-moscow", "ap-jakarta", "ap-shenzhen-fsi",
-    "ap-shanghai-fsi", "ap-beijing-fsi", "sa-saopaulo",
+    "ap-guangzhou",
+    "ap-shanghai",
+    "ap-nanjing",
+    "ap-beijing",
+    "ap-chengdu",
+    "ap-chongqing",
+    "ap-hongkong",
+    "ap-singapore",
+    "ap-bangkok",
+    "ap-mumbai",
+    "ap-seoul",
+    "ap-tokyo",
+    "na-siliconvalley",
+    "na-ashburn",
+    "na-toronto",
+    "eu-frankfurt",
+    "eu-moscow",
+    "ap-jakarta",
+    "ap-shenzhen-fsi",
+    "ap-shanghai-fsi",
+    "ap-beijing-fsi",
+    "sa-saopaulo",
 ];
 
 /// Kingsoft: two regions observed (the Table 1 regex hardcodes them).
@@ -81,34 +114,77 @@ const KINGSOFT_REGIONS: &[&str] = &["eu-east-1", "cn-beijing-6"];
 
 /// AWS Lambda regions (22 observed).
 const AWS_REGIONS: &[&str] = &[
-    "us-east-1", "us-east-2", "us-west-1", "us-west-2", "af-south-1",
-    "ap-east-1", "ap-south-1", "ap-northeast-1", "ap-northeast-2",
-    "ap-northeast-3", "ap-southeast-1", "ap-southeast-2", "ca-central-1",
-    "eu-central-1", "eu-west-1", "eu-west-2", "eu-west-3", "eu-north-1",
-    "eu-south-1", "me-south-1", "sa-east-1", "ap-southeast-3",
+    "us-east-1",
+    "us-east-2",
+    "us-west-1",
+    "us-west-2",
+    "af-south-1",
+    "ap-east-1",
+    "ap-south-1",
+    "ap-northeast-1",
+    "ap-northeast-2",
+    "ap-northeast-3",
+    "ap-southeast-1",
+    "ap-southeast-2",
+    "ca-central-1",
+    "eu-central-1",
+    "eu-west-1",
+    "eu-west-2",
+    "eu-west-3",
+    "eu-north-1",
+    "eu-south-1",
+    "me-south-1",
+    "sa-east-1",
+    "ap-southeast-3",
 ];
 
 /// Google Cloud Functions 1st gen (region words × numbered zones; 37
 /// observed region codes).
 const GOOGLE_REGIONS: &[&str] = &[
-    "us-central1", "us-east1", "us-east4", "us-east5", "us-west1", "us-west2",
-    "us-west3", "us-west4", "us-south1", "europe-west1", "europe-west2",
-    "europe-west3", "europe-west4", "europe-west6", "europe-west8",
-    "europe-west9", "europe-west12", "europe-central2", "europe-north1",
-    "europe-southwest1", "asia-east1", "asia-east2", "asia-northeast1",
-    "asia-northeast2", "asia-northeast3", "asia-south1", "asia-south2",
-    "asia-southeast1", "asia-southeast2", "australia-southeast1",
-    "australia-southeast2", "northamerica-northeast1",
-    "northamerica-northeast2", "southamerica-east1", "southamerica-west1",
-    "us-west5", "europe-west10",
+    "us-central1",
+    "us-east1",
+    "us-east4",
+    "us-east5",
+    "us-west1",
+    "us-west2",
+    "us-west3",
+    "us-west4",
+    "us-south1",
+    "europe-west1",
+    "europe-west2",
+    "europe-west3",
+    "europe-west4",
+    "europe-west6",
+    "europe-west8",
+    "europe-west9",
+    "europe-west12",
+    "europe-central2",
+    "europe-north1",
+    "europe-southwest1",
+    "asia-east1",
+    "asia-east2",
+    "asia-northeast1",
+    "asia-northeast2",
+    "asia-northeast3",
+    "asia-south1",
+    "asia-south2",
+    "asia-southeast1",
+    "asia-southeast2",
+    "australia-southeast1",
+    "australia-southeast2",
+    "northamerica-northeast1",
+    "northamerica-northeast2",
+    "southamerica-east1",
+    "southamerica-west1",
+    "us-west5",
+    "europe-west10",
 ];
 
 /// Google2 (Cloud Run) uses short region codes in `a.run.app` hosts.
 const GOOGLE2_REGIONS: &[&str] = &[
-    "uc", "ue", "uw", "ew", "en", "ez", "an", "as", "ase", "du", "el", "et",
-    "nn", "rj", "sa", "se", "ts", "uk", "ul", "um", "vp", "wl", "wm", "wn",
-    "yt", "zf", "af", "bq", "cb", "df", "gk", "hk", "jj", "kx", "lm", "mp",
-    "oa",
+    "uc", "ue", "uw", "ew", "en", "ez", "an", "as", "ase", "du", "el", "et", "nn", "rj", "sa",
+    "se", "ts", "uk", "ul", "um", "vp", "wl", "wm", "wn", "yt", "zf", "af", "bq", "cb", "df", "gk",
+    "hk", "jj", "kx", "lm", "mp", "oa",
 ];
 
 /// IBM Cloud Functions: the six regions hardcoded in the Table 1 regex.
@@ -116,7 +192,10 @@ const IBM_REGIONS: &[&str] = &["us-south", "us-east", "eu-gb", "eu-de", "jp-tok"
 
 /// Oracle Cloud Functions: five regions observed.
 const ORACLE_REGIONS: &[&str] = &[
-    "us-ashburn-1", "us-phoenix-1", "eu-frankfurt-1", "ap-tokyo-1",
+    "us-ashburn-1",
+    "us-phoenix-1",
+    "eu-frankfurt-1",
+    "ap-tokyo-1",
     "uk-london-1",
 ];
 
@@ -248,7 +327,9 @@ impl ProviderSpec {
             IngressArch::DirectIp { v6_per_region, .. } => v6_per_region > 0,
             IngressArch::Anycast { v6, .. } => v6 > 0,
             // IBM's Cloudflare frontend serves AAAA.
-            IngressArch::CnameLb { third_party_suffix, .. } => third_party_suffix
+            IngressArch::CnameLb {
+                third_party_suffix, ..
+            } => third_party_suffix
                 .map(|s| s.contains("cloudflare"))
                 .unwrap_or(false),
         }
@@ -280,11 +361,7 @@ mod tests {
     #[test]
     fn only_tencent_lacks_wildcard_dns() {
         for p in ProviderId::ALL {
-            assert_eq!(
-                spec(p).wildcard_dns,
-                p != ProviderId::Tencent,
-                "{p}"
-            );
+            assert_eq!(spec(p).wildcard_dns, p != ProviderId::Tencent, "{p}");
         }
     }
 
@@ -314,11 +391,17 @@ mod tests {
         // telecom-operator address space directly (DirectIp here).
         assert!(matches!(
             spec(ProviderId::Baidu).ingress,
-            IngressArch::CnameLb { third_party_suffix: Some(_), .. }
+            IngressArch::CnameLb {
+                third_party_suffix: Some(_),
+                ..
+            }
         ));
         assert!(matches!(
             spec(ProviderId::Ibm).ingress,
-            IngressArch::CnameLb { third_party_suffix: Some(_), .. }
+            IngressArch::CnameLb {
+                third_party_suffix: Some(_),
+                ..
+            }
         ));
     }
 

@@ -43,8 +43,7 @@ impl TriggerEvent {
                 format!(r#"{{"bucket":"{bucket}","key":"{key}"}}"#).into_bytes(),
             ),
             TriggerEvent::QueueMessage { queue, body } => {
-                let mut payload =
-                    format!(r#"{{"queue":"{queue}","body":""#).into_bytes();
+                let mut payload = format!(r#"{{"queue":"{queue}","body":""#).into_bytes();
                 payload.extend_from_slice(body);
                 payload.extend_from_slice(b"\"}");
                 ("/_event/queue".to_string(), payload)
@@ -53,9 +52,7 @@ impl TriggerEvent {
                 "/_event/schedule".to_string(),
                 format!(r#"{{"schedule":"{schedule}"}}"#).into_bytes(),
             ),
-            TriggerEvent::Manual { payload } => {
-                ("/_event/manual".to_string(), payload.clone())
-            }
+            TriggerEvent::Manual { payload } => ("/_event/manual".to_string(), payload.clone()),
         };
         let mut req = Request::get(&path, fqdn.as_str());
         req.method = fw_http::types::Method::Post;
@@ -123,9 +120,10 @@ impl TriggerFabric {
         let mut matched = 0;
         for b in bindings.iter() {
             let hit = match (&b.kind, &event) {
-                (TriggerKind::Storage { bucket }, TriggerEvent::StorageUpload { bucket: eb, .. }) => {
-                    bucket == eb
-                }
+                (
+                    TriggerKind::Storage { bucket },
+                    TriggerEvent::StorageUpload { bucket: eb, .. },
+                ) => bucket == eb,
                 (TriggerKind::Queue { queue }, TriggerEvent::QueueMessage { queue: eq, .. }) => {
                     queue == eq
                 }
@@ -214,7 +212,9 @@ mod tests {
     fn deploy(p: &CloudPlatform) -> Fqdn {
         p.deploy(DeploySpec::new(
             ProviderId::Aws,
-            Behavior::JsonApi { service: "etl".into() },
+            Behavior::JsonApi {
+                service: "etl".into(),
+            },
         ))
         .unwrap()
         .fqdn
@@ -226,7 +226,12 @@ mod tests {
         let f = deploy(&p);
         let fabric = TriggerFabric::new(p.clone());
         fabric
-            .bind(&f, TriggerKind::Storage { bucket: "raw-data".into() })
+            .bind(
+                &f,
+                TriggerKind::Storage {
+                    bucket: "raw-data".into(),
+                },
+            )
             .unwrap();
         let matched = fabric.publish(TriggerEvent::StorageUpload {
             bucket: "raw-data".into(),
@@ -246,9 +251,30 @@ mod tests {
         let p = platform();
         let (f1, f2) = (deploy(&p), deploy(&p));
         let fabric = TriggerFabric::new(p);
-        fabric.bind(&f1, TriggerKind::Queue { queue: "jobs".into() }).unwrap();
-        fabric.bind(&f2, TriggerKind::Queue { queue: "jobs".into() }).unwrap();
-        fabric.bind(&f2, TriggerKind::Queue { queue: "other".into() }).unwrap();
+        fabric
+            .bind(
+                &f1,
+                TriggerKind::Queue {
+                    queue: "jobs".into(),
+                },
+            )
+            .unwrap();
+        fabric
+            .bind(
+                &f2,
+                TriggerKind::Queue {
+                    queue: "jobs".into(),
+                },
+            )
+            .unwrap();
+        fabric
+            .bind(
+                &f2,
+                TriggerKind::Queue {
+                    queue: "other".into(),
+                },
+            )
+            .unwrap();
         let matched = fabric.publish(TriggerEvent::QueueMessage {
             queue: "jobs".into(),
             body: b"work".to_vec(),
@@ -263,10 +289,17 @@ mod tests {
         let f = deploy(&p);
         let fabric = TriggerFabric::new(p);
         fabric
-            .bind(&f, TriggerKind::Schedule { schedule: "0 3 * * *".into() })
+            .bind(
+                &f,
+                TriggerKind::Schedule {
+                    schedule: "0 3 * * *".into(),
+                },
+            )
             .unwrap();
         assert_eq!(
-            fabric.publish(TriggerEvent::Scheduled { schedule: "0 4 * * *".into() }),
+            fabric.publish(TriggerEvent::Scheduled {
+                schedule: "0 4 * * *".into()
+            }),
             0
         );
         assert_eq!(fabric.pump(), 0);
@@ -287,7 +320,9 @@ mod tests {
         let p = platform();
         let fabric = TriggerFabric::new(p);
         let ghost = Fqdn::parse("ghost.lambda-url.us-east-1.on.aws").unwrap();
-        assert!(fabric.bind(&ghost, TriggerKind::Queue { queue: "q".into() }).is_err());
+        assert!(fabric
+            .bind(&ghost, TriggerKind::Queue { queue: "q".into() })
+            .is_err());
     }
 
     #[test]
@@ -295,7 +330,9 @@ mod tests {
         let p = platform();
         let f = deploy(&p);
         let fabric = TriggerFabric::new(p.clone());
-        fabric.bind(&f, TriggerKind::Queue { queue: "q".into() }).unwrap();
+        fabric
+            .bind(&f, TriggerKind::Queue { queue: "q".into() })
+            .unwrap();
         p.delete(&f);
         fabric.publish(TriggerEvent::QueueMessage {
             queue: "q".into(),
@@ -318,8 +355,13 @@ mod tests {
         let p = CloudPlatform::new(net, resolver, PlatformConfig::default());
         let f = deploy(&p);
         let fabric = TriggerFabric::new(p);
-        fabric.bind(&f, TriggerKind::Queue { queue: "q".into() }).unwrap();
-        fabric.publish(TriggerEvent::QueueMessage { queue: "q".into(), body: vec![] });
+        fabric
+            .bind(&f, TriggerKind::Queue { queue: "q".into() })
+            .unwrap();
+        fabric.publish(TriggerEvent::QueueMessage {
+            queue: "q".into(),
+            body: vec![],
+        });
         fabric.pump();
         assert_eq!(pdns.lock().fqdn_count(), 0, "no DNS traffic, no PDNS rows");
     }

@@ -1,6 +1,6 @@
 //! Property tests for Table 1 formats and the platform's domain minting.
 
-use fw_cloud::formats::{all_formats, format_for, identify, UrlParts};
+use fw_cloud::formats::{format_for, identify, UrlParts};
 use fw_types::{Fqdn, ProviderId};
 use proptest::prelude::*;
 

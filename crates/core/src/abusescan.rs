@@ -135,6 +135,7 @@ pub fn abuse_scan(
     config: &AbuseScanConfig,
 ) -> AbuseScanReport {
     // 1. Corpus: 200-with-content plus redirect responses.
+    let corpus_span = fw_obs::span("corpus");
     let mut corpus: Vec<(Fqdn, Response)> = Vec::new();
     let mut redirects: Vec<(Fqdn, Response)> = Vec::new();
     for rec in records {
@@ -146,8 +147,10 @@ pub fn abuse_scan(
             }
         }
     }
+    drop(corpus_span);
 
     // 2. Sensitive scan + anonymization before any analysis.
+    let sensitive_span = fw_obs::span("sensitive");
     let scanner = SensitiveScanner::new(&config.salt);
     let mut sensitive: HashMap<SensitiveKind, u64> = HashMap::new();
     let mut sanitized: Vec<(Fqdn, Response)> = Vec::with_capacity(corpus.len());
@@ -162,8 +165,10 @@ pub fn abuse_scan(
         sanitized.push((fqdn, clean_resp));
     }
     let sensitive_total: u64 = sensitive.values().sum();
+    drop(sensitive_span);
 
     // 3. Content typing + per-type clustering.
+    let cluster_span = fw_obs::span("cluster");
     let mut content_mix: HashMap<ContentType, u64> = HashMap::new();
     let mut by_type: HashMap<ContentType, Vec<usize>> = HashMap::new();
     for (i, (_, resp)) in sanitized.iter().enumerate() {
@@ -207,8 +212,11 @@ pub fn abuse_scan(
         }
     }
 
+    drop(cluster_span);
+
     // Redirect responses (3xx) reviewed directly — their body is empty so
     // clustering adds nothing.
+    let review_span = fw_obs::span("review");
     for (fqdn, resp) in &redirects {
         if detected.contains(fqdn) {
             continue;
@@ -222,11 +230,13 @@ pub fn abuse_scan(
         }
     }
 
+    drop(review_span);
+
     // 5. C2 fingerprint scan over all probed domains.
+    let c2_span = fw_obs::span("c2scan");
     let mut c2_domains: Vec<Fqdn> = Vec::new();
     if config.scan_c2 {
-        let scanner = C2Scanner::new(net.clone(), resolver.clone())
-            .with_timeout(config.c2_timeout);
+        let scanner = C2Scanner::new(net.clone(), resolver.clone()).with_timeout(config.c2_timeout);
         let candidates: Vec<Fqdn> = records
             .iter()
             .filter(|r| r.outcome.is_reachable())
@@ -243,7 +253,23 @@ pub fn abuse_scan(
         }
     }
 
+    drop(c2_span);
+
     // 6. Table 3 + Figure 7 + Finding 10.
+    let _report_span = fw_obs::span("report");
+    if fw_obs::enabled() {
+        // Per-family verdict counters (dynamic names, so the registry is
+        // addressed directly instead of via the handle-caching macros).
+        let registry = fw_obs::registry();
+        for d in &detections {
+            registry
+                .counter(&format!(
+                    "fw.abuse.verdict.{}",
+                    metric_suffix(d.kind.label())
+                ))
+                .inc();
+        }
+    }
     let requests_of: HashMap<&Fqdn, u64> = identification
         .functions
         .iter()
@@ -362,6 +388,20 @@ pub fn abuse_scan(
     }
 }
 
+/// `"Hide C2 server"` → `hide_c2_server`, for metric names.
+fn metric_suffix(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 fn month_index_of(day: fw_types::DayStamp) -> Option<usize> {
     let start = MEASUREMENT_START.month();
     let m = day.month();
@@ -458,9 +498,18 @@ mod tests {
             ("c3-a1b2c3d4e5-uc.a.run.app", 1),
         ]);
         let records = vec![
-            responded("a1-a1b2c3d4e5-uc.a.run.app", Response::json(200, r#"{"x":1}"#)),
-            responded("b2-a1b2c3d4e5-uc.a.run.app", Response::html(200, "<html><body>hi</body></html>")),
-            responded("c3-a1b2c3d4e5-uc.a.run.app", Response::text(200, "plain log line")),
+            responded(
+                "a1-a1b2c3d4e5-uc.a.run.app",
+                Response::json(200, r#"{"x":1}"#),
+            ),
+            responded(
+                "b2-a1b2c3d4e5-uc.a.run.app",
+                Response::html(200, "<html><body>hi</body></html>"),
+            ),
+            responded(
+                "c3-a1b2c3d4e5-uc.a.run.app",
+                Response::text(200, "plain log line"),
+            ),
         ];
         let report = scan(&records, &pdns);
         assert_eq!(report.corpus_size, 3);

@@ -29,9 +29,7 @@ impl Recommendation {
                 "Strengthen the supervision of cloud function abuse"
             }
             Recommendation::SecureArchitecture => "Secure the serverless architecture",
-            Recommendation::EnhanceAccessControl => {
-                "Enhance the requirements of access control"
-            }
+            Recommendation::EnhanceAccessControl => "Enhance the requirements of access control",
         }
     }
 }
@@ -204,8 +202,9 @@ mod tests {
         // Baidu and IBM get third-party-dependency findings.
         for p in [ProviderId::Baidu, ProviderId::Ibm] {
             assert!(
-                findings.iter().any(|f| f.provider == p
-                    && f.evidence.contains("third-party")),
+                findings
+                    .iter()
+                    .any(|f| f.provider == p && f.evidence.contains("third-party")),
                 "{p}"
             );
         }
@@ -214,15 +213,19 @@ mod tests {
         // Aliyun/AWS/Google (enforcing IAM by default, §6) do not.
         for p in [ProviderId::Baidu, ProviderId::Tencent, ProviderId::Kingsoft] {
             assert!(
-                findings.iter().any(|f| f.provider == p
-                    && f.recommendation == Recommendation::EnhanceAccessControl),
+                findings
+                    .iter()
+                    .any(|f| f.provider == p
+                        && f.recommendation == Recommendation::EnhanceAccessControl),
                 "{p}"
             );
         }
         for p in [ProviderId::Aws, ProviderId::Google, ProviderId::Aliyun] {
             assert!(
-                !findings.iter().any(|f| f.provider == p
-                    && f.recommendation == Recommendation::EnhanceAccessControl),
+                !findings
+                    .iter()
+                    .any(|f| f.provider == p
+                        && f.recommendation == Recommendation::EnhanceAccessControl),
                 "{p}"
             );
         }

@@ -66,7 +66,12 @@ impl Pipeline {
 
     /// §4 analyses only (passive data, no probing).
     pub fn run_usage(pdns: &PdnsStore) -> UsageReport {
-        let identification = identify_functions(pdns);
+        let _pipeline = fw_obs::span("pipeline");
+        let identification = {
+            let _s = fw_obs::span("identify");
+            identify_functions(pdns)
+        };
+        let _s = fw_obs::span("usage");
         UsageReport {
             new_fqdns: monthly_new_fqdns(&identification),
             request_series: monthly_requests(&identification, pdns),
@@ -78,23 +83,45 @@ impl Pipeline {
 
     /// The full §3–§5 pipeline.
     pub fn run(&self, pdns: &PdnsStore, config: &PipelineConfig) -> FullReport {
-        let identification = identify_functions(pdns);
-        let new_fqdns = monthly_new_fqdns(&identification);
-        let request_series = monthly_requests(&identification, pdns);
-        let ingress = ingress_table(&identification, pdns);
-        let invocation = invocation_report(&identification);
+        let _pipeline = fw_obs::span("pipeline");
+        let identification = {
+            let _s = fw_obs::span("identify");
+            identify_functions(pdns)
+        };
+        let (new_fqdns, request_series, ingress, invocation) = {
+            let _s = fw_obs::span("usage");
+            (
+                monthly_new_fqdns(&identification),
+                monthly_requests(&identification, pdns),
+                ingress_table(&identification, pdns),
+                invocation_report(&identification),
+            )
+        };
 
-        let prober = Prober::new(self.net.clone(), self.resolver.clone(), config.probe.clone());
-        let probe_records = prober.probe_all(&identification.probe_scope());
-        let status = status_report(&probe_records);
-        let abuse = abuse_scan(
-            &probe_records,
-            &identification,
-            pdns,
-            &self.net,
-            &self.resolver,
-            &config.abuse,
-        );
+        let probe_records = {
+            let _s = fw_obs::span("probe");
+            let prober = Prober::new(
+                self.net.clone(),
+                self.resolver.clone(),
+                config.probe.clone(),
+            );
+            prober.probe_all(&identification.probe_scope())
+        };
+        let status = {
+            let _s = fw_obs::span("status");
+            status_report(&probe_records)
+        };
+        let abuse = {
+            let _s = fw_obs::span("abuse");
+            abuse_scan(
+                &probe_records,
+                &identification,
+                pdns,
+                &self.net,
+                &self.resolver,
+                &config.abuse,
+            )
+        };
 
         FullReport {
             identification,

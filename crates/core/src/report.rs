@@ -115,7 +115,7 @@ pub fn thousands(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            &[("a".to_string(), 10.0), ("bb".to_string(), 5.0)],
-            20,
-        );
+        let s = bar_chart(&[("a".to_string(), 10.0), ("bb".to_string(), 5.0)], 20);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0].matches('#').count(), 20);
         assert_eq!(lines[1].matches('#').count(), 10);
@@ -183,10 +180,7 @@ mod tests {
 
     #[test]
     fn tsv_output() {
-        let s = tsv(
-            &["month", "count"],
-            &[vec!["2022-04".into(), "10".into()]],
-        );
+        let s = tsv(&["month", "count"], &[vec!["2022-04".into(), "10".into()]]);
         assert_eq!(s, "month\tcount\n2022-04\t10\n");
     }
 }

@@ -60,11 +60,7 @@ impl StatusReport {
 
     /// The top-k status codes by frequency (Figure 6's x-axis).
     pub fn top_statuses(&self, k: usize) -> Vec<(u16, u64)> {
-        let mut v: Vec<(u16, u64)> = self
-            .status_counts
-            .iter()
-            .map(|(s, c)| (*s, *c))
-            .collect();
+        let mut v: Vec<(u16, u64)> = self.status_counts.iter().map(|(s, c)| (*s, *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v

@@ -3,7 +3,9 @@
 use crate::identify::{IdentificationReport, IdentifiedFunction};
 use fw_analysis::stats;
 use fw_dns::pdns::PdnsStore;
-use fw_types::{Fqdn, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START};
+use fw_types::{
+    Fqdn, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START,
+};
 use std::collections::HashMap;
 
 /// Figure 3/4 series: per-month values for one provider (or the total).
@@ -83,9 +85,7 @@ pub fn monthly_requests(report: &IdentificationReport, pdns: &PdnsStore) -> Mont
         let Some(idx) = month_index_of(pdate) else {
             return;
         };
-        per_provider
-            .entry(*provider)
-            .or_insert_with(|| vec![0; 24])[idx] += cnt;
+        per_provider.entry(*provider).or_insert_with(|| vec![0; 24])[idx] += cnt;
     });
     MonthlySeries {
         months,
@@ -153,10 +153,7 @@ pub fn ingress_table(report: &IdentificationReport, pdns: &PdnsStore) -> Vec<Ing
             set.dedup();
             set.len() as u64
         };
-        let totals: Vec<u64> = maps
-            .iter()
-            .map(|m| m.values().sum::<u64>())
-            .collect();
+        let totals: Vec<u64> = maps.iter().map(|m| m.values().sum::<u64>()).collect();
         let grand: u64 = totals.iter().sum();
         let share = |slot: usize| {
             if grand == 0 {
@@ -308,7 +305,7 @@ mod tests {
         let g2 = series.for_provider(ProviderId::Google2).unwrap();
         assert_eq!(g2[0], 60); // April 2022
         assert_eq!(g2[1], 60); // May 2022
-        // Noise (www.example.com) contributes nothing.
+                               // Noise (www.example.com) contributes nothing.
         assert_eq!(series.total().iter().sum::<u64>(), 3 + 120 + 1000);
     }
 

@@ -60,17 +60,18 @@ fn full_pipeline_reproduces_paper_shapes() {
         status.frac_status(404)
     );
     // HTTPS is nearly universal.
-    assert!(status.frac_https() > 0.95, "https = {}", status.frac_https());
+    assert!(
+        status.frac_https() > 0.95,
+        "https = {}",
+        status.frac_https()
+    );
     // Unreachable fraction is small and DNS failures exist (deleted
     // Tencent functions).
     assert!(status.frac_unreachable() < 0.08);
     assert!(status.dns_failures > 0, "deleted Tencent → NXDOMAIN");
     // DNS failures only happen for Tencent domains.
     for rec in &report.probe_records {
-        if matches!(
-            rec.outcome,
-            fw_probe::prober::ProbeOutcome::DnsFailure(_)
-        ) {
+        if matches!(rec.outcome, fw_probe::prober::ProbeOutcome::DnsFailure(_)) {
             assert!(
                 rec.fqdn.as_str().ends_with("scf.tencentcs.com"),
                 "{} had a DNS failure but is not Tencent",
@@ -88,7 +89,9 @@ fn full_pipeline_reproduces_paper_shapes() {
         .collect();
 
     for d in &report.abuse.detections {
-        let t = truth.get(&d.fqdn).expect("detection refers to a real function");
+        let t = truth
+            .get(&d.fqdn)
+            .expect("detection refers to a real function");
         assert!(
             matches!(t, fw_workload::Truth::Abuse(_)),
             "false positive: {} detected as {:?} but truth is {:?}",
@@ -227,7 +230,11 @@ fn usage_only_pipeline_without_live_network() {
         "single-day = {}",
         inv.frac_single_day
     );
-    assert!(inv.frac_density_one > 0.7, "density-1 = {}", inv.frac_density_one);
+    assert!(
+        inv.frac_density_one > 0.7,
+        "density-1 = {}",
+        inv.frac_density_one
+    );
     assert!(
         inv.mean_lifespan_days > 5.0 && inv.mean_lifespan_days < 60.0,
         "mean lifespan = {}",

@@ -104,6 +104,7 @@ impl PdnsStore {
         if count == 0 {
             return;
         }
+        fw_obs::counter_inc!("fw.dns.pdns.rows_ingested");
         let entry = self.entries.entry(fqdn.clone()).or_default();
         let idx = entry.intern(rdata);
         // Same-day observations arrive consecutively in both ingestion
@@ -114,6 +115,7 @@ impl PdnsStore {
             }
             if row.rdata_idx == idx {
                 row.cnt += count;
+                fw_obs::counter_inc!("fw.dns.pdns.dedup_merged");
                 return;
             }
         }
@@ -161,7 +163,7 @@ impl PdnsStore {
                 }
             })
             .collect();
-        out.sort_by(|a, b| (a.pdate, a.rdata.text()).cmp(&(b.pdate, b.rdata.text())));
+        out.sort_by_key(|a| (a.pdate, a.rdata.text()));
         out
     }
 
@@ -202,12 +204,7 @@ impl PdnsStore {
             last_seen_all: last,
             days_count: days.len() as u32,
             total_request_cnt: total,
-            rdata_dist: entry
-                .rdatas
-                .iter()
-                .cloned()
-                .zip(dist)
-                .collect(),
+            rdata_dist: entry.rdatas.iter().cloned().zip(dist).collect(),
         })
     }
 

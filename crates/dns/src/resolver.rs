@@ -382,7 +382,11 @@ mod tests {
         // Tencent zone has no wildcard — the paper's deleted-function case.
         let mut r = resolver_with_tencent();
         let err = r
-            .resolve(&fq("9999999999-deleted000-gz.scf.tencentcs.com"), RecordType::A, 0)
+            .resolve(
+                &fq("9999999999-deleted000-gz.scf.tencentcs.com"),
+                RecordType::A,
+                0,
+            )
             .unwrap_err();
         assert_eq!(err, ResolveError::NxDomain);
         assert_eq!(r.stats().nxdomain, 1);

@@ -276,9 +276,7 @@ impl Message {
             match &rr.data {
                 RrData::A(ip) => buf.extend_from_slice(&ip.octets()),
                 RrData::Aaaa(ip) => buf.extend_from_slice(&ip.octets()),
-                RrData::Ns(n) | RrData::Cname(n) => {
-                    encode_name(&mut buf, n.as_str(), &mut dict)
-                }
+                RrData::Ns(n) | RrData::Cname(n) => encode_name(&mut buf, n.as_str(), &mut dict),
                 RrData::Txt(t) => {
                     // character-strings of up to 255 bytes each
                     for chunk in t.chunks(255) {
@@ -444,8 +442,7 @@ impl<'a> Cursor<'a> {
                 .buf
                 .get(pos + 1..pos + 1 + len)
                 .ok_or(WireError::Truncated)?;
-            let label =
-                std::str::from_utf8(bytes).map_err(|_| WireError::BadLabelBytes)?;
+            let label = std::str::from_utf8(bytes).map_err(|_| WireError::BadLabelBytes)?;
             labels.push(label.to_string());
             pos += 1 + len;
         }

@@ -132,8 +132,7 @@ impl Zone {
                         .iter()
                         .filter(|(r, _)| {
                             r.rtype() == rtype
-                                || (rtype != RecordType::Cname
-                                    && r.rtype() == RecordType::Cname)
+                                || (rtype != RecordType::Cname && r.rtype() == RecordType::Cname)
                         })
                         .cloned()
                         .collect();

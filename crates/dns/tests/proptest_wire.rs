@@ -46,7 +46,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
         ],
         proptest::collection::vec(arb_record(), 0..6),
         proptest::collection::vec(arb_record(), 0..3),
-        prop_oneof![Just(Rcode::NoError), Just(Rcode::NxDomain), Just(Rcode::ServFail)],
+        prop_oneof![
+            Just(Rcode::NoError),
+            Just(Rcode::NxDomain),
+            Just(Rcode::ServFail)
+        ],
     )
         .prop_map(|(id, qname, qtype, answers, auth, rcode)| {
             let q = Message::query(id, qname, qtype);

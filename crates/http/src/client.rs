@@ -117,8 +117,7 @@ impl Dialer for TcpDialer {
         sni: Option<&str>,
         timeout: Duration,
     ) -> Result<Box<dyn Connection>, DialError> {
-        let mut conn =
-            TcpConn::connect(addr, self.connect_timeout).map_err(DialError::Connect)?;
+        let mut conn = TcpConn::connect(addr, self.connect_timeout).map_err(DialError::Connect)?;
         conn.set_read_timeout(Some(timeout))
             .map_err(DialError::Connect)?;
         let boxed: Box<dyn Connection> = Box::new(conn);
@@ -185,15 +184,16 @@ impl<D: Dialer> HttpClient<D> {
     /// probe shape: `User-Agent` identifies the research probe.
     pub fn get_url(&self, addr: SocketAddr, url: &Url) -> Result<Response, FetchError> {
         let mut req = Request::get(&url.target(), &url.host);
-        req.headers.insert("User-Agent", self.config.user_agent.clone());
+        req.headers
+            .insert("User-Agent", self.config.user_agent.clone());
         req.headers.insert("Accept", "*/*");
         req.headers.insert("Connection", "close");
-        let sni = if url.https { Some(url.host.as_str()) } else { None };
-        self.send(
-            SocketAddr::new(addr.ip(), url.port),
-            sni,
-            &req,
-        )
+        let sni = if url.https {
+            Some(url.host.as_str())
+        } else {
+            None
+        };
+        self.send(SocketAddr::new(addr.ip(), url.port), sni, &req)
     }
 }
 

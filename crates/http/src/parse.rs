@@ -193,9 +193,7 @@ impl<'c> BufConn<'c> {
 }
 
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn parse_headers(lines: &mut std::str::Lines<'_>) -> Result<HeaderMap, HttpError> {
@@ -236,8 +234,7 @@ fn is_chunked(headers: &HeaderMap) -> bool {
 pub fn read_request(conn: &mut dyn Connection, limits: &Limits) -> Result<Request, HttpError> {
     let mut buf = BufConn::new(conn);
     let head = buf.read_head(limits.max_head)?;
-    let head_str =
-        std::str::from_utf8(&head).map_err(|_| HttpError::Parse("non-utf8 head"))?;
+    let head_str = std::str::from_utf8(&head).map_err(|_| HttpError::Parse("non-utf8 head"))?;
     let mut lines = head_str.lines();
     let request_line = lines.next().ok_or(HttpError::Parse("empty head"))?;
     let mut parts = request_line.split(' ');
@@ -281,8 +278,7 @@ pub fn read_response(
 ) -> Result<Response, HttpError> {
     let mut buf = BufConn::new(conn);
     let head = buf.read_head(limits.max_head)?;
-    let head_str =
-        std::str::from_utf8(&head).map_err(|_| HttpError::Parse("non-utf8 head"))?;
+    let head_str = std::str::from_utf8(&head).map_err(|_| HttpError::Parse("non-utf8 head"))?;
     let mut lines = head_str.lines();
     let status_line = lines.next().ok_or(HttpError::Parse("empty head"))?;
     let mut parts = status_line.splitn(3, ' ');
@@ -347,9 +343,7 @@ pub fn write_request(conn: &mut dyn Connection, req: &Request) -> Result<(), Htt
 /// Serialize a response with `Content-Length` framing.
 pub fn write_response(conn: &mut dyn Connection, resp: &Response) -> Result<(), HttpError> {
     let mut out = Vec::with_capacity(256 + resp.body.len());
-    out.extend_from_slice(
-        format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes(),
-    );
+    out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes());
     let mut wrote_len = false;
     for (n, v) in resp.headers.iter() {
         if n.eq_ignore_ascii_case("content-length") {
@@ -377,9 +371,7 @@ pub fn write_response_chunked(
     chunk_size: usize,
 ) -> Result<(), HttpError> {
     let mut out = Vec::with_capacity(256 + resp.body.len());
-    out.extend_from_slice(
-        format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes(),
-    );
+    out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes());
     for (n, v) in resp.headers.iter() {
         if n.eq_ignore_ascii_case("content-length") {
             continue;
@@ -440,7 +432,10 @@ mod tests {
         let got = read_response(&mut b, &Limits::default(), false).unwrap();
         assert_eq!(got.status, 200);
         assert_eq!(got.body_text(), "<html>hi</html>");
-        assert_eq!(got.headers.get("content-type"), Some("text/html; charset=utf-8"));
+        assert_eq!(
+            got.headers.get("content-type"),
+            Some("text/html; charset=utf-8")
+        );
     }
 
     #[test]
@@ -483,7 +478,9 @@ mod tests {
         let writer = std::thread::spawn(move || {
             let _ = a.write_all(b"GET / HTTP/1.1\r\n");
             for _ in 0..64 {
-                if a.write_all(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n").is_err() {
+                if a.write_all(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n")
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -536,7 +533,11 @@ mod tests {
 
     #[test]
     fn bad_status_codes_rejected() {
-        for line in ["HTTP/1.1 99 Low\r\n\r\n", "HTTP/1.1 999 High\r\n\r\n", "HTTP/1.1 abc X\r\n\r\n"] {
+        for line in [
+            "HTTP/1.1 99 Low\r\n\r\n",
+            "HTTP/1.1 999 High\r\n\r\n",
+            "HTTP/1.1 abc X\r\n\r\n",
+        ] {
             let (mut a, mut b) = pair();
             a.write_all(line.as_bytes()).unwrap();
             a.shutdown_write();

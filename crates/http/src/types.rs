@@ -206,7 +206,11 @@ impl Response {
 
     /// Plain-text convenience.
     pub fn text(status: u16, body: &str) -> Response {
-        Response::with_body(status, "text/plain; charset=utf-8", body.as_bytes().to_vec())
+        Response::with_body(
+            status,
+            "text/plain; charset=utf-8",
+            body.as_bytes().to_vec(),
+        )
     }
 
     /// JSON convenience.

@@ -160,11 +160,20 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(Url::parse("ftp://x/").unwrap_err(), UrlError::UnsupportedScheme("ftp".into()));
+        assert_eq!(
+            Url::parse("ftp://x/").unwrap_err(),
+            UrlError::UnsupportedScheme("ftp".into())
+        );
         assert_eq!(Url::parse("no-scheme"), Err(UrlError::MissingScheme));
         assert_eq!(Url::parse("https:///p"), Err(UrlError::EmptyHost));
-        assert!(matches!(Url::parse("http://h:99999/"), Err(UrlError::BadPort(_))));
-        assert!(matches!(Url::parse("http://h:8a/"), Err(UrlError::BadPort(_))));
+        assert!(matches!(
+            Url::parse("http://h:99999/"),
+            Err(UrlError::BadPort(_))
+        ));
+        assert!(matches!(
+            Url::parse("http://h:8a/"),
+            Err(UrlError::BadPort(_))
+        ));
     }
 
     #[test]

@@ -229,17 +229,8 @@ impl Connection for PipeConn {
             match deadline {
                 Some(d) => {
                     let now = Instant::now();
-                    if now >= d
-                        || self
-                            .rx
-                            .readable
-                            .wait_until(&mut st, d)
-                            .timed_out()
-                    {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "read timed out",
-                        ));
+                    if now >= d || self.rx.readable.wait_until(&mut st, d).timed_out() {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
                     }
                 }
                 None => self.rx.readable.wait(&mut st),

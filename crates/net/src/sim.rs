@@ -125,6 +125,7 @@ impl SimNet {
             let mut rng = self.inner.rng.lock();
             if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
                 self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+                fw_obs::counter_inc!("fw.net.refused");
                 return Err(io::Error::new(
                     io::ErrorKind::ConnectionRefused,
                     "connection refused (injected fault)",
@@ -135,6 +136,7 @@ impl SimNet {
             Some(h) => h.clone(),
             None => {
                 self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+                fw_obs::counter_inc!("fw.net.refused");
                 return Err(io::Error::new(
                     io::ErrorKind::ConnectionRefused,
                     format!("nothing listening on {addr}"),
@@ -157,10 +159,12 @@ impl SimNet {
                     .stats
                     .resets_injected
                     .fetch_add(1, Ordering::Relaxed);
+                fw_obs::counter_inc!("fw.net.resets_injected");
             }
         }
 
         self.inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        fw_obs::counter_inc!("fw.net.connections");
         let server_conn: Box<dyn Connection> = Box::new(FaultedConn {
             inner: server_end,
             net: self.inner.clone(),
@@ -168,7 +172,7 @@ impl SimNet {
         std::thread::Builder::new()
             .name(format!("sim-handler-{addr}"))
             .spawn(move || handler(server_conn))
-            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+            .map_err(io::Error::other)?;
 
         Ok(Box::new(FaultedConn {
             inner: client_end,
@@ -185,7 +189,9 @@ struct FaultedConn {
 
 impl std::fmt::Debug for FaultedConn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FaultedConn").field("inner", &self.inner).finish()
+        f.debug_struct("FaultedConn")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -196,17 +202,25 @@ impl Connection for FaultedConn {
             .stats
             .bytes_sent
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        fw_obs::counter_add!("fw.net.bytes_sent", buf.len() as u64);
         let fate = {
             let mut rng = self.net.rng.lock();
             chunk_fate(&faults, buf.len(), &mut *rng)
         };
         if faults.delay_us > 0 {
+            // Injected latency advances the sim clock so span timings
+            // can attribute it (wall vs. sim time).
+            fw_obs::advance_sim_micros(faults.delay_us);
             std::thread::sleep(Duration::from_micros(faults.delay_us));
         }
         match fate {
             ChunkFate::Deliver => self.inner.write_all(buf),
             ChunkFate::Drop => {
-                self.net.stats.chunks_dropped.fetch_add(1, Ordering::Relaxed);
+                self.net
+                    .stats
+                    .chunks_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                fw_obs::counter_inc!("fw.net.chunks_dropped");
                 Ok(()) // silently vanishes: the peer will time out
             }
             ChunkFate::Corrupt(off) => {
@@ -214,6 +228,7 @@ impl Connection for FaultedConn {
                     .stats
                     .chunks_corrupted
                     .fetch_add(1, Ordering::Relaxed);
+                fw_obs::counter_inc!("fw.net.chunks_corrupted");
                 let mut copy = buf.to_vec();
                 copy[off] ^= 0x20;
                 self.inner.write_all(&copy)
@@ -313,7 +328,8 @@ mod tests {
             ..FaultConfig::default()
         });
         let mut conn = net.connect(addr(1, 80)).unwrap();
-        conn.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
         let mut buf = [0u8; 4];
         let kind = match conn.write_all(b"ping") {
             Err(e) => e.kind(),
@@ -332,9 +348,13 @@ mod tests {
         });
         let mut conn = net.connect(addr(1, 80)).unwrap();
         conn.write_all(b"lost").unwrap(); // vanishes
-        conn.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut buf = [0u8; 4];
-        assert_eq!(conn.read(&mut buf).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(
+            conn.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
         assert!(net.stats().chunks_dropped.load(Ordering::Relaxed) >= 1);
     }
 

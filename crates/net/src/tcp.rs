@@ -81,7 +81,9 @@ mod tests {
 
         let mut client = TcpConn::connect(addr, Duration::from_secs(5)).unwrap();
         client.write_all(b"over real tcp").unwrap();
-        client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
         let mut buf = [0u8; 64];
         let n = client.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"over real tcp");

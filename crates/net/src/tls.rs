@@ -112,7 +112,9 @@ struct Scrambled<C: Connection> {
 
 impl<C: Connection> fmt::Debug for Scrambled<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Scrambled").field("inner", &self.inner).finish()
+        f.debug_struct("Scrambled")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -221,7 +223,10 @@ mod tests {
 
     #[test]
     fn cert_matching_rules() {
-        assert!(cert_matches("*.scf.tencentcs.com", "a-b-gz.scf.tencentcs.com"));
+        assert!(cert_matches(
+            "*.scf.tencentcs.com",
+            "a-b-gz.scf.tencentcs.com"
+        ));
         assert!(!cert_matches("*.scf.tencentcs.com", "scf.tencentcs.com"));
         assert!(!cert_matches("*.scf.tencentcs.com", "evil.com"));
         assert!(cert_matches("exact.on.aws", "EXACT.on.aws"));
@@ -239,8 +244,7 @@ mod tests {
             assert_eq!(&buf[..n], b"GET / HTTP/1.1");
             conn.write_all(b"HTTP/1.1 200 OK").unwrap();
         });
-        let mut conn =
-            TlsClient::handshake(client_raw, "fn.lambda-url.us-east-1.on.aws").unwrap();
+        let mut conn = TlsClient::handshake(client_raw, "fn.lambda-url.us-east-1.on.aws").unwrap();
         conn.write_all(b"GET / HTTP/1.1").unwrap();
         conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
         let mut buf = [0u8; 32];
@@ -291,9 +295,9 @@ mod tests {
         conn.write_all(payload).unwrap();
         let received = server.join().unwrap();
         assert_eq!(received, payload); // endpoint sees plaintext
-        // (The wire carried scrambled bytes — verified indirectly: a
-        // Scrambled stream with key 0 would be identity, so check the key
-        // derivation is non-trivial for this handshake.)
+                                       // (The wire carried scrambled bytes — verified indirectly: a
+                                       // Scrambled stream with key 0 would be identity, so check the key
+                                       // derivation is non-trivial for this handshake.)
         assert_ne!(derive_key(b"fn.on.aws", b"*.on.aws"), 0);
     }
 }

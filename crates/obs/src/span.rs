@@ -1,0 +1,178 @@
+//! Hierarchical RAII spans.
+//!
+//! A [`Span`] measures one pipeline stage against two clocks:
+//!
+//! * **wall clock** — [`std::time::Instant`] elapsed time;
+//! * **sim clock** — a global virtual-time counter (microseconds) that
+//!   simulation components advance when they model latency (e.g. the
+//!   SimNet fault layer's injected per-chunk delay). It separates "time
+//!   the simulated world spent" from "time the host machine spent".
+//!
+//! Spans nest per thread: a span opened while another is live becomes
+//! its child, and the accumulated stage tree is keyed by the full
+//! `parent/child` path. Guards are expected to drop in LIFO order
+//! (guaranteed by scoping them to blocks); a worker thread starts its
+//! own root rather than inheriting the spawning thread's stack.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global virtual-time counter, in microseconds.
+static SIM_CLOCK_US: AtomicU64 = AtomicU64::new(0);
+
+/// Advance the sim clock. Called by simulation components that model
+/// the passage of time (injected network delay, platform hangs).
+#[inline]
+pub fn advance_sim_micros(us: u64) {
+    SIM_CLOCK_US.fetch_add(us, Ordering::Relaxed);
+}
+
+/// Current sim-clock reading in microseconds.
+#[inline]
+pub fn sim_now_micros() -> u64 {
+    SIM_CLOCK_US.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated timing of one stage path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Total sim-clock microseconds elapsed while the span was open.
+    pub sim_us: u64,
+}
+
+/// RAII guard for one timed stage. Created via [`crate::span`]; a
+/// disabled telemetry layer yields an inert guard with zero cost beyond
+/// the construction check.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    /// Full `parent/child` path; `None` for inert guards.
+    path: Option<String>,
+    start_wall: Instant,
+    start_sim: u64,
+}
+
+impl Span {
+    /// An inert span that records nothing on drop.
+    pub(crate) fn disabled() -> Span {
+        Span {
+            path: None,
+            start_wall: Instant::now(),
+            start_sim: 0,
+        }
+    }
+
+    /// Open a span named `name` under the current thread's span stack.
+    pub(crate) fn enter(name: &str) -> Span {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            path: Some(path),
+            start_wall: Instant::now(),
+            start_sim: sim_now_micros(),
+        }
+    }
+
+    /// The full stage path, e.g. `pipeline/probe` (`None` when inert).
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last().map(String::as_str) == Some(path.as_str()) {
+                stack.pop();
+            }
+        });
+        let wall_ns = self.start_wall.elapsed().as_nanos() as u64;
+        let sim_us = sim_now_micros().saturating_sub(self.start_sim);
+        crate::registry().record_stage(&path, wall_ns, sim_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests call `Span::enter` directly (crate-private) instead of
+    // `fw_obs::span`, so they don't need to flip the process-global
+    // enable flag and can't race the gating test in lib.rs.
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let root = Span::enter("nest_root");
+        assert_eq!(root.path(), Some("nest_root"));
+        {
+            let child = Span::enter("child");
+            assert_eq!(child.path(), Some("nest_root/child"));
+            let grandchild = Span::enter("leaf");
+            assert_eq!(grandchild.path(), Some("nest_root/child/leaf"));
+        }
+        // Siblings opened after a child closed still nest under root.
+        let sibling = Span::enter("sibling");
+        assert_eq!(sibling.path(), Some("nest_root/sibling"));
+        drop(sibling);
+        drop(root);
+
+        let stages = crate::registry().stages();
+        let paths: Vec<&str> = stages.iter().map(|(p, _)| p.as_str()).collect();
+        for expect in [
+            "nest_root",
+            "nest_root/child",
+            "nest_root/child/leaf",
+            "nest_root/sibling",
+        ] {
+            assert!(paths.contains(&expect), "missing stage {expect:?}");
+        }
+        // Parents sort before their children, as render_text relies on.
+        let root_idx = paths.iter().position(|p| *p == "nest_root").unwrap();
+        let leaf_idx = paths
+            .iter()
+            .position(|p| *p == "nest_root/child/leaf")
+            .unwrap();
+        assert!(root_idx < leaf_idx);
+    }
+
+    #[test]
+    fn span_captures_sim_clock_advance() {
+        let s = Span::enter("sim_advance_test");
+        advance_sim_micros(250);
+        drop(s);
+        let stat = crate::registry().stage("sim_advance_test").unwrap();
+        assert_eq!(stat.count, 1);
+        assert!(stat.sim_us >= 250);
+    }
+
+    #[test]
+    fn worker_threads_start_their_own_root() {
+        let _outer = Span::enter("thread_outer");
+        let inner_path = std::thread::spawn(|| {
+            let s = Span::enter("thread_inner");
+            s.path().map(str::to_string)
+        })
+        .join()
+        .unwrap();
+        // The span stack is thread-local: no inheritance across spawn.
+        assert_eq!(inner_path.as_deref(), Some("thread_inner"));
+    }
+}

@@ -38,7 +38,10 @@ pub enum Ast {
     /// `.` — any byte except newline.
     AnyChar,
     /// `[...]` — set of items, possibly negated.
-    Class { items: Vec<ClassItem>, negated: bool },
+    Class {
+        items: Vec<ClassItem>,
+        negated: bool,
+    },
     /// Sequence of nodes.
     Concat(Vec<Ast>),
     /// `a|b|c`.
@@ -67,7 +70,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "pattern parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -257,8 +264,8 @@ impl<'a> Parser<'a> {
             b'n' => Ast::Literal(b'\n'),
             b'r' => Ast::Literal(b'\r'),
             b't' => Ast::Literal(b'\t'),
-            b'.' | b'\\' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'|' | b'*' | b'+'
-            | b'?' | b'^' | b'$' | b'-' | b'/' => Ast::Literal(b),
+            b'.' | b'\\' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'|' | b'*' | b'+' | b'?'
+            | b'^' | b'$' | b'-' | b'/' => Ast::Literal(b),
             other => {
                 self.pos -= 1;
                 return Err(self.err(&format!("unknown escape '\\{}'", other as char)));
@@ -361,7 +368,10 @@ mod tests {
     fn parses_simple_concat() {
         let (ast, groups) = parse("ab").unwrap();
         assert_eq!(groups, 0);
-        assert_eq!(ast, Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')]));
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')])
+        );
     }
 
     #[test]
@@ -376,7 +386,10 @@ mod tests {
         match ast {
             Ast::Class { items, negated } => {
                 assert!(!negated);
-                assert_eq!(items, vec![ClassItem::Range(b'a', b'z'), ClassItem::Byte(b'-')]);
+                assert_eq!(
+                    items,
+                    vec![ClassItem::Range(b'a', b'z'), ClassItem::Byte(b'-')]
+                );
             }
             other => panic!("unexpected ast {other:?}"),
         }
@@ -398,10 +411,19 @@ mod tests {
 
     #[test]
     fn bounded_rep_forms() {
-        for (pat, min, max) in [("a{3}", 3, Some(3)), ("a{2,5}", 2, Some(5)), ("a{4,}", 4, None)] {
+        for (pat, min, max) in [
+            ("a{3}", 3, Some(3)),
+            ("a{2,5}", 2, Some(5)),
+            ("a{4,}", 4, None),
+        ] {
             let (ast, _) = parse(pat).unwrap();
             match ast {
-                Ast::Repeat { min: m, max: x, greedy, .. } => {
+                Ast::Repeat {
+                    min: m,
+                    max: x,
+                    greedy,
+                    ..
+                } => {
                     assert_eq!((m, x), (min, max));
                     assert!(greedy);
                 }

@@ -15,7 +15,10 @@ pub enum Inst {
     /// Consume any byte except `\n`.
     Any,
     /// Consume one byte matched by the class.
-    Class { items: Vec<ClassItem>, negated: bool },
+    Class {
+        items: Vec<ClassItem>,
+        negated: bool,
+    },
     /// Try `a` first (higher priority), then `b`.
     Split(usize, usize),
     /// Unconditional jump.

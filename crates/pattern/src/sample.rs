@@ -59,9 +59,7 @@ impl Default for SamplerConfig {
             min_unbounded_reps: 0,
             // Domain-friendly alphabet: the Table 1 wildcards stand for
             // user-chosen labels, which are lowercase alphanumerics and '-'.
-            any_alphabet: (b'a'..=b'z')
-                .chain(b'0'..=b'9')
-                .collect(),
+            any_alphabet: (b'a'..=b'z').chain(b'0'..=b'9').collect(),
         }
     }
 }
@@ -145,7 +143,11 @@ impl<'p> Sampler<'p> {
                     *min
                 };
                 let hi = max.unwrap_or(lo + self.config.max_unbounded_reps).max(lo);
-                let count = if hi > lo { lo + rng.below(hi - lo + 1) } else { lo };
+                let count = if hi > lo {
+                    lo + rng.below(hi - lo + 1)
+                } else {
+                    lo
+                };
                 for _ in 0..count {
                     self.node(node, rng, out);
                 }

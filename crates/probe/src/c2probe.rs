@@ -153,8 +153,7 @@ mod tests {
     fn world() -> (CloudPlatform, SimNet, Arc<RwLock<Resolver>>) {
         let net = SimNet::new(17);
         let resolver = Arc::new(RwLock::new(Resolver::new()));
-        let platform =
-            CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
+        let platform = CloudPlatform::new(net.clone(), resolver.clone(), PlatformConfig::default());
         (platform, net, resolver)
     }
 
@@ -182,7 +181,9 @@ mod tests {
         let benign = platform
             .deploy(DeploySpec::new(
                 ProviderId::Tencent,
-                Behavior::JsonApi { service: "clean".into() },
+                Behavior::JsonApi {
+                    service: "clean".into(),
+                },
             ))
             .unwrap()
             .fqdn;
@@ -202,9 +203,13 @@ mod tests {
         let (platform, net, resolver) = world();
         let mut domains = Vec::new();
         for behavior in [
-            Behavior::JsonApi { service: "a".into() },
+            Behavior::JsonApi {
+                service: "a".into(),
+            },
             Behavior::HtmlPage { title: "b".into() },
-            Behavior::PathGated { good_path: "/real".into() },
+            Behavior::PathGated {
+                good_path: "/real".into(),
+            },
             Behavior::Crasher,
         ] {
             domains.push(

@@ -1,8 +1,9 @@
 //! The active HTTP(S) prober (§3.3).
 //!
 //! Ethics policy mirrored from the paper and Appendix A:
-//! parameter-free GETs only, HTTPS first with HTTP fallback, at most
-//! three requests per function, a uniform timeout, and an identifying
+//! parameter-free GETs only, HTTPS first with HTTP fallback, fewer than
+//! three content requests per function (so at most two: HTTPS + the
+//! HTTP fallback), a uniform timeout, and an identifying
 //! `User-Agent` (the paper additionally ran an opt-out page on the probe
 //! host).
 
@@ -36,7 +37,11 @@ impl Default for ProbeConfig {
     fn default() -> Self {
         ProbeConfig {
             timeout: Duration::from_secs(60),
-            max_requests_per_function: 3,
+            // Appendix A promises "less than 3 content requests" per
+            // function, i.e. at most 2: the HTTPS attempt plus the HTTP
+            // fallback. (The old default of 3 satisfied "≤ 3" but not
+            // the paper's strict "< 3".)
+            max_requests_per_function: 2,
             workers: 8,
             now: 0,
         }
@@ -139,6 +144,16 @@ pub struct ProbeRecord {
     pub requests_issued: u32,
 }
 
+/// Metric label for the provider owning `fqdn` (Table 1 suffix match),
+/// lowercased for `fw.probe.latency_us.<provider>` histogram names.
+fn provider_label(fqdn: &Fqdn) -> String {
+    fw_types::ProviderId::ALL
+        .iter()
+        .find(|p| fqdn.has_suffix(p.domain_suffix()))
+        .map(|p| p.label().to_ascii_lowercase())
+        .unwrap_or_else(|| "other".to_string())
+}
+
 /// The prober.
 pub struct Prober {
     net: SimNet,
@@ -182,6 +197,7 @@ impl Prober {
     /// Probe a single domain: resolve, HTTPS, fallback HTTP.
     pub fn probe_one(&self, fqdn: &Fqdn) -> ProbeRecord {
         if self.opt_out.contains(fqdn) {
+            fw_obs::counter_inc!("fw.probe.opt_out_skips");
             return ProbeRecord {
                 fqdn: fqdn.clone(),
                 outcome: ProbeOutcome::OptedOut,
@@ -195,18 +211,15 @@ impl Prober {
         let addrs = match resolution {
             Ok(res) => res.addresses(),
             Err(e) => {
+                fw_obs::counter_inc!("fw.probe.resolve_failures");
                 return ProbeRecord {
                     fqdn: fqdn.clone(),
                     outcome: ProbeOutcome::DnsFailure(e),
                     requests_issued: 0,
-                }
+                };
             }
         };
-        let Some(Rdata::V4(ip)) = addrs
-            .iter()
-            .find(|r| matches!(r, Rdata::V4(_)))
-            .cloned()
-        else {
+        let Some(Rdata::V4(ip)) = addrs.iter().find(|r| matches!(r, Rdata::V4(_))).cloned() else {
             return ProbeRecord {
                 fqdn: fqdn.clone(),
                 outcome: ProbeOutcome::Unreachable {
@@ -225,7 +238,21 @@ impl Prober {
             }
             let url = Url::for_domain(fqdn.as_str(), https);
             issued += 1;
-            match client.get_url(SocketAddr::new(IpAddr::V4(ip), url.port), &url) {
+            fw_obs::counter_inc!("fw.probe.requests");
+            if !https {
+                fw_obs::counter_inc!("fw.probe.https_fallback");
+            }
+            let started = std::time::Instant::now();
+            let result = client.get_url(SocketAddr::new(IpAddr::V4(ip), url.port), &url);
+            if fw_obs::enabled() {
+                // Per-provider latency names are dynamic, so the
+                // registry is addressed directly (the macros cache one
+                // handle per call site).
+                fw_obs::registry()
+                    .histogram(&format!("fw.probe.latency_us.{}", provider_label(fqdn)))
+                    .record_duration_us(started.elapsed());
+            }
+            match result {
                 Ok(response) => {
                     return ProbeRecord {
                         fqdn: fqdn.clone(),
@@ -235,6 +262,9 @@ impl Prober {
                 }
                 Err(FetchError::Dial(e)) => last_err = format!("dial: {e}"),
                 Err(FetchError::Http(e)) => last_err = format!("http: {e}"),
+            }
+            if last_err.contains("timed out") {
+                fw_obs::counter_inc!("fw.probe.timeouts");
             }
         }
         ProbeRecord {
@@ -324,7 +354,9 @@ mod tests {
         let d = platform
             .deploy(DeploySpec::new(
                 ProviderId::Aws,
-                Behavior::JsonApi { service: "x".into() },
+                Behavior::JsonApi {
+                    service: "x".into(),
+                },
             ))
             .unwrap();
         let rec = prober(&net, &resolver).probe_one(&d.fqdn);
@@ -362,11 +394,15 @@ mod tests {
         let rec = prober(&net, &resolver).probe_one(&d.fqdn);
         match &rec.outcome {
             ProbeOutcome::Unreachable { reason } => {
-                assert!(reason.contains("timed out") || reason.contains("http"), "{reason}");
+                assert!(
+                    reason.contains("timed out") || reason.contains("http"),
+                    "{reason}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
-        // HTTPS attempt + HTTP fallback, within the ≤3 budget.
+        // HTTPS attempt + HTTP fallback — exactly the "< 3 content
+        // requests" budget of Appendix A.
         assert_eq!(rec.requests_issued, 2);
     }
 
@@ -374,11 +410,7 @@ mod tests {
     fn ethics_budget_is_never_exceeded() {
         let (platform, net, resolver) = world();
         let mut domains = Vec::new();
-        for behavior in [
-            Behavior::EmptyOk,
-            Behavior::InternalOnly,
-            Behavior::Crasher,
-        ] {
+        for behavior in [Behavior::EmptyOk, Behavior::InternalOnly, Behavior::Crasher] {
             domains.push(
                 platform
                     .deploy(DeploySpec::new(ProviderId::Aws, behavior))
@@ -388,8 +420,38 @@ mod tests {
         }
         let recs = prober(&net, &resolver).probe_all(&domains);
         for rec in recs {
-            assert!(rec.requests_issued <= 3, "{rec:?}");
+            // Appendix A: "< 3 content requests" per function, i.e. at
+            // most 2 (HTTPS + HTTP fallback).
+            assert!(rec.requests_issued <= 2, "{rec:?}");
         }
+    }
+
+    #[test]
+    fn default_cap_is_below_three_and_always_enforced() {
+        // Regression for the paper's "< 3 content requests" promise: the
+        // default budget must be strictly below 3 ...
+        assert!(ProbeConfig::default().max_requests_per_function < 3);
+
+        // ... and a tighter budget suppresses the HTTP fallback: a
+        // function reachable only over HTTP stays Unreachable with a
+        // single issued request when the cap is 1.
+        let (platform, net, resolver) = world();
+        let d = platform
+            .deploy(DeploySpec::new(ProviderId::Aws, Behavior::InternalOnly))
+            .unwrap();
+        let tight = Prober::new(
+            net.clone(),
+            resolver.clone(),
+            ProbeConfig {
+                timeout: Duration::from_millis(300),
+                workers: 1,
+                max_requests_per_function: 1,
+                now: 0,
+            },
+        );
+        let rec = tight.probe_one(&d.fqdn);
+        assert!(matches!(rec.outcome, ProbeOutcome::Unreachable { .. }));
+        assert_eq!(rec.requests_issued, 1, "cap of 1 forbids the fallback");
     }
 
     #[test]
@@ -400,7 +462,9 @@ mod tests {
             let d = platform
                 .deploy(DeploySpec::new(
                     ProviderId::Google2,
-                    Behavior::JsonApi { service: format!("svc{i}") },
+                    Behavior::JsonApi {
+                        service: format!("svc{i}"),
+                    },
                 ))
                 .unwrap();
             domains.push(d.fqdn);
@@ -421,7 +485,12 @@ mod tests {
     fn status_codes_surface_for_figure6() {
         let (platform, net, resolver) = world();
         let cases = [
-            (Behavior::PathGated { good_path: "/x".into() }, 404),
+            (
+                Behavior::PathGated {
+                    good_path: "/x".into(),
+                },
+                404,
+            ),
             (Behavior::AuthRequired, 401),
             (Behavior::Crasher, 502),
             (Behavior::EmptyOk, 200),
@@ -441,7 +510,9 @@ mod tests {
         let d = platform
             .deploy(DeploySpec::new(
                 ProviderId::Aws,
-                Behavior::JsonApi { service: "private".into() },
+                Behavior::JsonApi {
+                    service: "private".into(),
+                },
             ))
             .unwrap();
         let other = platform

@@ -8,7 +8,6 @@
 //! [`MonthStamp`] buckets days into calendar months for the monthly trend
 //! figures (Figures 3, 4 and 7).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A calendar day, stored as days since 1970-01-01 (UTC).
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(d.ymd(), (2022, 4, 1));
 /// assert_eq!((d + 30).ymd(), (2022, 5, 1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DayStamp(pub i64);
 
 /// First day of the paper's measurement window (April 2022).
@@ -89,7 +88,7 @@ impl std::ops::Sub<DayStamp> for DayStamp {
 }
 
 /// A calendar month, used for the paper's monthly trend series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MonthStamp {
     pub year: i32,
     pub month: u32,
@@ -119,9 +118,15 @@ impl MonthStamp {
     /// The following month.
     pub fn next(self) -> MonthStamp {
         if self.month == 12 {
-            MonthStamp { year: self.year + 1, month: 1 }
+            MonthStamp {
+                year: self.year + 1,
+                month: 1,
+            }
         } else {
-            MonthStamp { year: self.year, month: self.month + 1 }
+            MonthStamp {
+                year: self.year,
+                month: self.month + 1,
+            }
         }
     }
 

@@ -5,12 +5,10 @@
 //! normalises to lowercase and validates basic DNS shape so downstream code
 //! can compare names with plain equality.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated, lowercase fully-qualified domain name (no trailing dot).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fqdn(String);
 
 impl Fqdn {
@@ -63,8 +61,7 @@ impl Fqdn {
         if self.0 == suffix {
             return true;
         }
-        self.0.ends_with(&suffix)
-            && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
+        self.0.ends_with(&suffix) && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
     }
 
     /// Registrable-suffix convenience: the last `n` labels joined by dots.

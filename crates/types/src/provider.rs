@@ -12,12 +12,11 @@
 //!   DNS cannot observe; these are excluded from active probing and from
 //!   per-function aggregation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a provider exposes the function URL at creation time (Table 1,
 /// "Generation Mode").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UrlGenerationMode {
     /// URL is generated automatically when the function is created.
     Automatic,
@@ -39,7 +38,7 @@ impl fmt::Display for UrlGenerationMode {
 }
 
 /// One of the ten provider URL formats from Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ProviderId {
     Aliyun,
     Baidu,
@@ -243,8 +242,14 @@ mod tests {
         assert_eq!(ProviderId::Aws.launch_year(), 2014);
         assert_eq!(ProviderId::Google2.launch_year(), 2022);
         assert_eq!(ProviderId::Tencent.domain_suffix(), "scf.tencentcs.com");
-        assert_eq!(ProviderId::Baidu.generation_mode(), UrlGenerationMode::Manual);
-        assert_eq!(ProviderId::Aws.generation_mode(), UrlGenerationMode::Optional);
+        assert_eq!(
+            ProviderId::Baidu.generation_mode(),
+            UrlGenerationMode::Manual
+        );
+        assert_eq!(
+            ProviderId::Aws.generation_mode(),
+            UrlGenerationMode::Optional
+        );
         assert_eq!(
             ProviderId::Oracle.generation_mode(),
             UrlGenerationMode::Automatic

@@ -6,12 +6,11 @@
 //! the measurement pipeline reasons about.
 
 use crate::Fqdn;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// DNS record type, with the numeric code used in PDNS `rtype` fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RecordType {
     /// IPv4 address record (rtype = 1).
     A,
@@ -55,7 +54,7 @@ impl fmt::Display for RecordType {
 }
 
 /// Resolution data: the right-hand side of a DNS answer.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rdata {
     V4(Ipv4Addr),
     V6(Ipv6Addr),

@@ -146,9 +146,9 @@ pub const FRACTION_DENSITY_ONE: f64 = 0.8301;
 /// Lifespan mixture: `(weight, lo_days, hi_days, contiguous)`.
 /// Contiguous lifespans have p = 1 (active every day).
 pub const LIFESPAN_MIXTURE: [(f64, i64, i64, bool); 4] = [
-    (0.8130, 1, 1, true),     // single day
-    (0.0264, 2, 4, true),     // short continuous
-    (0.0866, 5, 120, false),  // intermittent medium
+    (0.8130, 1, 1, true),      // single day
+    (0.0264, 2, 4, true),      // short continuous
+    (0.0866, 5, 120, false),   // intermittent medium
     (0.0740, 121, 730, false), // long-lived intermittent
 ];
 
@@ -191,14 +191,38 @@ pub struct AbuseCalib {
     pub requests: u64,
 }
 
-pub const ABUSE_C2: AbuseCalib = AbuseCalib { functions: 16, requests: 273_291 };
-pub const ABUSE_GAMBLING: AbuseCalib = AbuseCalib { functions: 194, requests: 24_979 };
-pub const ABUSE_PORN: AbuseCalib = AbuseCalib { functions: 8, requests: 854 };
-pub const ABUSE_CHEAT: AbuseCalib = AbuseCalib { functions: 4, requests: 11_941 };
-pub const ABUSE_REDIRECT: AbuseCalib = AbuseCalib { functions: 23, requests: 16_771 };
-pub const ABUSE_OPENAI_RESALE: AbuseCalib = AbuseCalib { functions: 243, requests: 106_315 };
-pub const ABUSE_ILLEGAL_PROXY: AbuseCalib = AbuseCalib { functions: 20, requests: 170_195 };
-pub const ABUSE_GEO_PROXY: AbuseCalib = AbuseCalib { functions: 86, requests: 10_873 };
+pub const ABUSE_C2: AbuseCalib = AbuseCalib {
+    functions: 16,
+    requests: 273_291,
+};
+pub const ABUSE_GAMBLING: AbuseCalib = AbuseCalib {
+    functions: 194,
+    requests: 24_979,
+};
+pub const ABUSE_PORN: AbuseCalib = AbuseCalib {
+    functions: 8,
+    requests: 854,
+};
+pub const ABUSE_CHEAT: AbuseCalib = AbuseCalib {
+    functions: 4,
+    requests: 11_941,
+};
+pub const ABUSE_REDIRECT: AbuseCalib = AbuseCalib {
+    functions: 23,
+    requests: 16_771,
+};
+pub const ABUSE_OPENAI_RESALE: AbuseCalib = AbuseCalib {
+    functions: 243,
+    requests: 106_315,
+};
+pub const ABUSE_ILLEGAL_PROXY: AbuseCalib = AbuseCalib {
+    functions: 20,
+    requests: 170_195,
+};
+pub const ABUSE_GEO_PROXY: AbuseCalib = AbuseCalib {
+    functions: 86,
+    requests: 10_873,
+};
 
 /// Table 3 totals: 594 functions. Note: the paper's Table 3 prints a
 /// total of 614,219 requests, but its own rows sum to 615,219 — a
@@ -307,7 +331,10 @@ mod tests {
         let sum: u64 = PROVIDERS.iter().map(|c| c.domains).sum();
         // Table 2 sums to 531,083; the abstract reports 531,089 (six
         // domains of rounding/dedup slack in the paper itself).
-        assert!((TOTAL_DOMAINS as i64 - sum as i64).abs() <= 10, "sum = {sum}");
+        assert!(
+            (TOTAL_DOMAINS as i64 - sum as i64).abs() <= 10,
+            "sum = {sum}"
+        );
     }
 
     #[test]
@@ -340,7 +367,10 @@ mod tests {
             .filter(|(_, _, hi)| *hi < 5)
             .map(|(w, _, _)| w)
             .sum();
-        assert!((under5 - FRACTION_UNDER_5_REQUESTS).abs() < 1e-6, "{under5}");
+        assert!(
+            (under5 - FRACTION_UNDER_5_REQUESTS).abs() < 1e-6,
+            "{under5}"
+        );
         // The 3–6 peak carries roughly the Figure 5 annotation's mass.
         let peak: f64 = REQUEST_MIXTURE
             .iter()
@@ -407,7 +437,9 @@ mod tests {
         assert_eq!(first_seen_weight(ProviderId::Tencent, 10), 0.0);
         assert!(first_seen_weight(ProviderId::Tencent, 17) > 0.0);
         // AWS launch spike dominates its steady state.
-        assert!(first_seen_weight(ProviderId::Aws, 0) > 3.0 * first_seen_weight(ProviderId::Aws, 12));
+        assert!(
+            first_seen_weight(ProviderId::Aws, 0) > 3.0 * first_seen_weight(ProviderId::Aws, 12)
+        );
         // Google2 default-option boost.
         assert!(
             first_seen_weight(ProviderId::Google2, 17)

@@ -237,12 +237,9 @@ impl<'a> Generator<'a> {
                                 .expect("valid v6"),
                         ),
                         _ => {
-                            let region = spec(c.provider).regions[k as usize
-                                % spec(c.provider).regions.len()];
-                            let host = format!(
-                                "{region}-lb{k}.{}",
-                                cname_suffix(c.provider)
-                            );
+                            let region = spec(c.provider).regions
+                                [k as usize % spec(c.provider).regions.len()];
+                            let host = format!("{region}-lb{k}.{}", cname_suffix(c.provider));
                             Rdata::Name(Fqdn::parse(&host).expect("valid cname"))
                         }
                     })
@@ -325,9 +322,9 @@ impl<'a> Generator<'a> {
             }
             ProviderId::Aws => {
                 // AWS's outsized 502 share (§4.4) and 403-for-deleted.
-                let aws_502 = calib::FRACTION_502 * calib::AWS_SHARE_OF_502
-                    * calib::PAPER_PROBED as f64
-                    / 19_683.0;
+                let aws_502 =
+                    calib::FRACTION_502 * calib::AWS_SHARE_OF_502 * calib::PAPER_PROBED as f64
+                        / 19_683.0;
                 if r < aws_502 {
                     return BenignClass::Err502;
                 }
@@ -371,9 +368,8 @@ impl<'a> Generator<'a> {
                 BenignClass::Ok200Json
             } else if r3 < calib::CONTENT_MIX_JSON + calib::CONTENT_MIX_HTML {
                 BenignClass::Ok200Html
-            } else if r3 < calib::CONTENT_MIX_JSON
-                + calib::CONTENT_MIX_HTML
-                + calib::CONTENT_MIX_PLAIN
+            } else if r3
+                < calib::CONTENT_MIX_JSON + calib::CONTENT_MIX_HTML + calib::CONTENT_MIX_PLAIN
             {
                 BenignClass::Ok200Plain
             } else {
@@ -396,12 +392,7 @@ impl<'a> Generator<'a> {
         BenignClass::Gated404
     }
 
-    fn generate_function(
-        &mut self,
-        c: &calib::ProviderCalib,
-        plan: FunctionPlan,
-        probed: bool,
-    ) {
+    fn generate_function(&mut self, c: &calib::ProviderCalib, plan: FunctionPlan, probed: bool) {
         let provider = c.provider;
         // Region: abuse geo-proxies must sit outside China.
         let region = self.pick_region(provider, &plan);
@@ -419,10 +410,7 @@ impl<'a> Generator<'a> {
             if matches!(plan.benign_class(), Some(BenignClass::Auth401)) {
                 dspec = dspec.with_auth();
             }
-            let deployed = self
-                .platform
-                .deploy(dspec)
-                .expect("valid deployment plan");
+            let deployed = self.platform.deploy(dspec).expect("valid deployment plan");
             if matches!(plan.benign_class(), Some(BenignClass::Deleted)) {
                 self.platform.delete(&deployed.fqdn);
             }
@@ -452,7 +440,10 @@ impl<'a> Generator<'a> {
         let regions = spec(provider).regions;
         let geo_bypass = matches!(
             plan,
-            FunctionPlan::Abuse(PlannedAbuse { case: AbuseCase::GeoProxy, .. })
+            FunctionPlan::Abuse(PlannedAbuse {
+                case: AbuseCase::GeoProxy,
+                ..
+            })
         );
         for _ in 0..32 {
             let r = regions[self.rng.gen_range(0..regions.len())];
@@ -495,12 +486,7 @@ impl<'a> Generator<'a> {
         (first_seen, requests, lifespan, contiguous)
     }
 
-    fn plan_month_weight(
-        &self,
-        provider: ProviderId,
-        plan: &FunctionPlan,
-        m: usize,
-    ) -> f64 {
+    fn plan_month_weight(&self, provider: ProviderId, plan: &FunctionPlan, m: usize) -> f64 {
         if let FunctionPlan::Abuse(a) = plan {
             match a.case {
                 AbuseCase::OpenAiResale => {
@@ -650,10 +636,7 @@ impl<'a> Generator<'a> {
                 };
                 // One rdata draw per day/rtype (a resolver answers from
                 // one node for the whole TTL window).
-                let total = *self.pools[pidx]
-                    .cumulative
-                    .last()
-                    .expect("pool non-empty");
+                let total = *self.pools[pidx].cumulative.last().expect("pool non-empty");
                 let x = self.rng.gen_range(0.0..total);
                 let pool = &self.pools[pidx];
                 let idx = pool
@@ -694,16 +677,13 @@ impl<'a> Generator<'a> {
                 .functions
                 .iter()
                 .enumerate()
-                .filter(|(_, f)| {
-                    f.provider == c.provider && matches!(f.truth, Truth::Benign(_))
-                })
+                .filter(|(_, f)| f.provider == c.provider && matches!(f.truth, Truth::Benign(_)))
                 .map(|(i, _)| i)
                 .collect();
             if candidates.is_empty() {
                 continue;
             }
-            candidates
-                .sort_by_key(|i| std::cmp::Reverse(self.functions[*i].total_requests));
+            candidates.sort_by_key(|i| std::cmp::Reverse(self.functions[*i].total_requests));
             let k = (candidates.len() / 50).clamp(1, 50).min(candidates.len());
             candidates.truncate(k);
 
@@ -771,14 +751,22 @@ impl<'a> Generator<'a> {
             BenignClass::Gated404 => Behavior::PathGated {
                 good_path: format!("/api/v{}/{}", self.rng.gen_range(1..4), n),
             },
-            BenignClass::Ok200Json => Behavior::JsonApi { service: format!("svc{n}") },
-            BenignClass::Ok200Html => Behavior::HtmlPage { title: format!("Site {n}") },
-            BenignClass::Ok200Plain => Behavior::PlainLog { tag: format!("job{n}") },
+            BenignClass::Ok200Json => Behavior::JsonApi {
+                service: format!("svc{n}"),
+            },
+            BenignClass::Ok200Html => Behavior::HtmlPage {
+                title: format!("Site {n}"),
+            },
+            BenignClass::Ok200Plain => Behavior::PlainLog {
+                tag: format!("job{n}"),
+            },
             BenignClass::Ok200Other => Behavior::ScriptOutput { xml: n % 2 == 0 },
             BenignClass::Ok200Empty => Behavior::EmptyOk,
             // The platform's auth layer produces the 401; behaviour
             // behind it is irrelevant.
-            BenignClass::Auth401 => Behavior::JsonApi { service: format!("locked{n}") },
+            BenignClass::Auth401 => Behavior::JsonApi {
+                service: format!("locked{n}"),
+            },
             BenignClass::Err502 => Behavior::Crasher,
             BenignClass::Deleted => Behavior::EmptyOk,
             BenignClass::Internal => Behavior::InternalOnly,
@@ -801,8 +789,14 @@ impl<'a> Generator<'a> {
                 }
             }
             AbuseCase::Gambling => {
-                const BRANDS: [&str; 6] =
-                    ["LuckyWin", "MegaBet", "GoldJackpot", "SpinKing", "BetRiver", "SlotStar"];
+                const BRANDS: [&str; 6] = [
+                    "LuckyWin",
+                    "MegaBet",
+                    "GoldJackpot",
+                    "SpinKing",
+                    "BetRiver",
+                    "SlotStar",
+                ];
                 Behavior::GamblingSite {
                     brand: BRANDS[a.variant as usize % BRANDS.len()].to_string(),
                     campaign: a.variant / 8, // campaign-consistent groups
@@ -881,7 +875,10 @@ impl<'a> Generator<'a> {
             let parts = UrlParts {
                 fname: format!("fn{}", self.rng.gen_range(0..1_000_000u32)),
                 pname: format!("proj{}", self.rng.gen_range(0..1_000_000u32)),
-                user_id: format!("{:010}", self.rng.gen_range(1_250_000_000u64..1_399_999_999)),
+                user_id: format!(
+                    "{:010}",
+                    self.rng.gen_range(1_250_000_000u64..1_399_999_999)
+                ),
                 random,
                 region: region.to_string(),
             };
@@ -957,11 +954,11 @@ impl AbusePlan {
         let mut entries = Vec::new();
 
         let push_case = |case: AbuseCase,
-                             calib: calib::AbuseCalib,
-                             providers: &[ProviderId],
-                             lifespan: &dyn Fn(&mut SmallRng, u32) -> i64,
-                             entries: &mut Vec<PlannedAbuse>,
-                             rng: &mut SmallRng| {
+                         calib: calib::AbuseCalib,
+                         providers: &[ProviderId],
+                         lifespan: &dyn Fn(&mut SmallRng, u32) -> i64,
+                         entries: &mut Vec<PlannedAbuse>,
+                         rng: &mut SmallRng| {
             let n = config.scaled(calib.functions);
             let budget = (calib.requests as f64 * config.scale).max(1.0) as u64;
             // Random weights for the per-function request split.
@@ -1075,7 +1072,10 @@ impl AbusePlan {
                 } else if i < biggest + account_sellers {
                     (1, true)
                 } else {
-                    (2 + (i as u32 % (contact_count.saturating_sub(2).max(1))), false)
+                    (
+                        2 + (i as u32 % (contact_count.saturating_sub(2).max(1))),
+                        false,
+                    )
                 };
                 entries.push(PlannedAbuse {
                     case: AbuseCase::OpenAiResale,
@@ -1108,48 +1108,89 @@ impl AbusePlan {
 
         // Finding 5 — sensitive-leak functions on a probed provider.
         let mut items: Vec<LeakItem> = Vec::new();
-        let add = |n: u64, make: &dyn Fn(&mut SmallRng, u64) -> LeakItem,
-                       rng: &mut SmallRng, items: &mut Vec<LeakItem>| {
+        let add = |n: u64,
+                   make: &dyn Fn(&mut SmallRng, u64) -> LeakItem,
+                   rng: &mut SmallRng,
+                   items: &mut Vec<LeakItem>| {
             for i in 0..config.scaled(n) {
                 items.push(make(rng, i));
             }
         };
-        add(calib::SENSITIVE_PHONE, &|rng, _| {
-            LeakItem::Phone(format!("+861{}{:08}", rng.gen_range(3..=9), rng.gen_range(0..99_999_999u64)))
-        }, &mut rng, &mut items);
-        add(calib::SENSITIVE_NATIONAL_ID, &|rng, _| {
-            LeakItem::NationalId(format!("11010519{:02}12310{:02}X", rng.gen_range(10..99), rng.gen_range(10..99)))
-        }, &mut rng, &mut items);
-        add(calib::SENSITIVE_TOKEN, &|rng, i| {
-            LeakItem::AccessToken(match i % 3 {
-                0 => format!("AKIA{:016X}", rng.gen::<u64>())[..20].to_string(),
-                1 => format!("ghp_{:032x}", rng.gen::<u128>()),
-                _ => format!(
-                    "eyJhbGciOiJIUzI1NiJ9.eyJzdWIiOiI{:08x}In0.c2lnbmF0dXJl{:04x}",
-                    rng.gen::<u32>(),
-                    rng.gen::<u16>()
-                ),
-            })
-        }, &mut rng, &mut items);
-        add(calib::SENSITIVE_API_KEY, &|rng, _| {
-            LeakItem::ApiKey(format!("sk-{:048x}", rng.gen::<u128>()))
-        }, &mut rng, &mut items);
-        add(calib::SENSITIVE_PASSWORD, &|rng, _| {
-            LeakItem::Password(format!("P@ss{:06}!", rng.gen_range(0..999_999u32)))
-        }, &mut rng, &mut items);
-        add(calib::SENSITIVE_NETWORK_ID, &|rng, i| {
-            LeakItem::NetworkId(if i % 4 == 0 {
-                format!(
-                    "0A:1B:{:02X}:{:02X}:{:02X}:{:02X}",
-                    rng.gen::<u8>(),
-                    rng.gen::<u8>(),
-                    rng.gen::<u8>(),
-                    rng.gen::<u8>()
-                )
-            } else {
-                format!("10.{}.{}.{}", rng.gen_range(0..255), rng.gen_range(0..255), rng.gen_range(1..255))
-            })
-        }, &mut rng, &mut items);
+        add(
+            calib::SENSITIVE_PHONE,
+            &|rng, _| {
+                LeakItem::Phone(format!(
+                    "+861{}{:08}",
+                    rng.gen_range(3..=9),
+                    rng.gen_range(0..99_999_999u64)
+                ))
+            },
+            &mut rng,
+            &mut items,
+        );
+        add(
+            calib::SENSITIVE_NATIONAL_ID,
+            &|rng, _| {
+                LeakItem::NationalId(format!(
+                    "11010519{:02}12310{:02}X",
+                    rng.gen_range(10..99),
+                    rng.gen_range(10..99)
+                ))
+            },
+            &mut rng,
+            &mut items,
+        );
+        add(
+            calib::SENSITIVE_TOKEN,
+            &|rng, i| {
+                LeakItem::AccessToken(match i % 3 {
+                    0 => format!("AKIA{:016X}", rng.gen::<u64>())[..20].to_string(),
+                    1 => format!("ghp_{:032x}", rng.gen::<u128>()),
+                    _ => format!(
+                        "eyJhbGciOiJIUzI1NiJ9.eyJzdWIiOiI{:08x}In0.c2lnbmF0dXJl{:04x}",
+                        rng.gen::<u32>(),
+                        rng.gen::<u16>()
+                    ),
+                })
+            },
+            &mut rng,
+            &mut items,
+        );
+        add(
+            calib::SENSITIVE_API_KEY,
+            &|rng, _| LeakItem::ApiKey(format!("sk-{:048x}", rng.gen::<u128>())),
+            &mut rng,
+            &mut items,
+        );
+        add(
+            calib::SENSITIVE_PASSWORD,
+            &|rng, _| LeakItem::Password(format!("P@ss{:06}!", rng.gen_range(0..999_999u32))),
+            &mut rng,
+            &mut items,
+        );
+        add(
+            calib::SENSITIVE_NETWORK_ID,
+            &|rng, i| {
+                LeakItem::NetworkId(if i % 4 == 0 {
+                    format!(
+                        "0A:1B:{:02X}:{:02X}:{:02X}:{:02X}",
+                        rng.gen::<u8>(),
+                        rng.gen::<u8>(),
+                        rng.gen::<u8>(),
+                        rng.gen::<u8>()
+                    )
+                } else {
+                    format!(
+                        "10.{}.{}.{}",
+                        rng.gen_range(0..255),
+                        rng.gen_range(0..255),
+                        rng.gen_range(1..255)
+                    )
+                })
+            },
+            &mut rng,
+            &mut items,
+        );
 
         // 1–3 items per leaky function.
         let mut leaks: Vec<Vec<LeakItem>> = Vec::new();
@@ -1385,7 +1426,11 @@ mod tests {
     fn tencent_functions_only_appear_after_launch() {
         let w = tiny_world();
         let launch = month_of_index(calib::MONTH_TENCENT_LAUNCH).first_day();
-        for f in w.functions.iter().filter(|f| f.provider == ProviderId::Tencent) {
+        for f in w
+            .functions
+            .iter()
+            .filter(|f| f.provider == ProviderId::Tencent)
+        {
             assert!(f.first_seen >= launch, "{} at {}", f.fqdn, f.first_seen);
         }
     }
@@ -1430,11 +1475,7 @@ mod tests {
                 .map(|f| f.total_requests)
                 .sum();
             let target = (c.total_requests as f64 * w.config.scale) as u64;
-            assert!(
-                total >= target,
-                "{}: {total} < target {target}",
-                c.provider
-            );
+            assert!(total >= target, "{}: {total} < target {target}", c.provider);
             assert!(
                 (total as f64) < target as f64 * 1.6 + 1_000.0,
                 "{}: {total} overshoots target {target}",

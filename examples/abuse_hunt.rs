@@ -86,7 +86,9 @@ fn main() {
             "benign control (should NOT be flagged)",
             DeploySpec::new(
                 ProviderId::Google2,
-                Behavior::JsonApi { service: "weather".into() },
+                Behavior::JsonApi {
+                    service: "weather".into(),
+                },
             ),
         ),
     ];
@@ -109,24 +111,21 @@ fn main() {
             ..ProbeConfig::default()
         },
     );
-    let c2_scanner =
-        C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
+    let c2_scanner = C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
 
     for (label, fqdn) in &domains {
         let record = prober.probe_one(fqdn);
         let verdict = match &record.outcome {
-            ProbeOutcome::Responded { response, .. } => {
-                match review_exemplar(response) {
-                    Some(abuse) => format!("CONTENT ABUSE: {}", abuse.label()),
-                    None => match c2_scanner.scan_one(fqdn) {
-                        Some(hit) => format!(
-                            "C2 RELAY: family {} (signature {})",
-                            hit.family, hit.signature_id
-                        ),
-                        None => format!("clean (status {})", response.status),
-                    },
-                }
-            }
+            ProbeOutcome::Responded { response, .. } => match review_exemplar(response) {
+                Some(abuse) => format!("CONTENT ABUSE: {}", abuse.label()),
+                None => match c2_scanner.scan_one(fqdn) {
+                    Some(hit) => format!(
+                        "C2 RELAY: family {} (signature {})",
+                        hit.family, hit.signature_id
+                    ),
+                    None => format!("clean (status {})", response.status),
+                },
+            },
             other => format!("no response: {other:?}"),
         };
         println!("{label}\n  {fqdn}\n  => {verdict}\n");
@@ -135,10 +134,7 @@ fn main() {
     // ---- Finding 10 in miniature ----
     let c2_domains: Vec<Fqdn> = vec![domains[0].1.clone()];
     let ti = ThreatIntel::with_paper_coverage(&c2_domains);
-    let flagged = domains
-        .iter()
-        .filter(|(_, f)| ti.is_flagged(f))
-        .count();
+    let flagged = domains.iter().filter(|(_, f)| ti.is_flagged(f)).count();
     println!(
         "threat-intel cross-check: {flagged}/{} of the abusive domains flagged \
          (the paper found 4/594 — the defence gap of Finding 10)",

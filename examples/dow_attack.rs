@@ -28,7 +28,9 @@ fn main() {
     // A beefy, open function (the risky default §6 criticizes)...
     let mut open_spec = DeploySpec::new(
         ProviderId::Aws,
-        Behavior::JsonApi { service: "image-renderer".into() },
+        Behavior::JsonApi {
+            service: "image-renderer".into(),
+        },
     );
     open_spec.memory_mb = Some(1024);
     open_spec.exec_ms = Some(800);
@@ -37,7 +39,9 @@ fn main() {
     // ...and its IAM-protected twin.
     let mut locked_spec = DeploySpec::new(
         ProviderId::Aws,
-        Behavior::JsonApi { service: "image-renderer".into() },
+        Behavior::JsonApi {
+            service: "image-renderer".into(),
+        },
     )
     .with_auth();
     locked_spec.memory_mb = Some(1024);

@@ -104,7 +104,10 @@ fn main() {
         let verdict = review_exemplar(&resp)
             .map(|a| a.label().to_string())
             .unwrap_or_else(|| format!("clean ({})", resp.status));
-        println!("GET {url}\n  over real TCP -> {} {} => {verdict}\n", resp.status, resp.reason);
+        println!(
+            "GET {url}\n  over real TCP -> {} {} => {verdict}\n",
+            resp.status, resp.reason
+        );
     }
 
     // HTTPS (simulated-TLS framing over real TCP) against the Google2
@@ -123,7 +126,11 @@ fn main() {
     );
 
     // Certificate mismatch must fail closed.
-    let bad = client.send(tls_addr, Some("evil.example.com"), &Request::get("/", "evil.example.com"));
+    let bad = client.send(
+        tls_addr,
+        Some("evil.example.com"),
+        &Request::get("/", "evil.example.com"),
+    );
     println!(
         "\nTLS with non-matching SNI -> {}",
         match bad {

@@ -34,7 +34,9 @@ fn main() {
     let aliyun = platform
         .deploy(DeploySpec::new(
             ProviderId::Aliyun,
-            Behavior::JsonApi { service: "pay".into() },
+            Behavior::JsonApi {
+                service: "pay".into(),
+            },
         ))
         .unwrap();
     let aws = platform
@@ -89,7 +91,10 @@ fn main() {
                 agg.first_seen_all, agg.last_seen_all, agg.days_count, agg.total_request_cnt
             );
             for (rdata, cnt) in &agg.rdata_dist {
-                println!("    {:<5} {rdata:<45} {cnt} requests", rdata.rtype().to_string());
+                println!(
+                    "    {:<5} {rdata:<45} {cnt} requests",
+                    rdata.rtype().to_string()
+                );
             }
         }
 

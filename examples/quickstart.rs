@@ -56,7 +56,11 @@ fn main() {
         report.identification.total_requests
     );
     for (provider, count) in {
-        let mut v: Vec<_> = report.identification.domains_per_provider().into_iter().collect();
+        let mut v: Vec<_> = report
+            .identification
+            .domains_per_provider()
+            .into_iter()
+            .collect();
         v.sort_by_key(|(p, _)| *p);
         v
     } {

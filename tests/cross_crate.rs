@@ -33,7 +33,9 @@ fn probe_resolutions_feed_pdns_and_identify() {
     let d = platform
         .deploy(DeploySpec::new(
             ProviderId::Google2,
-            Behavior::JsonApi { service: "sensed".into() },
+            Behavior::JsonApi {
+                service: "sensed".into(),
+            },
         ))
         .unwrap();
     let prober = Prober::new(
@@ -91,7 +93,9 @@ fn prober_survives_adverse_network() {
         let d = platform
             .deploy(DeploySpec::new(
                 ProviderId::Aws,
-                Behavior::JsonApi { service: format!("s{i}") },
+                Behavior::JsonApi {
+                    service: format!("s{i}"),
+                },
             ))
             .unwrap();
         domains.push(d.fqdn);
@@ -129,7 +133,9 @@ fn billing_and_cold_starts_through_http() {
     let (platform, net, resolver, _pdns) = world();
     let mut spec = DeploySpec::new(
         ProviderId::Tencent,
-        Behavior::JsonApi { service: "billed".into() },
+        Behavior::JsonApi {
+            service: "billed".into(),
+        },
     );
     spec.memory_mb = Some(512);
     spec.exec_ms = Some(2_000); // 1 GB-s per warm invocation
@@ -162,8 +168,14 @@ fn billing_and_cold_starts_through_http() {
     // execution time on top of 4 × 1 GB-s.
     assert!(usage.gb_seconds > 4.0, "gb_seconds = {}", usage.gb_seconds);
     let stats = platform.stats();
-    assert_eq!(stats.cold_starts.load(std::sync::atomic::Ordering::Relaxed), 2);
-    assert_eq!(stats.warm_starts.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert_eq!(
+        stats.cold_starts.load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    assert_eq!(
+        stats.warm_starts.load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
 }
 
 /// Anycast vs. regional ingress: Google resolves identically everywhere,
@@ -174,14 +186,24 @@ fn regional_vs_anycast_ingress_serve_correctly() {
     let (platform, net, resolver, _pdns) = world();
     let a = platform
         .deploy(
-            DeploySpec::new(ProviderId::Aws, Behavior::JsonApi { service: "east".into() })
-                .in_region("us-east-1"),
+            DeploySpec::new(
+                ProviderId::Aws,
+                Behavior::JsonApi {
+                    service: "east".into(),
+                },
+            )
+            .in_region("us-east-1"),
         )
         .unwrap();
     let b = platform
         .deploy(
-            DeploySpec::new(ProviderId::Aws, Behavior::JsonApi { service: "tokyo".into() })
-                .in_region("ap-northeast-1"),
+            DeploySpec::new(
+                ProviderId::Aws,
+                Behavior::JsonApi {
+                    service: "tokyo".into(),
+                },
+            )
+            .in_region("ap-northeast-1"),
         )
         .unwrap();
     let resolve = |fqdn: &faaswild::types::Fqdn| {
@@ -223,9 +245,11 @@ fn shared_egress_pool_across_tenants() {
         .unwrap();
 
     let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
-    let mut egress_of = |fqdn: &faaswild::types::Fqdn| -> std::collections::HashSet<String> {
+    let egress_of = |fqdn: &faaswild::types::Fqdn| -> std::collections::HashSet<String> {
         let res = resolver.write().resolve(fqdn, RecordType::A, 0).unwrap();
-        let Rdata::V4(ip) = res.addresses()[0] else { unreachable!() };
+        let Rdata::V4(ip) = res.addresses()[0] else {
+            unreachable!()
+        };
         let url = Url::for_domain(fqdn.as_str(), true);
         let mut ips = std::collections::HashSet::new();
         for _ in 0..16 {
@@ -248,11 +272,20 @@ fn shared_egress_pool_across_tenants() {
     let b_ips = egress_of(&tenant_b.fqdn);
     let far_ips = egress_of(&other_region.fqdn);
     // Same region → shared pool (full overlap in the simulator).
-    assert!(!a_ips.is_disjoint(&b_ips), "same-region tenants share egress");
+    assert!(
+        !a_ips.is_disjoint(&b_ips),
+        "same-region tenants share egress"
+    );
     // Different region → disjoint pools.
-    assert!(a_ips.is_disjoint(&far_ips), "regions have distinct egress pools");
+    assert!(
+        a_ips.is_disjoint(&far_ips),
+        "regions have distinct egress pools"
+    );
     // Rotation actually happens.
-    assert!(a_ips.len() > 1, "egress rotates across invocations: {a_ips:?}");
+    assert!(
+        a_ips.len() > 1,
+        "egress rotates across invocations: {a_ips:?}"
+    );
 }
 
 /// The full workload → pipeline path stays consistent for a different

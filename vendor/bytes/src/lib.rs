@@ -1,0 +1,130 @@
+//! Offline shim for the `bytes` API subset faaswild uses: a growable
+//! byte buffer with cheap-enough front splitting. `split_to` here is
+//! O(remaining) (a memmove) rather than O(1) refcount surgery; the HTTP
+//! parser splits at most a few times per message, so this is fine.
+
+use std::ops::{Deref, DerefMut};
+
+/// Extension trait matching the `bytes::BufMut` subset in use.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Split off and return the first `at` bytes, keeping the rest.
+    /// Panics if `at > len`, like the real `BytesMut`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.data.len(),
+            "split_to out of bounds: {} > {}",
+            at,
+            self.data.len()
+        );
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_split() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"hello world");
+        assert_eq!(b.len(), 11);
+        let head = b.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        assert_eq!(head.to_vec(), b"hello ".to_vec());
+    }
+
+    #[test]
+    fn split_everything_leaves_empty() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"abc");
+        let all = b.split_to(b.len());
+        assert!(b.is_empty());
+        assert_eq!(&all[..], b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"ab");
+        let _ = b.split_to(3);
+    }
+
+    #[test]
+    fn deref_supports_subslicing() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"line\r\nrest");
+        assert_eq!(&b[..4], b"line");
+    }
+}

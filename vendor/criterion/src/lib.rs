@@ -1,0 +1,268 @@
+//! Offline shim for the `criterion` API subset faaswild's benches use.
+//!
+//! This is a plain timing harness, not a statistics suite: each
+//! benchmark warms up briefly, then runs batches until a time budget is
+//! spent and reports mean / fastest-batch time per iteration. Enough to
+//! compare hot paths across commits in the same environment; not a
+//! replacement for real criterion's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup output is batched (API compatibility only —
+/// the shim always runs setup once per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Measurement settings shared by [`Criterion`] and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Target number of measured batches.
+    sample_size: usize,
+    /// Soft wall-clock budget for the measurement phase.
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            throughput: None,
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    settings: Settings,
+    /// (iterations, total busy time) accumulated by `iter`/`iter_batched`.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(settings: Settings) -> Bencher {
+        Bencher {
+            settings,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call, then estimate per-iter cost.
+        black_box(routine());
+        let probe_start = Instant::now();
+        black_box(routine());
+        let est = probe_start.elapsed().max(Duration::from_nanos(1));
+        // Batch enough iterations that timer overhead is negligible but
+        // a batch stays well under the budget.
+        let per_batch = (Duration::from_millis(5).as_nanos() / est.as_nanos()).clamp(1, 100_000);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.samples.push((per_batch as u64, start.elapsed()));
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((1, start.elapsed()));
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name:<44} (no samples)");
+            return;
+        }
+        let total_iters: u64 = self.samples.iter().map(|(n, _)| n).sum();
+        let total_time: Duration = self.samples.iter().map(|(_, t)| t).sum();
+        let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+        let best_ns = self
+            .samples
+            .iter()
+            .map(|(n, t)| t.as_nanos() as f64 / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        let mut line = format!(
+            "bench {name:<44} mean {:>12}  best {:>12}  ({} iters)",
+            fmt_ns(mean_ns),
+            fmt_ns(best_ns),
+            total_iters
+        );
+        if let Some(tp) = self.settings.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  {:.3e} {unit}", rate));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _parent: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.settings.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Build a function running each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_fresh_input_each_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut setups = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert!(setups >= 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline shim for the `crossbeam` API subset faaswild uses:
+//! [`channel::unbounded`] MPMC channels (cloneable senders *and*
+//! receivers) and [`scope`]d threads. Scoped threads are backed by
+//! [`std::thread::scope`]; the channel is a mutex-and-condvar queue,
+//! which is plenty for the prober's coarse-grained work distribution.
+
+use std::any::Any;
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error: all receivers are gone; the value comes back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error: channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake all blocked receivers so they
+                // can observe disconnection.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .chan
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Blocking iterator: yields until the channel is empty *and*
+        /// every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator over received values; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Scope handle passed (by value — it is `Copy`) to the closure of
+/// [`scope`] and to every spawned closure, mirroring crossbeam's
+/// `&Scope` argument so `|_|`-style closures work unchanged.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; it is joined before [`scope`] returns.
+    pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Run `f` with a scope whose spawned threads may borrow from the
+/// enclosing stack frame; all threads are joined before this returns.
+///
+/// Unlike crossbeam, a panicking child propagates the panic out of
+/// [`std::thread::scope`] instead of returning `Err`; callers here use
+/// `.expect(..)` on the result, so observable behaviour is identical.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fan_out_fan_in() {
+        let (task_tx, task_rx) = channel::unbounded::<u64>();
+        let (res_tx, res_rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            task_tx.send(i).unwrap();
+        }
+        drop(task_tx);
+        scope(|s| {
+            for _ in 0..8 {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(v) = task_rx.recv() {
+                        res_tx.send(v * 2).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        drop(res_tx);
+        let mut sum = 0;
+        while let Ok(v) = res_rx.recv() {
+            sum += v;
+        }
+        assert_eq!(sum, (0..100u64).map(|v| v * 2).sum());
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1, 2, 3];
+        let total = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+}

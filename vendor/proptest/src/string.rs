@@ -1,0 +1,434 @@
+//! Regex-shaped string generation: the subset of regex syntax the
+//! faaswild tests feed to `string_regex` / string-literal strategies.
+//!
+//! Supported: literals, escapes (`\r \n \t \\` and class/meta escapes),
+//! `\PC` (any non-control scalar), character classes with ranges,
+//! negation (`[^..]`) and intersection (`[a-z&&[^x]]`), groups with
+//! alternation (`(a|b)`), and repetition `{n}`, `{m,n}`, `*`, `+`, `?`.
+//! Anchors `^`/`$` are accepted and ignored (generation is whole-string
+//! anyway). Generation is uniform per choice point; no shrinking.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng as _;
+
+/// Unbounded repetition (`*`, `+`) caps at this many copies.
+const UNBOUNDED_REP_MAX: u32 = 16;
+
+/// Inclusive codepoint ranges, sorted and disjoint.
+type ClassSet = Vec<(u32, u32)>;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Class(ClassSet),
+    /// Alternation over sequences: `(a|bc|d)`.
+    Alt(Vec<Vec<Node>>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// A compiled regex strategy yielding `String`s that match the pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    seq: Vec<Node>,
+}
+
+/// Compile `pattern` into a string strategy, mirroring
+/// `proptest::string::string_regex`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_seq(&mut chars, 0)?;
+    match chars.next() {
+        None => Ok(RegexGeneratorStrategy { seq }),
+        Some(c) => Err(format!("unexpected {c:?} in {pattern:?}")),
+    }
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.seq {
+            gen_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(sample_class(set, rng)),
+        Node::Alt(alts) => {
+            let seq = &alts[rng.gen_range(0..alts.len())];
+            for n in seq {
+                gen_node(n, rng, out);
+            }
+        }
+        Node::Rep(inner, min, max) => {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn sample_class(set: &ClassSet, rng: &mut TestRng) -> char {
+    let total: u64 = set.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+    assert!(total > 0, "empty character class");
+    let mut pick = rng.gen_range(0..total);
+    for (lo, hi) in set {
+        let span = (hi - lo + 1) as u64;
+        if pick < span {
+            return char::from_u32(lo + pick as u32).expect("class holds valid scalars");
+        }
+        pick -= span;
+    }
+    unreachable!()
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars, depth: u32) -> Result<Vec<Node>, String> {
+    let mut seq = Vec::new();
+    loop {
+        match chars.peek() {
+            None => break,
+            Some(')') if depth > 0 => break,
+            Some('|') if depth > 0 => break,
+            Some('|') => return Err("top-level alternation unsupported".into()),
+            _ => {}
+        }
+        let atom = parse_atom(chars, depth)?;
+        let atom = match atom {
+            Some(a) => a,
+            None => continue, // ignored anchor
+        };
+        seq.push(parse_postfix(chars, atom)?);
+    }
+    Ok(seq)
+}
+
+/// One atom; `None` for an ignored anchor (`^`, `$`).
+fn parse_atom(chars: &mut Chars, depth: u32) -> Result<Option<Node>, String> {
+    let c = chars.next().expect("caller peeked");
+    Ok(match c {
+        '^' | '$' => None,
+        '(' => {
+            let mut alts = vec![parse_seq(chars, depth + 1)?];
+            while chars.peek() == Some(&'|') {
+                chars.next();
+                alts.push(parse_seq(chars, depth + 1)?);
+            }
+            match chars.next() {
+                Some(')') => Some(Node::Alt(alts)),
+                _ => return Err("unclosed group".into()),
+            }
+        }
+        '[' => Some(Node::Class(parse_class(chars)?)),
+        '\\' => Some(parse_escape(chars)?),
+        '.' => Some(Node::Class(printable_set())),
+        c => Some(Node::Lit(c)),
+    })
+}
+
+fn parse_postfix(chars: &mut Chars, atom: Node) -> Result<Node, String> {
+    Ok(match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Node::Rep(Box::new(atom), 0, UNBOUNDED_REP_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            Node::Rep(Box::new(atom), 1, UNBOUNDED_REP_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            Node::Rep(Box::new(atom), 0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err("unclosed {..}".into()),
+                }
+            }
+            let (min, max) = match spec.split_once(',') {
+                None => {
+                    let n: u32 = spec.trim().parse().map_err(|_| "bad repeat count")?;
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min: u32 = lo.trim().parse().map_err(|_| "bad repeat min")?;
+                    let max: u32 = if hi.trim().is_empty() {
+                        min + UNBOUNDED_REP_MAX
+                    } else {
+                        hi.trim().parse().map_err(|_| "bad repeat max")?
+                    };
+                    (min, max)
+                }
+            };
+            if min > max {
+                return Err(format!("bad repeat {{{spec}}}"));
+            }
+            Node::Rep(Box::new(atom), min, max)
+        }
+        _ => atom,
+    })
+}
+
+fn parse_escape(chars: &mut Chars) -> Result<Node, String> {
+    match chars.next() {
+        Some('P') => match chars.next() {
+            // \PC — "not a control character": any printable scalar.
+            Some('C') => Ok(Node::Class(printable_set())),
+            other => Err(format!("unsupported \\P{other:?}")),
+        },
+        Some('d') => Ok(Node::Class(vec![(b'0' as u32, b'9' as u32)])),
+        Some('w') => Ok(Node::Class(normalize(vec![
+            (b'a' as u32, b'z' as u32),
+            (b'A' as u32, b'Z' as u32),
+            (b'0' as u32, b'9' as u32),
+            (b'_' as u32, b'_' as u32),
+        ]))),
+        Some('n') => Ok(Node::Lit('\n')),
+        Some('r') => Ok(Node::Lit('\r')),
+        Some('t') => Ok(Node::Lit('\t')),
+        Some(
+            c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '^' | '$'
+            | '-' | '/'),
+        ) => Ok(Node::Lit(c)),
+        other => Err(format!("unsupported escape \\{other:?}")),
+    }
+}
+
+/// Parse a `[..]` body (the `[` is already consumed).
+fn parse_class(chars: &mut Chars) -> Result<ClassSet, String> {
+    let negated = if chars.peek() == Some(&'^') {
+        chars.next();
+        true
+    } else {
+        false
+    };
+    let mut ranges: ClassSet = Vec::new();
+    let mut intersections: Vec<ClassSet> = Vec::new();
+    loop {
+        match chars.peek() {
+            None => return Err("unclosed character class".into()),
+            Some(']') => {
+                chars.next();
+                break;
+            }
+            Some('&') => {
+                chars.next();
+                if chars.next() != Some('&') {
+                    // A single '&' is a literal member.
+                    ranges.push(('&' as u32, '&' as u32));
+                    continue;
+                }
+                // `&&[..]` — intersect with a nested class.
+                if chars.next() != Some('[') {
+                    return Err("expected [ after && in class".into());
+                }
+                intersections.push(parse_class(chars)?);
+            }
+            Some('[') => {
+                chars.next();
+                // Nested class unions in (e.g. `[[a-z][0-9]]`).
+                ranges.extend(parse_class(chars)?);
+            }
+            _ => {
+                let lo = class_member(chars)?;
+                if chars.peek() == Some(&'-') {
+                    let mut look = chars.clone();
+                    look.next();
+                    if look.peek() == Some(&']') {
+                        // Trailing '-' is a literal.
+                        ranges.push((lo, lo));
+                    } else {
+                        chars.next();
+                        let hi = class_member(chars)?;
+                        if hi < lo {
+                            return Err("inverted class range".into());
+                        }
+                        ranges.push((lo, hi));
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    let mut set = normalize(ranges);
+    if negated {
+        set = complement(&set);
+    }
+    for other in intersections {
+        set = intersect(&set, &other);
+    }
+    if set.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(set)
+}
+
+fn class_member(chars: &mut Chars) -> Result<u32, String> {
+    match chars.next() {
+        Some('\\') => match chars.next() {
+            Some('n') => Ok('\n' as u32),
+            Some('r') => Ok('\r' as u32),
+            Some('t') => Ok('\t' as u32),
+            Some(c @ ('\\' | ']' | '[' | '-' | '^' | '.')) => Ok(c as u32),
+            other => Err(format!("unsupported class escape \\{other:?}")),
+        },
+        Some(c) => Ok(c as u32),
+        None => Err("unclosed character class".into()),
+    }
+}
+
+/// All scalars except controls (Cc: U+0000–U+001F, U+007F–U+009F) and
+/// surrogates.
+fn printable_set() -> ClassSet {
+    vec![(0x20, 0x7E), (0xA0, 0xD7FF), (0xE000, 0x10FFFF)]
+}
+
+fn normalize(mut ranges: ClassSet) -> ClassSet {
+    ranges.sort_unstable();
+    let mut out: ClassSet = Vec::new();
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some((_, prev_hi)) if lo <= *prev_hi + 1 => *prev_hi = (*prev_hi).max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+fn complement(set: &ClassSet) -> ClassSet {
+    let universe = [(0u32, 0xD7FF), (0xE000, 0x10FFFF)];
+    let mut out = Vec::new();
+    for &(ulo, uhi) in &universe {
+        let mut cursor = ulo;
+        for &(lo, hi) in set {
+            if hi < ulo || lo > uhi {
+                continue;
+            }
+            let lo = lo.max(ulo);
+            let hi = hi.min(uhi);
+            if lo > cursor {
+                out.push((cursor, lo - 1));
+            }
+            cursor = cursor.max(hi + 1);
+        }
+        if cursor <= uhi {
+            out.push((cursor, uhi));
+        }
+    }
+    normalize(out)
+}
+
+fn intersect(a: &ClassSet, b: &ClassSet) -> ClassSet {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).expect(pattern);
+        let mut rng = TestRng::seed_from_u64(7);
+        (0..n).map(|_| strat.gen_value(&mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_ranges_and_reps() {
+        for s in samples("[a-z][a-z0-9]{1,11}", 200) {
+            assert!((2..=12).contains(&s.chars().count()), "{s:?}");
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_lowercase());
+            assert!(it.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn exact_rep_and_trailing_dash() {
+        for s in samples("[a-z0-9-]{10}", 100) {
+            assert_eq!(s.chars().count(), 10);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn group_alternation() {
+        let got = samples("(com|net|top|xyz)", 100);
+        for s in &got {
+            assert!(["com", "net", "top", "xyz"].contains(&s.as_str()), "{s:?}");
+        }
+        let distinct: std::collections::HashSet<_> = got.iter().collect();
+        assert!(distinct.len() >= 3, "alternation should hit several arms");
+    }
+
+    #[test]
+    fn printable_excludes_controls() {
+        for s in samples("\\PC{0,300}", 30) {
+            assert!(s.chars().count() <= 300);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_with_negated_class() {
+        for s in samples("[ -~&&[^\\r\\n]]{0,40}", 200) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            assert!(!s.contains('\r') && !s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        for s in samples("[^a-y]{5}", 200) {
+            assert!(!s.chars().any(|c| ('a'..='y').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_star() {
+        for s in samples("/[a-z0-9/._-]{0,30}", 100) {
+            assert!(s.starts_with('/'));
+        }
+        for s in samples("ab*", 100) {
+            assert!(s.starts_with('a'));
+            assert!(s[1..].bytes().all(|b| b == b'b'));
+        }
+    }
+
+    #[test]
+    fn anchors_are_ignored() {
+        for s in samples("^[a-c]{2}$", 50) {
+            assert_eq!(s.len(), 2);
+        }
+    }
+}
