@@ -93,10 +93,14 @@ fn main() {
 
     if cli.has_flag("--suffix-only") {
         header("Ablation: expression matching vs. suffix-only matching");
-        let (w, _) = fw_bench::run_usage(&cli);
+        // The ablation injects noise rows, so a read-only snapshot is
+        // first materialized into a mutable in-memory store.
+        let mut pdns = match cli.snapshot_store() {
+            Some(store) => fw_dns::pdns::PdnsStore::from_backend(&store),
+            None => fw_bench::usage_world(&cli).pdns,
+        };
         // Inject Azure-style collisions and malformed lookalikes to show
         // what suffix matching would wrongly sweep in.
-        let mut pdns = w.pdns;
         let noise = [
             "random-blog.azurewebsites.net",
             "www.scf.tencentcs.com",

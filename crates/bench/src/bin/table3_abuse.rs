@@ -29,7 +29,10 @@ fn main() {
         w.probed_domains().len()
     );
     let pipeline = Pipeline::new(w.net.clone(), w.resolver.clone());
-    let report = pipeline.run(&w.pdns, &config);
+    let report = match cli.snapshot_store() {
+        Some(store) => pipeline.run(&store, &config),
+        None => pipeline.run(&w.pdns, &config),
+    };
     let abuse = &report.abuse;
 
     header("§3.4 — content corpus and clustering");

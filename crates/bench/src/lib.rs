@@ -7,18 +7,24 @@
 //! Every binary accepts:
 //!
 //! ```text
-//! --scale <f64>   population scale vs. the paper (default varies)
-//! --seed <u64>    world seed (default 42)
-//! --tsv           additionally print machine-readable TSV series
-//! --metrics       enable fw-obs telemetry; report dumped to stderr
-//!                 on exit (equivalent: FW_METRICS=1 in the env)
+//! --scale <f64>     population scale vs. the paper (default varies)
+//! --seed <u64>      world seed (default 42)
+//! --snapshot <dir>  reopen a saved fw-store PDNS snapshot (written by
+//!                   fw_snapshot) instead of regenerating the feed;
+//!                   stdout is byte-identical to a live run at the same
+//!                   seed/scale
+//! --tsv             additionally print machine-readable TSV series
+//! --metrics         enable fw-obs telemetry; report dumped to stderr
+//!                   on exit (equivalent: FW_METRICS=1 in the env)
 //! ```
 
-use fw_cloud::platform::PlatformConfig;
 use fw_core::abusescan::AbuseScanConfig;
 use fw_core::pipeline::{FullReport, Pipeline, PipelineConfig, UsageReport};
+use fw_dns::pdns::PdnsBackend as _;
 use fw_probe::prober::ProbeConfig;
+use fw_store::DiskStore;
 use fw_workload::{World, WorldConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Parsed common CLI options.
@@ -27,46 +33,94 @@ pub struct Cli {
     pub scale: f64,
     pub seed: u64,
     pub tsv: bool,
+    /// PDNS snapshot directory to reopen instead of generating the feed.
+    pub snapshot: Option<PathBuf>,
     /// Free-form extra flags (binary-specific).
     pub flags: Vec<String>,
 }
 
 impl Cli {
     /// Parse `std::env::args`, with a default scale.
+    ///
+    /// With `--snapshot <dir>`, the snapshot's `world.meta` manifest
+    /// supplies the seed/scale the snapshot was cut from, so paper
+    /// reference columns (and, for probing binaries, the regenerated
+    /// live world) line up without repeating `--scale`/`--seed` —
+    /// explicit flags still win.
     pub fn parse(default_scale: f64) -> Cli {
         let mut cli = Cli {
             scale: default_scale,
             seed: 42,
             tsv: false,
+            snapshot: None,
             flags: Vec::new(),
         };
+        let (mut explicit_scale, mut explicit_seed) = (false, false);
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--scale" => {
+                    explicit_scale = true;
                     cli.scale = args
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--scale needs a number"));
                 }
                 "--seed" => {
+                    explicit_seed = true;
                     cli.seed = args
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--seed needs an integer"));
                 }
+                "--snapshot" => {
+                    cli.snapshot = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| die("--snapshot needs a path")),
+                    ));
+                }
                 "--tsv" => cli.tsv = true,
                 "--metrics" => fw_obs::set_enabled(true),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f64>] [--seed <u64>] [--tsv] [--metrics] [binary-specific flags]"
+                        "usage: [--scale <f64>] [--seed <u64>] [--snapshot <dir>] [--tsv] [--metrics] [binary-specific flags]"
                     );
                     std::process::exit(0);
                 }
                 other => cli.flags.push(other.to_string()),
             }
         }
+        if let Some(dir) = &cli.snapshot {
+            if let Some(meta) = fw_workload::SnapshotMeta::read(dir) {
+                if !explicit_scale {
+                    cli.scale = meta.scale;
+                }
+                if !explicit_seed {
+                    cli.seed = meta.seed;
+                }
+            }
+        }
         cli
+    }
+
+    /// Open the `--snapshot` store read-only, if one was given. Exits
+    /// with a diagnostic if the directory is missing or corrupt.
+    pub fn snapshot_store(&self) -> Option<DiskStore> {
+        let dir = self.snapshot.as_ref()?;
+        eprintln!("opening PDNS snapshot {}...", dir.display());
+        let start = std::time::Instant::now();
+        match DiskStore::open_read_only(dir) {
+            Ok(store) => {
+                eprintln!(
+                    "snapshot ready in {:.2?}: {} fqdns, {} rows",
+                    start.elapsed(),
+                    store.fqdn_count(),
+                    store.record_count()
+                );
+                Some(store)
+            }
+            Err(e) => die(&format!("cannot open snapshot {}: {e}", dir.display())),
+        }
     }
 
     pub fn has_flag(&self, name: &str) -> bool {
@@ -81,27 +135,12 @@ fn die(msg: &str) -> ! {
 
 /// Build a PDNS-only world (fast; for §4 figures).
 pub fn usage_world(cli: &Cli) -> World {
-    World::generate(WorldConfig {
-        seed: cli.seed,
-        scale: cli.scale,
-        deploy_live: false,
-        platform: PlatformConfig::default(),
-    })
+    World::generate(WorldConfig::usage(cli.seed, cli.scale))
 }
 
 /// Build a live world (for probing figures).
 pub fn live_world(cli: &Cli) -> World {
-    World::generate(WorldConfig {
-        seed: cli.seed,
-        scale: cli.scale,
-        deploy_live: true,
-        platform: PlatformConfig {
-            // Hangs outlast the probe timeout below, so InternalOnly
-            // functions show up as timeouts like in the paper.
-            hang_ms: 900,
-            ..PlatformConfig::default()
-        },
-    })
+    World::generate(WorldConfig::live(cli.seed, cli.scale))
 }
 
 /// The pipeline configuration used by probing binaries: the paper's
@@ -123,8 +162,13 @@ pub fn pipeline_config(single_shot: bool) -> PipelineConfig {
     }
 }
 
-/// Run §4 analyses only.
-pub fn run_usage(cli: &Cli) -> (World, UsageReport) {
+/// Run §4 analyses only. With `--snapshot`, world generation is skipped
+/// entirely (the world slot is `None`) and the analyses run against the
+/// reopened disk store — stdout is byte-identical to the live run.
+pub fn run_usage(cli: &Cli) -> (Option<World>, UsageReport) {
+    if let Some(store) = cli.snapshot_store() {
+        return (None, Pipeline::run_usage(&store));
+    }
     eprintln!(
         "generating world: scale {} seed {} (PDNS only)...",
         cli.scale, cli.seed
@@ -136,10 +180,15 @@ pub fn run_usage(cli: &Cli) -> (World, UsageReport) {
         w.pdns.record_count()
     );
     let report = Pipeline::run_usage(&w.pdns);
-    (w, report)
+    (Some(w), report)
 }
 
-/// Run the full pipeline including probing.
+/// Run the full pipeline including probing. Probing needs the simulated
+/// platform, so a live world is generated either way; with `--snapshot`
+/// the passive feed is read from the reopened disk store instead of the
+/// freshly generated one (same seed/scale ⇒ same rows). Probe outcomes
+/// can still wobble by a few domains run-to-run — real wall-clock
+/// timeouts race on an oversubscribed host regardless of feed source.
 pub fn run_full(cli: &Cli) -> (World, FullReport) {
     eprintln!(
         "generating world: scale {} seed {} (live deployment)...",
@@ -153,7 +202,11 @@ pub fn run_full(cli: &Cli) -> (World, FullReport) {
         w.pdns.record_count()
     );
     let pipeline = Pipeline::new(w.net.clone(), w.resolver.clone());
-    let report = pipeline.run(&w.pdns, &pipeline_config(cli.has_flag("--single-shot")));
+    let config = pipeline_config(cli.has_flag("--single-shot"));
+    let report = match cli.snapshot_store() {
+        Some(store) => pipeline.run(&store, &config),
+        None => pipeline.run(&w.pdns, &config),
+    };
     (w, report)
 }
 

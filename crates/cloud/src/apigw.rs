@@ -236,7 +236,8 @@ impl GatewayInner {
         fwd.headers.remove("connection");
         match client.send(
             SocketAddr::new(IpAddr::V4(*ip), 443),
-            Some(fqdn.as_str()),
+            fqdn.as_str(),
+            true,
             &fwd,
         ) {
             Ok(resp) => resp,
@@ -313,7 +314,7 @@ mod tests {
         });
         let req = Request::get("/v1/orders", gw.host.as_str());
         let resp = client(&net)
-            .send(gw.addr, Some(gw.host.as_str()), &req)
+            .send(gw.addr, gw.host.as_str(), true, &req)
             .unwrap();
         assert_eq!(resp.status, 200);
         assert!(resp.body_text().contains("orders"));
@@ -341,14 +342,15 @@ mod tests {
         let denied = c
             .send(
                 gw.addr,
-                Some(gw.host.as_str()),
+                gw.host.as_str(),
+                true,
                 &Request::get("/secure/x", gw.host.as_str()),
             )
             .unwrap();
         assert_eq!(denied.status, 403);
         let mut authed = Request::get("/secure/x", gw.host.as_str());
         authed.headers.insert("X-Api-Key", "sekrit");
-        let ok = c.send(gw.addr, Some(gw.host.as_str()), &authed).unwrap();
+        let ok = c.send(gw.addr, gw.host.as_str(), true, &authed).unwrap();
         assert_eq!(ok.status, 200);
     }
 
@@ -377,7 +379,7 @@ mod tests {
         // Rate limit: third request in the window gets 429.
         let statuses: Vec<u16> = (0..3)
             .map(|_| {
-                c.send(gw.addr, Some(host), &Request::get("/limited/a", host))
+                c.send(gw.addr, host, true, &Request::get("/limited/a", host))
                     .unwrap()
                     .status
             })
@@ -385,18 +387,18 @@ mod tests {
         assert_eq!(statuses, vec![200, 200, 429]);
         gw.reset_rate_windows();
         assert_eq!(
-            c.send(gw.addr, Some(host), &Request::get("/limited/a", host))
+            c.send(gw.addr, host, true, &Request::get("/limited/a", host))
                 .unwrap()
                 .status,
             200
         );
         // Cache: second hit served from cache.
         let first = c
-            .send(gw.addr, Some(host), &Request::get("/cached/a", host))
+            .send(gw.addr, host, true, &Request::get("/cached/a", host))
             .unwrap();
         assert_eq!(first.headers.get("x-cache"), None);
         let second = c
-            .send(gw.addr, Some(host), &Request::get("/cached/a", host))
+            .send(gw.addr, host, true, &Request::get("/cached/a", host))
             .unwrap();
         assert_eq!(second.headers.get("x-cache"), Some("HIT"));
         assert_eq!(gw.cache_hits(), 1);
@@ -438,13 +440,13 @@ mod tests {
         let c = client(&net);
         let host = gw.host.as_str();
         assert_eq!(
-            c.send(gw.addr, Some(host), &Request::get("/faas/x", host))
+            c.send(gw.addr, host, true, &Request::get("/faas/x", host))
                 .unwrap()
                 .status,
             200
         );
         assert_eq!(
-            c.send(gw.addr, Some(host), &Request::get("/vm/x", host))
+            c.send(gw.addr, host, true, &Request::get("/vm/x", host))
                 .unwrap()
                 .status,
             200

@@ -20,7 +20,7 @@ use fw_abuse::sensitive::{SensitiveKind, SensitiveScanner};
 use fw_abuse::threatintel::{ThreatIntel, UrlReputation, UrlVerdict};
 use fw_analysis::cluster::{cluster_corpus, ClusterParams};
 use fw_analysis::content::ContentType;
-use fw_dns::pdns::PdnsStore;
+use fw_dns::pdns::PdnsBackend;
 use fw_dns::resolver::Resolver;
 use fw_http::types::Response;
 use fw_net::SimNet;
@@ -126,10 +126,10 @@ impl AbuseScanReport {
 }
 
 /// Run the full §5 analysis.
-pub fn abuse_scan(
+pub fn abuse_scan<B: PdnsBackend + ?Sized>(
     records: &[ProbeRecord],
     identification: &IdentificationReport,
-    pdns: &PdnsStore,
+    pdns: &B,
     net: &SimNet,
     resolver: &Arc<RwLock<Resolver>>,
     config: &AbuseScanConfig,
@@ -307,7 +307,7 @@ pub fn abuse_scan(
         .map(|d| &d.fqdn)
         .collect();
     let mut openai_monthly_requests = vec![0u64; 24];
-    pdns.for_each_row(|fqdn, _rtype, _rdata, pdate, cnt| {
+    pdns.for_each_row(&mut |fqdn, _rtype, _rdata, pdate, cnt| {
         if !resale_fqdns.contains(fqdn) {
             return;
         }
@@ -416,6 +416,7 @@ fn month_index_of(day: fw_types::DayStamp) -> Option<usize> {
 mod tests {
     use super::*;
     use crate::identify::identify_functions;
+    use fw_dns::pdns::PdnsStore;
     use fw_probe::prober::ProbeRecord;
     use fw_types::{DayStamp, Rdata};
     use std::net::Ipv4Addr;

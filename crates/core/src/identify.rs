@@ -7,7 +7,7 @@
 //! function with the §3.2 key metrics.
 
 use fw_cloud::formats::{all_formats, format_for, identify};
-use fw_dns::pdns::{FqdnAggregate, PdnsStore};
+use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
 use fw_types::{Fqdn, ProviderId};
 use std::collections::HashMap;
 
@@ -69,27 +69,25 @@ impl IdentificationReport {
     }
 }
 
-/// Scan a PDNS store and identify all serverless function domains.
-pub fn identify_functions(pdns: &PdnsStore) -> IdentificationReport {
+/// Scan a PDNS backend and identify all serverless function domains.
+pub fn identify_functions<B: PdnsBackend + ?Sized>(pdns: &B) -> IdentificationReport {
     let mut functions = Vec::new();
     let mut unmatched = 0u64;
     let mut total_requests = 0u64;
-    for fqdn in pdns.fqdns() {
-        match identify(fqdn) {
-            Some(provider) => {
-                let agg = pdns.aggregate(fqdn).expect("fqdn is in the store");
-                total_requests += agg.total_request_cnt;
-                let region = format_for(provider).region_of(fqdn);
-                functions.push(IdentifiedFunction {
-                    fqdn: fqdn.clone(),
-                    provider,
-                    region,
-                    agg,
-                });
-            }
-            None => unmatched += 1,
+    pdns.for_each_fqdn(&mut |fqdn| match identify(fqdn) {
+        Some(provider) => {
+            let agg = pdns.aggregate(fqdn).expect("fqdn is in the store");
+            total_requests += agg.total_request_cnt;
+            let region = format_for(provider).region_of(fqdn);
+            functions.push(IdentifiedFunction {
+                fqdn: fqdn.clone(),
+                provider,
+                region,
+                agg,
+            });
         }
-    }
+        None => unmatched += 1,
+    });
     // Deterministic order for downstream consumers.
     functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
     IdentificationReport {
@@ -103,10 +101,10 @@ pub fn identify_functions(pdns: &PdnsStore) -> IdentificationReport {
 /// matching vs. the full expressions. Returns `(full_matches,
 /// suffix_only_matches)` — the gap is the false-positive surface the
 /// Table 1 expressions eliminate.
-pub fn suffix_only_ablation(pdns: &PdnsStore) -> (u64, u64) {
+pub fn suffix_only_ablation<B: PdnsBackend + ?Sized>(pdns: &B) -> (u64, u64) {
     let mut full = 0u64;
     let mut suffix_only = 0u64;
-    for fqdn in pdns.fqdns() {
+    pdns.for_each_fqdn(&mut |fqdn| {
         if identify(fqdn).is_some() {
             full += 1;
         }
@@ -116,13 +114,14 @@ pub fn suffix_only_ablation(pdns: &PdnsStore) -> (u64, u64) {
         {
             suffix_only += 1;
         }
-    }
+    });
     (full, suffix_only)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fw_dns::pdns::PdnsStore;
     use fw_types::{DayStamp, Rdata};
     use std::net::Ipv4Addr;
 

@@ -8,7 +8,7 @@ use crate::usage::{
     ingress_table, invocation_report, monthly_new_fqdns, monthly_requests, IngressRow,
     InvocationReport, MonthlySeries,
 };
-use fw_dns::pdns::PdnsStore;
+use fw_dns::pdns::PdnsBackend;
 use fw_dns::resolver::Resolver;
 use fw_net::SimNet;
 use fw_probe::prober::{ProbeConfig, ProbeRecord, Prober};
@@ -65,7 +65,7 @@ impl Pipeline {
     }
 
     /// §4 analyses only (passive data, no probing).
-    pub fn run_usage(pdns: &PdnsStore) -> UsageReport {
+    pub fn run_usage<B: PdnsBackend + ?Sized>(pdns: &B) -> UsageReport {
         let _pipeline = fw_obs::span("pipeline");
         let identification = {
             let _s = fw_obs::span("identify");
@@ -82,7 +82,7 @@ impl Pipeline {
     }
 
     /// The full §3–§5 pipeline.
-    pub fn run(&self, pdns: &PdnsStore, config: &PipelineConfig) -> FullReport {
+    pub fn run<B: PdnsBackend + ?Sized>(&self, pdns: &B, config: &PipelineConfig) -> FullReport {
         let _pipeline = fw_obs::span("pipeline");
         let identification = {
             let _s = fw_obs::span("identify");
@@ -139,6 +139,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fw_dns::pdns::PdnsStore;
 
     #[test]
     fn usage_only_runs_on_empty_store() {

@@ -2,7 +2,7 @@
 
 use crate::identify::{IdentificationReport, IdentifiedFunction};
 use fw_analysis::stats;
-use fw_dns::pdns::PdnsStore;
+use fw_dns::pdns::PdnsBackend;
 use fw_types::{
     Fqdn, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START,
 };
@@ -70,7 +70,10 @@ pub fn monthly_new_fqdns(report: &IdentificationReport) -> MonthlySeries {
 }
 
 /// Figure 4: invocation (request) volume per provider per month.
-pub fn monthly_requests(report: &IdentificationReport, pdns: &PdnsStore) -> MonthlySeries {
+pub fn monthly_requests<B: PdnsBackend + ?Sized>(
+    report: &IdentificationReport,
+    pdns: &B,
+) -> MonthlySeries {
     let months = window_months();
     let provider_of: HashMap<&Fqdn, ProviderId> = report
         .functions
@@ -78,7 +81,7 @@ pub fn monthly_requests(report: &IdentificationReport, pdns: &PdnsStore) -> Mont
         .map(|f| (&f.fqdn, f.provider))
         .collect();
     let mut per_provider: HashMap<ProviderId, Vec<u64>> = HashMap::new();
-    pdns.for_each_row(|fqdn, _rtype, _rdata, pdate, cnt| {
+    pdns.for_each_row(&mut |fqdn, _rtype, _rdata, pdate, cnt| {
         let Some(provider) = provider_of.get(fqdn) else {
             return;
         };
@@ -113,7 +116,10 @@ pub struct IngressRow {
 }
 
 /// Compute Table 2 from the identified functions and the store.
-pub fn ingress_table(report: &IdentificationReport, pdns: &PdnsStore) -> Vec<IngressRow> {
+pub fn ingress_table<B: PdnsBackend + ?Sized>(
+    report: &IdentificationReport,
+    pdns: &B,
+) -> Vec<IngressRow> {
     let provider_of: HashMap<&Fqdn, ProviderId> = report
         .functions
         .iter()
@@ -122,7 +128,7 @@ pub fn ingress_table(report: &IdentificationReport, pdns: &PdnsStore) -> Vec<Ing
 
     // provider → rtype → rdata text → requests.
     let mut dist: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
-    pdns.for_each_row(|fqdn, rtype, rdata, _pdate, cnt| {
+    pdns.for_each_row(&mut |fqdn, rtype, rdata, _pdate, cnt| {
         let Some(provider) = provider_of.get(fqdn) else {
             return;
         };
@@ -257,6 +263,7 @@ pub fn rdata_values(f: &IdentifiedFunction) -> Vec<&Rdata> {
 mod tests {
     use super::*;
     use crate::identify::identify_functions;
+    use fw_dns::pdns::PdnsStore;
     use fw_types::DayStamp;
     use std::net::Ipv4Addr;
 

@@ -40,18 +40,22 @@ struct DailyRow {
 #[derive(Debug, Default)]
 struct FqdnEntry {
     rdatas: Vec<Rdata>,
+    /// rdata → index side table; high-fanout ingress fqdns (anycast
+    /// frontends) see hundreds of distinct rdatas, so interning must not
+    /// scan `rdatas` linearly per observation.
+    rdata_index: HashMap<Rdata, u32>,
     rows: Vec<DailyRow>,
 }
 
 impl FqdnEntry {
     fn intern(&mut self, rdata: &Rdata) -> u32 {
-        match self.rdatas.iter().position(|r| r == rdata) {
-            Some(i) => i as u32,
-            None => {
-                self.rdatas.push(rdata.clone());
-                (self.rdatas.len() - 1) as u32
-            }
+        if let Some(&i) = self.rdata_index.get(rdata) {
+            return i;
         }
+        let i = self.rdatas.len() as u32;
+        self.rdatas.push(rdata.clone());
+        self.rdata_index.insert(rdata.clone(), i);
+        i
     }
 }
 
@@ -78,6 +82,50 @@ impl FqdnAggregate {
     /// Single-day functions have density 1 by definition.
     pub fn activity_density(&self) -> f64 {
         self.days_count as f64 / self.lifespan_days() as f64
+    }
+}
+
+/// Storage-engine abstraction over PDNS daily aggregates.
+///
+/// The measurement pipeline (`fw-core`) only needs this narrow, object-safe
+/// surface, so it runs unchanged against the in-memory [`PdnsStore`] and the
+/// persistent sharded segment store in `fw-store`. Callbacks take
+/// `&mut dyn FnMut` so the trait stays object-safe; iteration order is
+/// backend-defined and consumers must not rely on it.
+pub trait PdnsBackend {
+    /// Record `count` observations of `fqdn → rdata` on `day`.
+    fn observe_count(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64);
+
+    /// Number of distinct fqdns observed.
+    fn fqdn_count(&self) -> usize;
+
+    /// Number of daily-aggregate rows. Backends may merge duplicate
+    /// `(fqdn, rdata, pdate)` keys differently, so this is a storage
+    /// metric, not an analysis input.
+    fn record_count(&self) -> usize;
+
+    /// Visit every observed fqdn (backend-defined order).
+    fn for_each_fqdn(&self, f: &mut dyn FnMut(&Fqdn));
+
+    /// Visit every daily row as `(fqdn, rtype, rdata, pdate, request_cnt)`.
+    /// The callback must not call back into the same backend (sharded
+    /// backends hold a shard lock across the visit); `for_each_fqdn` has
+    /// no such restriction — calling [`PdnsBackend::aggregate`] from its
+    /// callback is the expected identification-stage pattern.
+    fn for_each_row(&self, f: &mut dyn FnMut(&Fqdn, RecordType, &Rdata, DayStamp, u64));
+
+    /// Per-fqdn aggregate (paper §3.2), or `None` if the fqdn is unknown.
+    fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate>;
+
+    /// All aggregates, sorted by fqdn — deterministic across backends, so
+    /// equivalence tests can compare stores element-wise.
+    fn all_aggregates(&self) -> Vec<FqdnAggregate> {
+        let mut out = Vec::with_capacity(self.fqdn_count());
+        self.for_each_fqdn(&mut |fqdn| {
+            out.push(self.aggregate(fqdn).expect("fqdn is in the store"));
+        });
+        out.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        out
     }
 }
 
@@ -147,9 +195,17 @@ impl PdnsStore {
         let Some(entry) = self.entries.get(fqdn) else {
             return Vec::new();
         };
-        let mut out: Vec<PdnsRecord> = entry
-            .rows
-            .iter()
+        // Render each interned rdata's text once; sorting by
+        // `(pdate, rdata.text())` directly would re-allocate the text on
+        // every comparison.
+        let texts: Vec<String> = entry.rdatas.iter().map(|r| r.text()).collect();
+        let mut order: Vec<&DailyRow> = entry.rows.iter().collect();
+        order.sort_by(|a, b| {
+            (a.pdate, texts[a.rdata_idx as usize].as_str())
+                .cmp(&(b.pdate, texts[b.rdata_idx as usize].as_str()))
+        });
+        order
+            .into_iter()
             .map(|row| {
                 let rdata = entry.rdatas[row.rdata_idx as usize].clone();
                 PdnsRecord {
@@ -162,9 +218,7 @@ impl PdnsStore {
                     pdate: row.pdate,
                 }
             })
-            .collect();
-        out.sort_by_key(|a| (a.pdate, a.rdata.text()));
-        out
+            .collect()
     }
 
     /// Visit every daily row without materializing owned records. The
@@ -198,13 +252,17 @@ impl PdnsStore {
         }
         days.sort_unstable();
         days.dedup();
+        // Sorted by rdata so aggregates from different backends (whose
+        // interning orders differ) compare equal with plain `==`.
+        let mut rdata_dist: Vec<(Rdata, u64)> = entry.rdatas.iter().cloned().zip(dist).collect();
+        rdata_dist.sort_by(|a, b| a.0.cmp(&b.0));
         Some(FqdnAggregate {
             fqdn: fqdn.clone(),
             first_seen_all: first,
             last_seen_all: last,
             days_count: days.len() as u32,
             total_request_cnt: total,
-            rdata_dist: entry.rdatas.iter().cloned().zip(dist).collect(),
+            rdata_dist,
         })
     }
 
@@ -213,6 +271,48 @@ impl PdnsStore {
         self.entries
             .keys()
             .map(|f| self.aggregate(f).expect("known fqdn aggregates"))
+    }
+}
+
+impl PdnsStore {
+    /// Materialize any backend's rows into a fresh in-memory store (used
+    /// when an analysis needs mutation on top of a read-only snapshot).
+    pub fn from_backend<B: PdnsBackend + ?Sized>(backend: &B) -> PdnsStore {
+        let mut store = PdnsStore::new();
+        backend.for_each_row(&mut |fqdn, _rtype, rdata, pdate, cnt| {
+            store.observe_count(fqdn, rdata, pdate, cnt);
+        });
+        store
+    }
+}
+
+impl PdnsBackend for PdnsStore {
+    fn observe_count(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
+        PdnsStore::observe_count(self, fqdn, rdata, day, count);
+    }
+
+    fn fqdn_count(&self) -> usize {
+        PdnsStore::fqdn_count(self)
+    }
+
+    fn record_count(&self) -> usize {
+        PdnsStore::record_count(self)
+    }
+
+    fn for_each_fqdn(&self, f: &mut dyn FnMut(&Fqdn)) {
+        for fqdn in self.fqdns() {
+            f(fqdn);
+        }
+    }
+
+    fn for_each_row(&self, f: &mut dyn FnMut(&Fqdn, RecordType, &Rdata, DayStamp, u64)) {
+        PdnsStore::for_each_row(self, |fqdn, rtype, rdata, pdate, cnt| {
+            f(fqdn, rtype, rdata, pdate, cnt)
+        });
+    }
+
+    fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        PdnsStore::aggregate(self, fqdn)
     }
 }
 
@@ -343,6 +443,43 @@ mod tests {
         let shared = SharedPdns::new();
         shared.observe(&fq("s.on.aws"), &a(3), day(2));
         assert_eq!(shared.lock().fqdn_count(), 1);
+    }
+
+    #[test]
+    fn backend_trait_mirrors_inherent_api() {
+        let mut s = PdnsStore::new();
+        s.observe_count(&fq("a.on.aws"), &a(1), day(0), 4);
+        s.observe_count(&fq("b.on.aws"), &a(2), day(1), 6);
+        let backend: &dyn PdnsBackend = &s;
+        assert_eq!(backend.fqdn_count(), 2);
+        assert_eq!(backend.record_count(), 2);
+        let mut seen = Vec::new();
+        backend.for_each_fqdn(&mut |f| seen.push(f.clone()));
+        seen.sort();
+        assert_eq!(seen, vec![fq("a.on.aws"), fq("b.on.aws")]);
+        let aggs = backend.all_aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].fqdn, fq("a.on.aws"));
+        assert_eq!(aggs[0].total_request_cnt, 4);
+
+        let copy = PdnsStore::from_backend(&s);
+        assert_eq!(copy.all_aggregates(), aggs);
+    }
+
+    #[test]
+    fn intern_index_stays_consistent_under_many_rdatas() {
+        let mut s = PdnsStore::new();
+        let f = fq("fanout.on.aws");
+        for i in 0..300u16 {
+            let r = Rdata::V4(Ipv4Addr::new(198, 51, (i >> 8) as u8, (i & 0xff) as u8));
+            s.observe(&f, &r, day(0));
+            // Re-observing must reuse the interned index, not mint rows.
+            s.observe(&f, &r, day(0));
+        }
+        assert_eq!(s.record_count(), 300);
+        let agg = s.aggregate(&f).unwrap();
+        assert_eq!(agg.rdata_dist.len(), 300);
+        assert_eq!(agg.total_request_cnt, 600);
     }
 
     #[test]

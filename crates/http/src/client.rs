@@ -35,13 +35,16 @@ impl Default for ClientConfig {
 
 /// Opens transport connections for the client.
 pub trait Dialer: Send + Sync {
-    /// Open a connection to `addr`. When `sni` is `Some`, negotiate TLS
-    /// for that server name. `timeout` bounds the handshake reads — on a
-    /// lossy network a dropped hello must not hang the dial forever.
+    /// Open a connection to `addr` for `host` (the server name being
+    /// contacted — simulated transports key deterministic fault
+    /// injection on it). When `tls` is set, negotiate TLS with `host` as
+    /// the SNI. `timeout` bounds the handshake reads — on a lossy
+    /// network a dropped hello must not hang the dial forever.
     fn dial(
         &self,
         addr: SocketAddr,
-        sni: Option<&str>,
+        host: &str,
+        tls: bool,
         timeout: Duration,
     ) -> Result<Box<dyn Connection>, DialError>;
 }
@@ -83,15 +86,20 @@ impl Dialer for SimDialer {
     fn dial(
         &self,
         addr: SocketAddr,
-        sni: Option<&str>,
+        host: &str,
+        tls: bool,
         timeout: Duration,
     ) -> Result<Box<dyn Connection>, DialError> {
-        let mut conn = self.net.connect(addr).map_err(DialError::Connect)?;
+        let mut conn = self
+            .net
+            .connect_for(addr, host)
+            .map_err(DialError::Connect)?;
         conn.set_read_timeout(Some(timeout))
             .map_err(DialError::Connect)?;
-        match sni {
-            Some(name) => TlsClient::handshake(conn, name).map_err(DialError::Tls),
-            None => Ok(conn),
+        if tls {
+            TlsClient::handshake(conn, host).map_err(DialError::Tls)
+        } else {
+            Ok(conn)
         }
     }
 }
@@ -114,16 +122,18 @@ impl Dialer for TcpDialer {
     fn dial(
         &self,
         addr: SocketAddr,
-        sni: Option<&str>,
+        host: &str,
+        tls: bool,
         timeout: Duration,
     ) -> Result<Box<dyn Connection>, DialError> {
         let mut conn = TcpConn::connect(addr, self.connect_timeout).map_err(DialError::Connect)?;
         conn.set_read_timeout(Some(timeout))
             .map_err(DialError::Connect)?;
         let boxed: Box<dyn Connection> = Box::new(conn);
-        match sni {
-            Some(name) => TlsClient::handshake(boxed, name).map_err(DialError::Tls),
-            None => Ok(boxed),
+        if tls {
+            TlsClient::handshake(boxed, host).map_err(DialError::Tls)
+        } else {
+            Ok(boxed)
         }
     }
 }
@@ -161,17 +171,19 @@ impl<D: Dialer> HttpClient<D> {
         &self.config
     }
 
-    /// Issue `req` to `addr` (resolved separately — the prober owns DNS).
-    /// `sni` switches TLS on.
+    /// Issue `req` to `addr` (resolved separately — the prober owns
+    /// DNS). `host` names the server being contacted; `tls` switches TLS
+    /// (with `host` as SNI) on.
     pub fn send(
         &self,
         addr: SocketAddr,
-        sni: Option<&str>,
+        host: &str,
+        tls: bool,
         req: &Request,
     ) -> Result<Response, FetchError> {
         let mut conn = self
             .dialer
-            .dial(addr, sni, self.config.read_timeout)
+            .dial(addr, host, tls, self.config.read_timeout)
             .map_err(FetchError::Dial)?;
         conn.set_read_timeout(Some(self.config.read_timeout))
             .map_err(|e| FetchError::Http(HttpError::Io(e)))?;
@@ -188,12 +200,12 @@ impl<D: Dialer> HttpClient<D> {
             .insert("User-Agent", self.config.user_agent.clone());
         req.headers.insert("Accept", "*/*");
         req.headers.insert("Connection", "close");
-        let sni = if url.https {
-            Some(url.host.as_str())
-        } else {
-            None
-        };
-        self.send(SocketAddr::new(addr.ip(), url.port), sni, &req)
+        self.send(
+            SocketAddr::new(addr.ip(), url.port),
+            &url.host,
+            url.https,
+            &req,
+        )
     }
 }
 

@@ -50,9 +50,32 @@ impl NetStats {
 struct Inner {
     listeners: RwLock<HashMap<SocketAddr, Handler>>,
     faults: RwLock<FaultConfig>,
-    rng: Mutex<SmallRng>,
+    seed: u64,
+    /// Per-flow connection ordinals: fault draws are keyed by
+    /// `(seed, flow, ordinal)` so outcomes do not depend on how
+    /// concurrent flows interleave (see [`SimNet::connect_for`]).
+    flow_seq: Mutex<HashMap<u64, u64>>,
     stats: NetStats,
     next_client_port: AtomicU64,
+}
+
+/// FNV-1a 64-bit, the flow-key hash (stable across processes, unlike
+/// the std hasher).
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: spreads structured seed material across the
+/// whole word so nearby flows get unrelated RNG streams.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Handle to the simulated internet. Cheap to clone.
@@ -76,7 +99,8 @@ impl SimNet {
             inner: Arc::new(Inner {
                 listeners: RwLock::new(HashMap::new()),
                 faults: RwLock::new(FaultConfig::default()),
-                rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+                seed,
+                flow_seq: Mutex::new(HashMap::new()),
                 stats: NetStats::default(),
                 next_client_port: AtomicU64::new(40_000),
             }),
@@ -118,19 +142,39 @@ impl SimNet {
     }
 
     /// Open a connection to `addr`. The listener's handler is started on
-    /// its own thread with the server end.
+    /// its own thread with the server end. Fault draws are keyed by the
+    /// target address; concurrent callers hitting the same address
+    /// should prefer [`SimNet::connect_for`] with a distinguishing flow
+    /// name.
     pub fn connect(&self, addr: SocketAddr) -> io::Result<Box<dyn Connection>> {
+        self.connect_for(addr, "")
+    }
+
+    /// Open a connection to `addr` as part of the named `flow` (e.g. the
+    /// fqdn being probed). All fault decisions for the connection come
+    /// from an RNG seeded by `(net seed, flow, addr, per-flow ordinal)`,
+    /// so a multi-threaded client gets identical outcomes run-to-run no
+    /// matter how its workers interleave — as long as each flow's own
+    /// connects stay ordered (the prober probes one domain sequentially).
+    pub fn connect_for(&self, addr: SocketAddr, flow: &str) -> io::Result<Box<dyn Connection>> {
         let faults = *self.inner.faults.read();
-        {
-            let mut rng = self.inner.rng.lock();
-            if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
-                self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
-                fw_obs::counter_inc!("fw.net.refused");
-                return Err(io::Error::new(
-                    io::ErrorKind::ConnectionRefused,
-                    "connection refused (injected fault)",
-                ));
-            }
+        let key = fnv64(flow.as_bytes()) ^ fnv64(addr.to_string().as_bytes());
+        let ordinal = {
+            let mut seq = self.inner.flow_seq.lock();
+            let slot = seq.entry(key).or_insert(0);
+            let o = *slot;
+            *slot += 1;
+            o
+        };
+        let conn_seed = mix(self.inner.seed ^ key ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = SmallRng::seed_from_u64(conn_seed);
+        if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
+            self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+            fw_obs::counter_inc!("fw.net.refused");
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "connection refused (injected fault)",
+            ));
         }
         let handler = match self.inner.listeners.read().get(&addr) {
             Some(h) => h.clone(),
@@ -151,22 +195,23 @@ impl SimNet {
         let (client_end, server_end) = pipe_pair(client_addr, addr);
 
         // Injected hard reset right after establishment.
-        {
-            let mut rng = self.inner.rng.lock();
-            if faults.reset_chance > 0.0 && rng.gen_bool(faults.reset_chance) {
-                client_end.inject_reset();
-                self.inner
-                    .stats
-                    .resets_injected
-                    .fetch_add(1, Ordering::Relaxed);
-                fw_obs::counter_inc!("fw.net.resets_injected");
-            }
+        if faults.reset_chance > 0.0 && rng.gen_bool(faults.reset_chance) {
+            client_end.inject_reset();
+            self.inner
+                .stats
+                .resets_injected
+                .fetch_add(1, Ordering::Relaxed);
+            fw_obs::counter_inc!("fw.net.resets_injected");
         }
 
         self.inner.stats.connections.fetch_add(1, Ordering::Relaxed);
         fw_obs::counter_inc!("fw.net.connections");
+        // Each end draws chunk fates from its own stream of the
+        // connection seed, so server-thread scheduling cannot reorder
+        // the client's draws.
         let server_conn: Box<dyn Connection> = Box::new(FaultedConn {
             inner: server_end,
+            rng: SmallRng::seed_from_u64(conn_seed ^ 0x5ca1_ab1e_0000_0001),
             net: self.inner.clone(),
         });
         std::thread::Builder::new()
@@ -176,14 +221,17 @@ impl SimNet {
 
         Ok(Box::new(FaultedConn {
             inner: client_end,
+            rng,
             net: self.inner.clone(),
         }))
     }
 }
 
-/// A pipe endpoint whose writes pass through the fault layer.
+/// A pipe endpoint whose writes pass through the fault layer, drawing
+/// fates from its own per-connection RNG.
 struct FaultedConn {
     inner: PipeConn,
+    rng: SmallRng,
     net: Arc<Inner>,
 }
 
@@ -203,10 +251,7 @@ impl Connection for FaultedConn {
             .bytes_sent
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
         fw_obs::counter_add!("fw.net.bytes_sent", buf.len() as u64);
-        let fate = {
-            let mut rng = self.net.rng.lock();
-            chunk_fate(&faults, buf.len(), &mut *rng)
-        };
+        let fate = chunk_fate(&faults, buf.len(), &mut self.rng);
         if faults.delay_us > 0 {
             // Injected latency advances the sim clock so span timings
             // can attribute it (wall vs. sim time).

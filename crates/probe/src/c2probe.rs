@@ -75,11 +75,11 @@ impl C2Scanner {
             },
         );
         // Ports 80 and 443, like the paper.
-        for (port, sni) in [(443u16, Some(fqdn.as_str())), (80u16, None)] {
+        for (port, tls) in [(443u16, true), (80u16, false)] {
             let addr = SocketAddr::new(IpAddr::V4(ip), port);
             for sig in &self.fingerprints {
                 let req = sig.probe.to_request(fqdn.as_str());
-                match client.send(addr, sni, &req) {
+                match client.send(addr, fqdn.as_str(), tls, &req) {
                     Ok(resp) => {
                         if sig.matches(&resp) {
                             return Some(C2Detection {

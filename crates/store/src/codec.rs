@@ -1,0 +1,140 @@
+//! Variable-length integer codec used inside segment blocks: LEB128 for
+//! unsigned values, zigzag-LEB128 for signed day stamps, plus a bounded
+//! byte reader whose every failure maps to [`StoreError::Corrupt`] — a
+//! truncated or bit-flipped block must never panic, only error.
+
+use crate::StoreError;
+
+/// Append `v` as LEB128.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append `v` zigzag-encoded.
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Bounded reader over one decoded block payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn corrupt(&self, what: &str) -> StoreError {
+        StoreError::Corrupt(format!("{what} at offset {}", self.pos))
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.corrupt("truncated byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.corrupt("truncated byte run"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn uvarint(&mut self) -> Result<u64, StoreError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(self.corrupt("uvarint overflow"));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.corrupt("uvarint too long"));
+            }
+        }
+    }
+
+    pub fn ivarint(&mut self) -> Result<i64, StoreError> {
+        let z = self.uvarint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// `uvarint` narrowed to `usize`-addressable lengths, guarded so a
+    /// corrupted length can never trigger a huge allocation.
+    pub fn read_len(&mut self, max: usize) -> Result<usize, StoreError> {
+        let v = self.uvarint()?;
+        if v > max as u64 {
+            return Err(self.corrupt("implausible length"));
+        }
+        Ok(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.uvarint().unwrap(), v);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, 19083, -19083, i64::MIN, i64::MAX];
+        for &v in &values {
+            put_ivarint(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_error() {
+        let mut r = Reader::new(&[0x80]);
+        assert!(r.uvarint().is_err());
+        let mut r = Reader::new(&[0x80; 11]);
+        assert!(r.uvarint().is_err());
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.bytes(3).is_err());
+    }
+}

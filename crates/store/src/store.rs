@@ -1,0 +1,585 @@
+//! The persistent sharded store.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/superblock.fws          versioned superblock (magic, shard count, CRC)
+//! <dir>/shard-000/seg-00000001.fws
+//! <dir>/shard-000/seg-00000002.fws
+//! <dir>/shard-001/...
+//! ```
+//!
+//! Ingestion is lock-striped: an fqdn hashes (FNV-1a, stable across
+//! processes) to one of N shards, each behind its own mutex, so
+//! concurrent sensors contend only when they touch the same shard.
+//! Each shard keeps a merged in-memory table (the query view) plus
+//! per-row flush watermarks; `flush` writes the unflushed deltas as one
+//! immutable sorted segment. Reopening a store replays all segments,
+//! summing duplicate `(fqdn, rdata, pdate)` keys, which makes segments
+//! append-only and crash-tolerant: a half-written segment fails its CRC
+//! and is reported, never silently merged. `compact` rewrites each
+//! shard's flushed state as a single segment and deletes the rest.
+
+use crate::segment::{read_segment, SegmentBuilder};
+use crate::{StoreConfig, StoreError};
+use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
+use fw_types::{DayStamp, Fqdn, Rdata, RecordType};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SUPER_MAGIC: &[u8; 8] = b"FWSUPER\x01";
+const SUPER_VERSION: u32 = 1;
+const SUPERBLOCK: &str = "superblock.fws";
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    pdate: i64,
+    rdata: u32,
+    cnt: u64,
+    /// How much of `cnt` is already durable in some segment.
+    flushed: u64,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    rdatas: Vec<Rdata>,
+    rdata_idx: HashMap<Rdata, u32>,
+    rows: Vec<Row>,
+    /// `(pdate, rdata_idx) → position in rows`: exact-key merge.
+    row_idx: HashMap<(i64, u32), u32>,
+    dirty: bool,
+}
+
+impl Entry {
+    fn intern(&mut self, rdata: &Rdata) -> u32 {
+        if let Some(&i) = self.rdata_idx.get(rdata) {
+            return i;
+        }
+        let i = self.rdatas.len() as u32;
+        self.rdatas.push(rdata.clone());
+        self.rdata_idx.insert(rdata.clone(), i);
+        i
+    }
+
+    /// Rebuild `row_idx` from `rows`. Segment replay skips building the
+    /// merge index for fqdns loaded from a single segment (the common
+    /// case after compaction); anything that merges into an existing
+    /// entry calls this first.
+    fn ensure_row_idx(&mut self) {
+        if self.row_idx.is_empty() && !self.rows.is_empty() {
+            self.row_idx = self
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ((r.pdate, r.rdata), i as u32))
+                .collect();
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    dir: PathBuf,
+    table: HashMap<Fqdn, Entry>,
+    /// Distinct `(fqdn, rdata, pdate)` keys.
+    rows: usize,
+    /// Rows with an unflushed delta.
+    pending: usize,
+    /// Fqdns with unflushed deltas (each appears once: guarded by
+    /// `Entry::dirty`).
+    dirty: Vec<Fqdn>,
+    next_seg: u64,
+    segments: Vec<PathBuf>,
+}
+
+impl Shard {
+    fn observe(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
+        let entry = self.table.entry(fqdn.clone()).or_default();
+        entry.ensure_row_idx();
+        let idx = entry.intern(rdata);
+        let key = (day.0, idx);
+        let was_clean;
+        match entry.row_idx.get(&key) {
+            Some(&pos) => {
+                let row = &mut entry.rows[pos as usize];
+                was_clean = row.cnt == row.flushed;
+                row.cnt += count;
+            }
+            None => {
+                entry.row_idx.insert(key, entry.rows.len() as u32);
+                entry.rows.push(Row {
+                    pdate: day.0,
+                    rdata: idx,
+                    cnt: count,
+                    flushed: 0,
+                });
+                self.rows += 1;
+                was_clean = true;
+            }
+        }
+        if was_clean {
+            self.pending += 1;
+        }
+        if !entry.dirty {
+            entry.dirty = true;
+            self.dirty.push(fqdn.clone());
+        }
+    }
+
+    /// Write unflushed deltas as one segment. Returns bytes written.
+    fn flush(&mut self) -> Result<u64, StoreError> {
+        if self.pending == 0 {
+            self.dirty.clear();
+            return Ok(0);
+        }
+        let start = Instant::now();
+        let mut builder = SegmentBuilder::new();
+        for fqdn in self.dirty.drain(..) {
+            let entry = self.table.get_mut(&fqdn).expect("dirty fqdn in table");
+            entry.dirty = false;
+            for row in &mut entry.rows {
+                if row.cnt > row.flushed {
+                    builder.push(
+                        &fqdn,
+                        &entry.rdatas[row.rdata as usize],
+                        DayStamp(row.pdate),
+                        row.cnt - row.flushed,
+                    );
+                    row.flushed = row.cnt;
+                }
+            }
+        }
+        self.pending = 0;
+        let Some(bytes) = builder.finish() else {
+            return Ok(0);
+        };
+        let path = self.write_segment(&bytes)?;
+        self.segments.push(path);
+        fw_obs::counter_inc!("fw.store.segments_written");
+        fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
+        fw_obs::histogram_record!("fw.store.flush_us", start.elapsed().as_micros() as u64);
+        Ok(bytes.len() as u64)
+    }
+
+    /// Rewrite the flushed state as a single segment; drop the others.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        if self.segments.len() < 2 {
+            return Ok(());
+        }
+        let mut builder = SegmentBuilder::new();
+        for (fqdn, entry) in &self.table {
+            for row in &entry.rows {
+                if row.flushed > 0 {
+                    builder.push(
+                        fqdn,
+                        &entry.rdatas[row.rdata as usize],
+                        DayStamp(row.pdate),
+                        row.flushed,
+                    );
+                }
+            }
+        }
+        let Some(bytes) = builder.finish() else {
+            return Ok(());
+        };
+        let path = self.write_segment(&bytes)?;
+        for old in std::mem::take(&mut self.segments) {
+            std::fs::remove_file(&old)?;
+        }
+        self.segments.push(path);
+        fw_obs::counter_inc!("fw.store.compactions");
+        fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Durably write `bytes` as the next segment (tmp file + rename).
+    fn write_segment(&mut self, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+        let name = format!("seg-{:08}.fws", self.next_seg);
+        self.next_seg += 1;
+        let tmp = self.dir.join(format!(".tmp-{name}"));
+        let path = self.dir.join(name);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+/// Persistent, sharded, append-only PDNS store.
+///
+/// Implements [`PdnsBackend`], so the whole measurement pipeline runs
+/// against it exactly as against the in-memory [`fw_dns::pdns::PdnsStore`].
+pub struct DiskStore {
+    dir: PathBuf,
+    shards: Vec<Mutex<Shard>>,
+    flush_rows: usize,
+    read_only: bool,
+    /// First error from an auto-flush inside `observe_count` (which has
+    /// no error channel); surfaced by the next explicit `flush`.
+    deferred_err: Mutex<Option<StoreError>>,
+}
+
+impl DiskStore {
+    /// Create a fresh store directory. Fails if one already exists there.
+    pub fn create(dir: &Path, config: StoreConfig) -> Result<DiskStore, StoreError> {
+        let shard_count = config.shards.clamp(1, 4096);
+        if dir.join(SUPERBLOCK).exists() {
+            return Err(StoreError::AlreadyExists(dir.to_path_buf()));
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut superblock = Vec::with_capacity(24);
+        superblock.extend_from_slice(SUPER_MAGIC);
+        superblock.extend_from_slice(&SUPER_VERSION.to_le_bytes());
+        superblock.extend_from_slice(&(shard_count as u32).to_le_bytes());
+        superblock.extend_from_slice(&0u32.to_le_bytes()); // flags
+        superblock.extend_from_slice(&crate::crc32(&superblock).to_le_bytes());
+        std::fs::write(dir.join(SUPERBLOCK), &superblock)?;
+
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let shard_dir = dir.join(format!("shard-{i:03}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            shards.push(Mutex::new(Shard {
+                dir: shard_dir,
+                table: HashMap::new(),
+                rows: 0,
+                pending: 0,
+                dirty: Vec::new(),
+                next_seg: 1,
+                segments: Vec::new(),
+            }));
+        }
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            shards,
+            flush_rows: config.flush_rows,
+            read_only: false,
+            deferred_err: Mutex::new(None),
+        })
+    }
+
+    /// Open an existing store for appending.
+    pub fn open(dir: &Path) -> Result<DiskStore, StoreError> {
+        Self::open_inner(dir, false)
+    }
+
+    /// Open an existing store read-only (the snapshot replay path):
+    /// `observe_count` panics rather than silently mutating a snapshot.
+    pub fn open_read_only(dir: &Path) -> Result<DiskStore, StoreError> {
+        Self::open_inner(dir, true)
+    }
+
+    fn open_inner(dir: &Path, read_only: bool) -> Result<DiskStore, StoreError> {
+        let _span = fw_obs::span("store/open");
+        let superblock = std::fs::read(dir.join(SUPERBLOCK))?;
+        if superblock.len() != 24 || &superblock[..8] != SUPER_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "{}: bad superblock",
+                dir.display()
+            )));
+        }
+        let crc = u32::from_le_bytes(superblock[20..24].try_into().expect("4 bytes"));
+        if crate::crc32(&superblock[..20]) != crc {
+            return Err(StoreError::Corrupt(format!(
+                "{}: superblock CRC mismatch",
+                dir.display()
+            )));
+        }
+        let version = u32::from_le_bytes(superblock[8..12].try_into().expect("4 bytes"));
+        if version != SUPER_VERSION {
+            return Err(StoreError::Version {
+                found: u64::from(version),
+                expected: u64::from(SUPER_VERSION),
+            });
+        }
+        let shard_count =
+            u32::from_le_bytes(superblock[12..16].try_into().expect("4 bytes")) as usize;
+        if !(1..=4096).contains(&shard_count) {
+            return Err(StoreError::Corrupt(format!(
+                "{}: implausible shard count {shard_count}",
+                dir.display()
+            )));
+        }
+
+        // Shards are independent on disk, so replay them concurrently —
+        // on a multi-core host this takes open from O(total rows) to
+        // O(largest shard).
+        let loaded: Vec<Result<Shard, StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shard_count)
+                .map(|i| scope.spawn(move || Self::load_shard(dir, i)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard loader does not panic"))
+                .collect()
+        });
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in loaded {
+            shards.push(Mutex::new(shard?));
+        }
+
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            shards,
+            flush_rows: StoreConfig::default().flush_rows,
+            read_only,
+            deferred_err: Mutex::new(None),
+        })
+    }
+
+    /// Replay one shard directory's segments into an in-memory table.
+    fn load_shard(dir: &Path, i: usize) -> Result<Shard, StoreError> {
+        let shard_dir = dir.join(format!("shard-{i:03}"));
+        let mut seg_paths: Vec<PathBuf> = Vec::new();
+        if shard_dir.is_dir() {
+            for entry in std::fs::read_dir(&shard_dir)? {
+                let path = entry?.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.starts_with("seg-") && name.ends_with(".fws") {
+                    seg_paths.push(path);
+                }
+            }
+        }
+        seg_paths.sort();
+        let next_seg = seg_paths
+            .iter()
+            .filter_map(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n[4..n.len() - 4].parse::<u64>().ok())
+            })
+            .max()
+            .unwrap_or(0)
+            + 1;
+
+        let mut shard = Shard {
+            dir: shard_dir,
+            table: HashMap::new(),
+            rows: 0,
+            pending: 0,
+            dirty: Vec::new(),
+            next_seg,
+            segments: seg_paths.clone(),
+        };
+        for path in &seg_paths {
+            let seg = read_segment(path)?;
+            // Segment rows are sorted, so each fqdn forms one contiguous
+            // run: resolve the table entry once per run, not per row.
+            let rows = &seg.rows;
+            let mut r = 0;
+            while r < rows.len() {
+                let fqdn_idx = rows[r].fqdn;
+                let mut end = r + 1;
+                while end < rows.len() && rows[end].fqdn == fqdn_idx {
+                    end += 1;
+                }
+                let fqdn = &seg.fqdns[fqdn_idx as usize];
+                let entry = shard.table.entry(fqdn.clone()).or_default();
+                if entry.rows.is_empty() {
+                    // First segment touching this fqdn. A builder-written
+                    // run carries unique (pdate, rdata) keys, so append
+                    // without maintaining the merge index; it is rebuilt
+                    // on demand if another segment (or a later observe)
+                    // touches this entry.
+                    entry.rows.reserve(end - r);
+                    for row in &rows[r..end] {
+                        let idx = entry.intern(&seg.rdatas[row.rdata as usize]);
+                        entry.rows.push(Row {
+                            pdate: row.pdate.0,
+                            rdata: idx,
+                            cnt: row.cnt,
+                            flushed: row.cnt,
+                        });
+                    }
+                    shard.rows += end - r;
+                } else {
+                    entry.ensure_row_idx();
+                    for row in &rows[r..end] {
+                        let idx = entry.intern(&seg.rdatas[row.rdata as usize]);
+                        let key = (row.pdate.0, idx);
+                        match entry.row_idx.get(&key) {
+                            Some(&pos) => {
+                                let q = &mut entry.rows[pos as usize];
+                                q.cnt += row.cnt;
+                                q.flushed += row.cnt;
+                            }
+                            None => {
+                                entry.row_idx.insert(key, entry.rows.len() as u32);
+                                entry.rows.push(Row {
+                                    pdate: row.pdate.0,
+                                    rdata: idx,
+                                    cnt: row.cnt,
+                                    flushed: row.cnt,
+                                });
+                                shard.rows += 1;
+                            }
+                        }
+                    }
+                }
+                r = end;
+            }
+        }
+        Ok(shard)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total on-disk segment files across shards.
+    pub fn segment_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().segments.len()).sum()
+    }
+
+    fn shard_of(&self, fqdn: &Fqdn) -> MutexGuard<'_, Shard> {
+        // FNV-1a, stable across processes (unlike SipHash with a random
+        // key) so a reopened store shards identically.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in fqdn.as_str().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.shards[(h % self.shards.len() as u64) as usize].lock()
+    }
+
+    /// Record `count` observations. Lock-striped: concurrent callers on
+    /// different shards proceed in parallel.
+    pub fn observe_count(&self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
+        if count == 0 {
+            return;
+        }
+        assert!(
+            !self.read_only,
+            "observe_count on a read-only snapshot store"
+        );
+        fw_obs::counter_inc!("fw.store.rows_ingested");
+        let mut shard = self.shard_of(fqdn);
+        shard.observe(fqdn, rdata, day, count);
+        if self.flush_rows > 0 && shard.pending >= self.flush_rows {
+            if let Err(e) = shard.flush() {
+                self.deferred_err.lock().get_or_insert(e);
+            }
+        }
+    }
+
+    /// Flush all unflushed deltas to segments. Also surfaces any error an
+    /// earlier auto-flush hit inside `observe_count`.
+    pub fn flush(&self) -> Result<u64, StoreError> {
+        if let Some(e) = self.deferred_err.lock().take() {
+            return Err(e);
+        }
+        if self.read_only {
+            return Ok(0);
+        }
+        let _span = fw_obs::span("store/flush");
+        let mut total = 0u64;
+        for shard in &self.shards {
+            total += shard.lock().flush()?;
+        }
+        Ok(total)
+    }
+
+    /// Merge each shard's segments into one (after a final flush).
+    pub fn compact(&self) -> Result<(), StoreError> {
+        self.flush()?;
+        let _span = fw_obs::span("store/compact");
+        for shard in &self.shards {
+            shard.lock().compact()?;
+        }
+        Ok(())
+    }
+
+    fn aggregate_inner(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        let shard = self.shard_of(fqdn);
+        let entry = shard.table.get(fqdn)?;
+        let mut first = i64::MAX;
+        let mut last = i64::MIN;
+        let mut total = 0u64;
+        let mut dist: Vec<u64> = vec![0; entry.rdatas.len()];
+        let mut days: Vec<i64> = Vec::with_capacity(entry.rows.len());
+        for row in &entry.rows {
+            first = first.min(row.pdate);
+            last = last.max(row.pdate);
+            total += row.cnt;
+            dist[row.rdata as usize] += row.cnt;
+            days.push(row.pdate);
+        }
+        days.sort_unstable();
+        days.dedup();
+        let mut rdata_dist: Vec<(Rdata, u64)> = entry.rdatas.iter().cloned().zip(dist).collect();
+        rdata_dist.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(FqdnAggregate {
+            fqdn: fqdn.clone(),
+            first_seen_all: DayStamp(first),
+            last_seen_all: DayStamp(last),
+            days_count: days.len() as u32,
+            total_request_cnt: total,
+            rdata_dist,
+        })
+    }
+}
+
+impl PdnsBackend for DiskStore {
+    fn observe_count(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
+        DiskStore::observe_count(self, fqdn, rdata, day, count);
+    }
+
+    fn fqdn_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().table.len()).sum()
+    }
+
+    fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().rows).sum()
+    }
+
+    fn for_each_fqdn(&self, f: &mut dyn FnMut(&Fqdn)) {
+        // Snapshot each shard's keys before invoking the callback:
+        // consumers routinely call `aggregate` from inside it (the
+        // identification stage does), which would re-take the shard lock.
+        for shard in &self.shards {
+            let keys: Vec<Fqdn> = shard.lock().table.keys().cloned().collect();
+            for fqdn in &keys {
+                f(fqdn);
+            }
+        }
+    }
+
+    fn for_each_row(&self, f: &mut dyn FnMut(&Fqdn, RecordType, &Rdata, DayStamp, u64)) {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (fqdn, entry) in &shard.table {
+                for row in &entry.rows {
+                    let rdata = &entry.rdatas[row.rdata as usize];
+                    f(fqdn, rdata.rtype(), rdata, DayStamp(row.pdate), row.cnt);
+                }
+            }
+        }
+    }
+
+    fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        self.aggregate_inner(fqdn)
+    }
+}
+
+/// Shareable handle implementing the resolver [`fw_dns::resolver::Sensor`],
+/// so live traffic can feed the disk store directly, sharded writes and
+/// all.
+#[derive(Clone)]
+pub struct SharedDiskStore(pub std::sync::Arc<DiskStore>);
+
+impl fw_dns::resolver::Sensor for SharedDiskStore {
+    fn observe(&self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp) {
+        self.0.observe_count(fqdn, rdata, day, 1);
+    }
+}

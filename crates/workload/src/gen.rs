@@ -117,6 +117,34 @@ impl Default for WorldConfig {
 }
 
 impl WorldConfig {
+    /// The canonical PDNS-only world: fast, nothing deployed. Usage
+    /// (§4) analyses and their snapshots use this shape; the minted
+    /// offline domains differ from a live world's deployed ones at the
+    /// same seed, so usage and live snapshots are not interchangeable.
+    pub fn usage(seed: u64, scale: f64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            scale,
+            deploy_live: false,
+            platform: PlatformConfig::default(),
+        }
+    }
+
+    /// The canonical live world used by every probing experiment:
+    /// functions deployed, with hangs outlasting the probe timeout so
+    /// InternalOnly functions show up as timeouts like in the paper.
+    pub fn live(seed: u64, scale: f64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            scale,
+            deploy_live: true,
+            platform: PlatformConfig {
+                hang_ms: 900,
+                ..PlatformConfig::default()
+            },
+        }
+    }
+
     /// Scale a full-scale population count (≥1 whenever the paper's count
     /// is non-zero).
     pub fn scaled(&self, full: u64) -> u64 {

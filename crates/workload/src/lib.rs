@@ -17,5 +17,7 @@
 
 pub mod calib;
 mod gen;
+pub mod snapshot;
 
 pub use gen::{BenignClass, Truth, World, WorldConfig, WorldFunction};
+pub use snapshot::{save_pdns, SnapshotMeta, SnapshotStats};

@@ -1,0 +1,198 @@
+//! Persisting a generated world's PDNS feed as an on-disk snapshot.
+//!
+//! Generating a calibrated world at scale takes minutes; the PDNS rows
+//! it produces are deterministic for a `(seed, scale)` pair. A snapshot
+//! materializes those rows into an `fw-store` [`DiskStore`] once, so
+//! every figure binary can reopen them read-only (`--snapshot <dir>`)
+//! instead of regenerating the world.
+
+use crate::World;
+use fw_dns::pdns::PdnsBackend;
+use fw_store::{DiskStore, StoreConfig, StoreError};
+use std::path::Path;
+
+/// What a snapshot save wrote, for progress reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStats {
+    pub fqdns: usize,
+    pub rows: usize,
+}
+
+/// Sidecar manifest (`world.meta`) recording which world a snapshot was
+/// cut from, so consumers can inherit the seed/scale instead of the
+/// caller having to repeat them on every replay invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotMeta {
+    pub seed: u64,
+    pub scale: f64,
+    /// Whether the source world was live-deployed (`WorldConfig::live`)
+    /// or PDNS-only (`WorldConfig::usage`); the two flavors mint
+    /// different fqdn populations at the same seed.
+    pub live: bool,
+}
+
+/// File name of the manifest inside a snapshot directory. The store
+/// itself only reads the superblock and `shard-*` directories, so the
+/// sidecar never interferes with segment I/O.
+pub const META_FILE: &str = "world.meta";
+
+impl SnapshotMeta {
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        let text = format!(
+            "seed={}\nscale={}\nlive={}\n",
+            self.seed, self.scale, self.live
+        );
+        std::fs::write(dir.join(META_FILE), text)
+    }
+
+    /// Read the manifest; `None` if absent or malformed (snapshots
+    /// written by hand via [`save_pdns`] have no manifest).
+    pub fn read(dir: &Path) -> Option<SnapshotMeta> {
+        let text = std::fs::read_to_string(dir.join(META_FILE)).ok()?;
+        let (mut seed, mut scale, mut live) = (None, None, None);
+        for line in text.lines() {
+            match line.split_once('=')? {
+                ("seed", v) => seed = v.parse().ok(),
+                ("scale", v) => scale = v.parse().ok(),
+                ("live", v) => live = v.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(SnapshotMeta {
+            seed: seed?,
+            scale: scale?,
+            live: live?,
+        })
+    }
+}
+
+/// Persist any PDNS backend into a fresh [`DiskStore`] at `dir`
+/// (created; fails if a snapshot already exists there). The store is
+/// flushed and compacted so the result is one sorted segment per shard.
+pub fn save_pdns<B: PdnsBackend + ?Sized>(
+    pdns: &B,
+    dir: &Path,
+    shards: usize,
+) -> Result<SnapshotStats, StoreError> {
+    let store = DiskStore::create(
+        dir,
+        StoreConfig {
+            shards,
+            ..StoreConfig::default()
+        },
+    )?;
+    pdns.for_each_row(&mut |fqdn, _rtype, rdata, pdate, cnt| {
+        store.observe_count(fqdn, rdata, pdate, cnt);
+    });
+    store.flush()?;
+    store.compact()?;
+    Ok(SnapshotStats {
+        fqdns: store.fqdn_count(),
+        rows: store.record_count(),
+    })
+}
+
+impl World {
+    /// Save this world's PDNS store as a reopenable snapshot, with a
+    /// [`SnapshotMeta`] manifest recording the source seed/scale.
+    pub fn save_snapshot(&self, dir: &Path, shards: usize) -> Result<SnapshotStats, StoreError> {
+        let stats = save_pdns(&self.pdns, dir, shards)?;
+        SnapshotMeta {
+            seed: self.config.seed,
+            scale: self.config.scale,
+            live: self.config.deploy_live,
+        }
+        .write(dir)?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "fw-workload-snap-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            TempDir(p)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig {
+            seed: 7,
+            scale: 0.002,
+            deploy_live: false,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn snapshot_equals_live_store() {
+        let world = tiny_world();
+        let dir = TempDir::new();
+        let stats = world.save_snapshot(&dir.0, 4).unwrap();
+        assert!(stats.fqdns > 0);
+        assert_eq!(stats.fqdns, world.pdns.fqdn_count());
+
+        let disk = DiskStore::open_read_only(&dir.0).unwrap();
+        assert_eq!(disk.all_aggregates(), world.pdns.all_aggregates());
+    }
+
+    #[test]
+    fn reopening_is_deterministic() {
+        let world = tiny_world();
+        let dir = TempDir::new();
+        world.save_snapshot(&dir.0, 4).unwrap();
+        let a = DiskStore::open_read_only(&dir.0).unwrap().all_aggregates();
+        let b = DiskStore::open_read_only(&dir.0).unwrap().all_aggregates();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn manifest_roundtrips_world_identity() {
+        let world = tiny_world();
+        let dir = TempDir::new();
+        world.save_snapshot(&dir.0, 4).unwrap();
+        let meta = SnapshotMeta::read(&dir.0).expect("manifest written");
+        assert_eq!(
+            meta,
+            SnapshotMeta {
+                seed: 7,
+                scale: 0.002,
+                live: false
+            }
+        );
+        // A bare save_pdns snapshot has no manifest.
+        let dir2 = TempDir::new();
+        save_pdns(&world.pdns, &dir2.0, 4).unwrap();
+        assert!(SnapshotMeta::read(&dir2.0).is_none());
+    }
+
+    #[test]
+    fn refuses_to_overwrite_existing_snapshot() {
+        let world = tiny_world();
+        let dir = TempDir::new();
+        world.save_snapshot(&dir.0, 4).unwrap();
+        assert!(matches!(
+            world.save_snapshot(&dir.0, 4),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+}

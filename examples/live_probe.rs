@@ -99,7 +99,7 @@ fn main() {
     ] {
         let url = Url::parse(&format!("http://{host}/")).unwrap();
         let resp = client
-            .send(plain_addr, None, &Request::get("/", host))
+            .send(plain_addr, host, false, &Request::get("/", host))
             .expect("live fetch");
         let verdict = review_exemplar(&resp)
             .map(|a| a.label().to_string())
@@ -114,7 +114,7 @@ fn main() {
     // host, exercising SNI + certificate validation on the wire.
     let host = "gamble-fn-x1y2z3a4b5-uc.a.run.app";
     let resp = client
-        .send(tls_addr, Some(host), &Request::get("/", host))
+        .send(tls_addr, host, true, &Request::get("/", host))
         .expect("tls fetch");
     println!(
         "GET https://{host}/ (TLS framing over real TCP)\n  -> {} {} => {}",
@@ -128,7 +128,8 @@ fn main() {
     // Certificate mismatch must fail closed.
     let bad = client.send(
         tls_addr,
-        Some("evil.example.com"),
+        "evil.example.com",
+        true,
         &Request::get("/", "evil.example.com"),
     );
     println!(
@@ -140,5 +141,8 @@ fn main() {
     );
 
     // Suppress unused warning for Dialer trait import used via generics.
-    let _ = |d: &dyn Dialer| d.dial(plain_addr, None, Duration::from_secs(1)).is_ok();
+    let _ = |d: &dyn Dialer| {
+        d.dial(plain_addr, "probe", false, Duration::from_secs(1))
+            .is_ok()
+    };
 }

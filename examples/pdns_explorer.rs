@@ -99,7 +99,7 @@ fn main() {
         }
 
         // Identification over the sensed store.
-        let report = identify_functions(&store);
+        let report = identify_functions(&*store);
         println!(
             "\nidentification: {} function domains recognized, {} noise",
             report.functions.len(),

@@ -53,7 +53,7 @@ fn probe_resolutions_feed_pdns_and_identify() {
     let store = pdns.lock();
     let agg = store.aggregate(&d.fqdn).expect("sensed by the resolver");
     assert!(agg.total_request_cnt >= 1);
-    let report = faaswild::core::identify::identify_functions(&store);
+    let report = faaswild::core::identify::identify_functions(&*store);
     assert_eq!(report.functions.len(), 1);
     assert_eq!(report.functions[0].provider, ProviderId::Google2);
 }
