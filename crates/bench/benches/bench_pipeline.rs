@@ -14,6 +14,7 @@ fn usage_config() -> WorldConfig {
         seed: 77,
         scale: 0.002,
         deploy_live: false,
+        wall_clock: false,
         platform: PlatformConfig::default(),
     }
 }
@@ -47,6 +48,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                     seed: 11,
                     scale: 0.001,
                     deploy_live: true,
+                    wall_clock: false,
                     platform: PlatformConfig {
                         hang_ms: 200,
                         ..PlatformConfig::default()

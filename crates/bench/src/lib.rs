@@ -16,6 +16,10 @@
 //! --tsv             additionally print machine-readable TSV series
 //! --metrics         enable fw-obs telemetry; report dumped to stderr
 //!                   on exit (equivalent: FW_METRICS=1 in the env)
+//! --wall-clock      run the simulated world on the real wall clock
+//!                   instead of deterministic virtual time (probing
+//!                   figures then race real timeouts and may wobble;
+//!                   see DESIGN.md §10)
 //! ```
 
 use fw_core::abusescan::AbuseScanConfig;
@@ -35,6 +39,8 @@ pub struct Cli {
     pub tsv: bool,
     /// PDNS snapshot directory to reopen instead of generating the feed.
     pub snapshot: Option<PathBuf>,
+    /// Opt out of deterministic virtual time (`--wall-clock`).
+    pub wall_clock: bool,
     /// Free-form extra flags (binary-specific).
     pub flags: Vec<String>,
 }
@@ -53,6 +59,7 @@ impl Cli {
             seed: 42,
             tsv: false,
             snapshot: None,
+            wall_clock: false,
             flags: Vec::new(),
         };
         let (mut explicit_scale, mut explicit_seed) = (false, false);
@@ -81,9 +88,10 @@ impl Cli {
                 }
                 "--tsv" => cli.tsv = true,
                 "--metrics" => fw_obs::set_enabled(true),
+                "--wall-clock" => cli.wall_clock = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f64>] [--seed <u64>] [--snapshot <dir>] [--tsv] [--metrics] [binary-specific flags]"
+                        "usage: [--scale <f64>] [--seed <u64>] [--snapshot <dir>] [--tsv] [--metrics] [--wall-clock] [binary-specific flags]"
                     );
                     std::process::exit(0);
                 }
@@ -135,12 +143,16 @@ fn die(msg: &str) -> ! {
 
 /// Build a PDNS-only world (fast; for §4 figures).
 pub fn usage_world(cli: &Cli) -> World {
-    World::generate(WorldConfig::usage(cli.seed, cli.scale))
+    let mut config = WorldConfig::usage(cli.seed, cli.scale);
+    config.wall_clock = cli.wall_clock;
+    World::generate(config)
 }
 
 /// Build a live world (for probing figures).
 pub fn live_world(cli: &Cli) -> World {
-    World::generate(WorldConfig::live(cli.seed, cli.scale))
+    let mut config = WorldConfig::live(cli.seed, cli.scale);
+    config.wall_clock = cli.wall_clock;
+    World::generate(config)
 }
 
 /// The pipeline configuration used by probing binaries: the paper's
@@ -186,13 +198,16 @@ pub fn run_usage(cli: &Cli) -> (Option<World>, UsageReport) {
 /// Run the full pipeline including probing. Probing needs the simulated
 /// platform, so a live world is generated either way; with `--snapshot`
 /// the passive feed is read from the reopened disk store instead of the
-/// freshly generated one (same seed/scale ⇒ same rows). Probe outcomes
-/// can still wobble by a few domains run-to-run — real wall-clock
-/// timeouts race on an oversubscribed host regardless of feed source.
+/// freshly generated one (same seed/scale ⇒ same rows). On the default
+/// virtual clock, probe outcomes are a pure function of the seed, so
+/// stdout is byte-identical run-to-run and live-vs-snapshot; only
+/// `--wall-clock` reintroduces real timeout races.
 pub fn run_full(cli: &Cli) -> (World, FullReport) {
     eprintln!(
-        "generating world: scale {} seed {} (live deployment)...",
-        cli.scale, cli.seed
+        "generating world: scale {} seed {} (live deployment, {} time)...",
+        cli.scale,
+        cli.seed,
+        if cli.wall_clock { "wall" } else { "virtual" }
     );
     let w = live_world(cli);
     eprintln!(

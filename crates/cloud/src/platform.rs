@@ -29,7 +29,7 @@ use fw_dns::zone::Zone;
 use fw_http::parse::Limits;
 use fw_http::server::serve_connection;
 use fw_http::types::{Request, Response};
-use fw_net::{Connection, SimNet, TlsServer};
+use fw_net::{Clock, ClockSource as _, Connection, SimNet, TlsServer};
 use fw_types::{Fqdn, ProviderId, Rdata};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
@@ -210,6 +210,10 @@ struct PlatformInner {
     clock_ms: AtomicU64,
     rng: Mutex<SmallRng>,
     stats: PlatformStats,
+    /// The world's time source (shared with [`SimNet`]): a hanging
+    /// function sleeps on it, so on virtual time a hang is a scheduled
+    /// event rather than a real `thread::sleep`.
+    net_clock: Clock,
 }
 
 /// The simulated serverless cloud.
@@ -230,6 +234,7 @@ impl std::fmt::Debug for CloudPlatform {
 
 impl CloudPlatform {
     pub fn new(net: SimNet, resolver: Arc<RwLock<Resolver>>, config: PlatformConfig) -> Self {
+        let net_clock = net.clock().clone();
         CloudPlatform {
             net,
             resolver,
@@ -241,6 +246,7 @@ impl CloudPlatform {
                 billing: Mutex::new(BillingLedger::new()),
                 clock_ms: AtomicU64::new(0),
                 stats: PlatformStats::default(),
+                net_clock,
             }),
         }
     }
@@ -534,8 +540,11 @@ impl CloudPlatform {
         let ttl = self.inner.config.record_ttl;
 
         // Register CNAME targets (ingress A records) once per region.
+        // Walk regions in spec order: HashMap iteration order is not
+        // stable across processes, and zone insertion order is visible
+        // to `zone_for`'s longest-origin tie-break.
         let mut third_party: Vec<(Fqdn, Ipv4Addr)> = Vec::new();
-        for ingress in state.regions.values() {
+        for ingress in state.spec.regions.iter().map(|r| &state.regions[*r]) {
             for (i, cname) in ingress.cnames.iter().enumerate() {
                 let ip = ingress.v4[i % ingress.v4.len()];
                 if cname.has_suffix(origin.as_str()) {
@@ -570,6 +579,14 @@ impl CloudPlatform {
         // Third-party ingress (telecom operators, CDN) live in their own
         // zones — the dependency §4.2 flags as a risk.
         for (cname, ip) in third_party {
+            // Merge into an existing zone for the same origin if one is
+            // already registered: two zones with equal origins would
+            // shadow each other in `zone_for` and make resolution depend
+            // on insertion order.
+            if let Some(z) = resolver.zone_for_mut(&cname) {
+                z.add(cname.clone(), Rdata::V4(ip), self.inner.config.record_ttl);
+                continue;
+            }
             let tp_origin = Fqdn::parse(&cname.last_labels(2)).expect("valid");
             let mut tp_zone = Zone::new(tp_origin);
             tp_zone.add(cname.clone(), Rdata::V4(ip), self.inner.config.record_ttl);
@@ -733,7 +750,11 @@ impl PlatformInner {
         match entry.behavior.respond(req, &mut ctx) {
             Outcome::Respond(resp) => resp,
             Outcome::Hang => {
-                std::thread::sleep(std::time::Duration::from_millis(self.config.hang_ms));
+                // On virtual time this parks the handler as a timer
+                // event; the probing client's shorter timeout fires
+                // first, exactly as with a real hang.
+                self.net_clock
+                    .sleep(std::time::Duration::from_millis(self.config.hang_ms));
                 Response::new(504)
             }
         }

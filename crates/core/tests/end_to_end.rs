@@ -14,6 +14,7 @@ fn world() -> World {
         seed: 2024,
         scale: 0.003,
         deploy_live: true,
+        wall_clock: false,
         platform: PlatformConfig {
             // Hangs must outlast the probe timeout below.
             hang_ms: 400,
@@ -213,6 +214,7 @@ fn usage_only_pipeline_without_live_network() {
         seed: 7,
         scale: 0.004,
         deploy_live: false,
+        wall_clock: false,
         platform: PlatformConfig::default(),
     });
     let report = Pipeline::run_usage(&w.pdns);

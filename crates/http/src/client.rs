@@ -214,7 +214,7 @@ mod tests {
     use super::*;
     use crate::parse::write_response;
     use crate::types::Response;
-    use fw_net::TlsServer;
+    use fw_net::{ClockSource as _, TlsServer};
     use std::sync::Arc;
 
     fn sim_with_server(tls_cert: Option<&'static str>) -> (SimNet, SocketAddr) {
@@ -293,11 +293,13 @@ mod tests {
     fn timeout_on_silent_server() {
         let net = SimNet::new(4);
         let addr: SocketAddr = "203.0.113.12:80".parse().unwrap();
-        net.listen_fn(addr, |mut conn| {
-            // Read the request but never answer.
+        let handler_clock = net.clock().clone();
+        net.listen_fn(addr, move |mut conn| {
+            // Read the request but never answer: park on the (virtual)
+            // clock well past the client's timeout before hanging up.
             let mut buf = [0u8; 1024];
             let _ = conn.read(&mut buf);
-            std::thread::sleep(Duration::from_millis(300));
+            handler_clock.sleep(Duration::from_millis(300));
         });
         let client = HttpClient::new(
             SimDialer::new(net),

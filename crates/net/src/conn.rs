@@ -5,6 +5,7 @@
 //! (an in-memory half of a duplex pipe, used by the simulated internet) and
 //! the `TcpStream` adapter in [`crate::tcp`].
 
+use crate::vclock::{Clock, ClockSource as _, Registration, WaitOutcome};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io;
@@ -113,6 +114,18 @@ pub struct PipeConn {
     read_timeout: Option<Duration>,
     local: SocketAddr,
     peer: SocketAddr,
+    /// Time source for blocking waits. On a virtual clock, reads and
+    /// backpressure block on the clock (a timeout is a heap event); on
+    /// the wall clock, the per-pipe condvars and `Instant` deadlines
+    /// are used as before.
+    clock: Clock,
+    /// Held when this endpoint was opened by a thread with no persistent
+    /// clock registration (e.g. a test's main thread): the connection
+    /// itself then counts as a runnable actor, so a registered peer's
+    /// idle deadline cannot fire while the owner is between waits.
+    /// Waits through a leased endpoint count against the lease instead
+    /// of auto-registering.
+    lease: Option<Registration>,
 }
 
 impl std::fmt::Debug for PipeConn {
@@ -129,6 +142,15 @@ impl std::fmt::Debug for PipeConn {
 /// `a_addr` is the address of the first endpoint (its peer sees it as the
 /// remote), and vice versa.
 pub fn pipe_pair(a_addr: SocketAddr, b_addr: SocketAddr) -> (PipeConn, PipeConn) {
+    pipe_pair_with_clock(a_addr, b_addr, Clock::Wall)
+}
+
+/// [`pipe_pair`] with an explicit time source shared by both endpoints.
+pub fn pipe_pair_with_clock(
+    a_addr: SocketAddr,
+    b_addr: SocketAddr,
+    clock: Clock,
+) -> (PipeConn, PipeConn) {
     let ab = Pipe::new(); // a → b
     let ba = Pipe::new(); // b → a
     let a = PipeConn {
@@ -137,6 +159,8 @@ pub fn pipe_pair(a_addr: SocketAddr, b_addr: SocketAddr) -> (PipeConn, PipeConn)
         read_timeout: None,
         local: a_addr,
         peer: b_addr,
+        clock: clock.clone(),
+        lease: None,
     };
     let b = PipeConn {
         rx: ab,
@@ -144,6 +168,8 @@ pub fn pipe_pair(a_addr: SocketAddr, b_addr: SocketAddr) -> (PipeConn, PipeConn)
         read_timeout: None,
         local: b_addr,
         peer: a_addr,
+        clock,
+        lease: None,
     };
     (a, b)
 }
@@ -151,6 +177,16 @@ pub fn pipe_pair(a_addr: SocketAddr, b_addr: SocketAddr) -> (PipeConn, PipeConn)
 impl PipeConn {
     pub fn local_addr(&self) -> SocketAddr {
         self.local
+    }
+
+    /// Attach a connection lease (see the `lease` field).
+    pub(crate) fn set_lease(&mut self, lease: Registration) {
+        self.lease = Some(lease);
+    }
+
+    /// Is this endpoint holding a connection lease?
+    pub(crate) fn is_leased(&self) -> bool {
+        self.lease.is_some()
     }
 
     /// Inject a hard reset visible to both directions (fault layer).
@@ -161,6 +197,7 @@ impl PipeConn {
             pipe.readable.notify_all();
             pipe.writable.notify_all();
         }
+        self.clock.notify();
     }
 }
 
@@ -191,13 +228,28 @@ impl Connection for PipeConn {
                 if st.buf.len() < PIPE_CAPACITY {
                     break;
                 }
-                self.tx.writable.wait(&mut st);
+                match self.clock.vclock() {
+                    Some(vc) => {
+                        // Register the waiter before releasing the pipe
+                        // lock so the reader's drain cannot slip past
+                        // unnoticed, then block on the clock.
+                        let token = vc.prepare_wait_counted(None, self.lease.is_some());
+                        drop(st);
+                        vc.complete_wait(token);
+                        st = self.tx.state.lock();
+                    }
+                    None => {
+                        self.tx.writable.wait(&mut st);
+                    }
+                }
             }
             let room = PIPE_CAPACITY - st.buf.len();
             let take = room.min(buf.len() - written);
             st.buf.extend(&buf[written..written + take]);
             written += take;
             self.tx.readable.notify_all();
+            drop(st);
+            self.clock.notify();
         }
         Ok(())
     }
@@ -207,6 +259,10 @@ impl Connection for PipeConn {
             return Ok(0);
         }
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        // Virtual deadlines are absolute microseconds on the sim clock.
+        let vdeadline = self
+            .read_timeout
+            .map(|t| self.clock.now_us() + t.as_micros() as u64);
         let mut st = self.rx.state.lock();
         loop {
             if st.reset {
@@ -221,19 +277,31 @@ impl Connection for PipeConn {
                     *slot = st.buf.pop_front().expect("len checked");
                 }
                 self.rx.writable.notify_all();
+                drop(st);
+                self.clock.notify();
                 return Ok(take);
             }
             if st.write_closed {
                 return Ok(0); // clean EOF
             }
-            match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d || self.rx.readable.wait_until(&mut st, d).timed_out() {
+            match self.clock.vclock() {
+                Some(vc) => {
+                    let token = vc.prepare_wait_counted(vdeadline, self.lease.is_some());
+                    drop(st);
+                    if vc.complete_wait(token) == WaitOutcome::TimedOut {
                         return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
                     }
+                    st = self.rx.state.lock();
                 }
-                None => self.rx.readable.wait(&mut st),
+                None => match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d || self.rx.readable.wait_until(&mut st, d).timed_out() {
+                            return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
+                        }
+                    }
+                    None => self.rx.readable.wait(&mut st),
+                },
             }
         }
     }
@@ -244,9 +312,12 @@ impl Connection for PipeConn {
     }
 
     fn shutdown_write(&mut self) {
-        let mut st = self.tx.state.lock();
-        st.write_closed = true;
-        self.tx.readable.notify_all();
+        {
+            let mut st = self.tx.state.lock();
+            st.write_closed = true;
+            self.tx.readable.notify_all();
+        }
+        self.clock.notify();
     }
 
     fn peer_addr(&self) -> SocketAddr {
@@ -269,6 +340,7 @@ impl Drop for PipeConn {
             st.read_closed = true;
             self.rx.writable.notify_all();
         }
+        self.clock.notify();
     }
 }
 

@@ -19,14 +19,20 @@
 //!   with SNI and a certificate-name check. It gives the prober a real
 //!   HTTPS-then-HTTP fallback decision to make without re-implementing
 //!   X.509.
+//! * **Time is virtual by default** ([`vclock`]): a discrete-event clock
+//!   turns every timeout and injected delay into a scheduled event, so
+//!   probing sweeps are byte-reproducible and never sleep for real. The
+//!   wall clock remains available behind the same [`ClockSource`] trait.
 
 pub mod conn;
 pub mod fault;
 pub mod sim;
 pub mod tcp;
 pub mod tls;
+pub mod vclock;
 
 pub use conn::{pipe_pair, Connection, PipeConn};
 pub use fault::FaultConfig;
 pub use sim::{NetStats, SimNet};
 pub use tls::{TlsClient, TlsError, TlsServer};
+pub use vclock::{Clock, ClockSource, VClock, WallClock};

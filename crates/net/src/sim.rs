@@ -7,8 +7,9 @@
 //! would. All connections pass through the fault layer ([`FaultConfig`]),
 //! and global counters ([`NetStats`]) make fault behaviour observable.
 
-use crate::conn::{pipe_pair, Connection, PipeConn};
+use crate::conn::{pipe_pair_with_clock, Connection, PipeConn};
 use crate::fault::{chunk_fate, ChunkFate, FaultConfig};
+use crate::vclock::Clock;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -50,6 +51,9 @@ impl NetStats {
 struct Inner {
     listeners: RwLock<HashMap<SocketAddr, Handler>>,
     faults: RwLock<FaultConfig>,
+    /// The world's time source. Virtual by default: timeouts and
+    /// injected delays are discrete events, not real sleeps.
+    clock: Clock,
     seed: u64,
     /// Per-flow connection ordinals: fault draws are keyed by
     /// `(seed, flow, ordinal)` so outcomes do not depend on how
@@ -93,18 +97,37 @@ impl std::fmt::Debug for SimNet {
 }
 
 impl SimNet {
-    /// Create a healthy network with a seeded fault RNG.
+    /// Create a healthy network with a seeded fault RNG, running on
+    /// deterministic virtual time (see [`crate::vclock`]).
     pub fn new(seed: u64) -> SimNet {
+        SimNet::with_clock(seed, Clock::new_virtual())
+    }
+
+    /// Like [`SimNet::new`], but on the real wall clock (the
+    /// `--wall-clock` escape hatch: timeouts and injected delays sleep
+    /// for real).
+    pub fn new_wall(seed: u64) -> SimNet {
+        SimNet::with_clock(seed, Clock::Wall)
+    }
+
+    /// Create a network with an explicit time source.
+    pub fn with_clock(seed: u64, clock: Clock) -> SimNet {
         SimNet {
             inner: Arc::new(Inner {
                 listeners: RwLock::new(HashMap::new()),
                 faults: RwLock::new(FaultConfig::default()),
+                clock,
                 seed,
                 flow_seq: Mutex::new(HashMap::new()),
                 stats: NetStats::default(),
                 next_client_port: AtomicU64::new(40_000),
             }),
         }
+    }
+
+    /// The world's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
     }
 
     /// Install a listener. Replaces any previous listener on the address.
@@ -192,7 +215,19 @@ impl SimNet {
             IpAddr::V4(Ipv4Addr::new(100, 64, (port >> 8) as u8 & 0x3f, port as u8)),
             (20_000 + (port % 40_000)) as u16,
         );
-        let (client_end, server_end) = pipe_pair(client_addr, addr);
+        let (mut client_end, server_end) =
+            pipe_pair_with_clock(client_addr, addr, self.inner.clock.clone());
+        // A caller with no persistent clock registration (a test main,
+        // an example) is invisible to quiescence detection, so the
+        // client end leases a registration for the connection's
+        // lifetime — without it, the handler blocking on its idle
+        // timeout would be instant quiescence and the timeout would
+        // fire while the client is still composing its request.
+        if let Some(vc) = self.inner.clock.vclock() {
+            if !crate::vclock::thread_registered() {
+                client_end.set_lease(vc.register());
+            }
+        }
 
         // Injected hard reset right after establishment.
         if faults.reset_chance > 0.0 && rng.gen_bool(faults.reset_chance) {
@@ -214,9 +249,16 @@ impl SimNet {
             rng: SmallRng::seed_from_u64(conn_seed ^ 0x5ca1_ab1e_0000_0001),
             net: self.inner.clone(),
         });
+        // Register the handler thread with the virtual clock *before*
+        // spawning it, so the clock cannot advance in the window where
+        // the thread exists but has not run yet.
+        let registration = self.inner.clock.register();
         std::thread::Builder::new()
             .name(format!("sim-handler-{addr}"))
-            .spawn(move || handler(server_conn))
+            .spawn(move || {
+                let _active = registration.map(|r| r.activate());
+                handler(server_conn)
+            })
             .map_err(io::Error::other)?;
 
         Ok(Box::new(FaultedConn {
@@ -253,10 +295,22 @@ impl Connection for FaultedConn {
         fw_obs::counter_add!("fw.net.bytes_sent", buf.len() as u64);
         let fate = chunk_fate(&faults, buf.len(), &mut self.rng);
         if faults.delay_us > 0 {
-            // Injected latency advances the sim clock so span timings
-            // can attribute it (wall vs. sim time).
-            fw_obs::advance_sim_micros(faults.delay_us);
-            std::thread::sleep(Duration::from_micros(faults.delay_us));
+            // Injected latency is a scheduled event on the virtual
+            // clock (which mirrors its advances into the fw-obs sim
+            // counter); the wall clock sleeps for real and mirrors the
+            // delay explicitly so span timings still attribute it.
+            match &self.net.clock {
+                // A leased endpoint's sleep counts against the lease
+                // (see `PipeConn::set_lease`), not a fresh registration.
+                Clock::Virtual(vc) => vc.sleep_counted(
+                    Duration::from_micros(faults.delay_us),
+                    self.inner.is_leased(),
+                ),
+                Clock::Wall => {
+                    fw_obs::advance_sim_micros(faults.delay_us);
+                    std::thread::sleep(Duration::from_micros(faults.delay_us));
+                }
+            }
         }
         match fate {
             ChunkFate::Deliver => self.inner.write_all(buf),

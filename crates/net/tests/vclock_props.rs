@@ -1,0 +1,99 @@
+//! Determinism properties of the virtual clock (DESIGN.md §10).
+//!
+//! The ISSUE-3 acceptance properties: for *any* generated workload of
+//! concurrent sleep chains, (a) two runs produce the identical advance
+//! trace — virtual time is a pure function of the workload, not of
+//! host scheduling — and (b) total virtual elapsed time equals the
+//! longest chain (parallel waits overlap, they don't serialize).
+
+use fw_net::{ClockSource as _, Connection, SimNet, VClock};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+/// Run one workload: chain `i` sleeps each of its durations (µs) in
+/// order on its own registered thread. Returns the advance trace and
+/// the final virtual now.
+fn run_chains(chains: &[Vec<u64>]) -> (Vec<(u64, u32)>, u64) {
+    let clock = VClock::new();
+    // All registrations exist before any thread spawns, so no thread
+    // can reach quiescence alone and race ahead.
+    let regs: Vec<_> = chains.iter().map(|_| clock.register()).collect();
+    let handles: Vec<_> = chains
+        .iter()
+        .zip(regs)
+        .map(|(chain, reg)| {
+            let clock = clock.clone();
+            let chain = chain.clone();
+            std::thread::spawn(move || {
+                let _active = reg.activate();
+                for us in chain {
+                    clock.sleep(Duration::from_micros(us));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (clock.advance_trace(), clock.now_us())
+}
+
+fn chain() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((1u64..50_000).prop_map(|us| us), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same workload, two runs: byte-identical advance traces.
+    #[test]
+    fn trace_is_identical_across_runs(chains in proptest::collection::vec(chain(), 1..5)) {
+        let (trace_a, now_a) = run_chains(&chains);
+        let (trace_b, now_b) = run_chains(&chains);
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(now_a, now_b);
+    }
+
+    /// Virtual elapsed time is the max over chains, not the sum:
+    /// concurrent waiters share every advance they are due at.
+    #[test]
+    fn elapsed_is_max_over_chains(chains in proptest::collection::vec(chain(), 1..5)) {
+        let (_, now) = run_chains(&chains);
+        let expected = chains.iter().map(|c| c.iter().sum::<u64>()).max().unwrap_or(0);
+        prop_assert_eq!(now, expected);
+    }
+}
+
+/// A client's 300 ms read timeout is an event that fires *before* a
+/// slower peer gets to answer: the handler needs 600 ms of virtual
+/// time, so the client times out at exactly 300 000 µs and the
+/// handler's reply hits a closed pipe.
+#[test]
+fn timeout_fires_before_slower_connect_completes() {
+    let addr = SocketAddr::new(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9)), 443);
+    let net = SimNet::new(21);
+    let handler_clock = net.clock().clone();
+    net.listen_fn(addr, move |mut conn| {
+        let mut buf = [0u8; 16];
+        let _ = conn.read(&mut buf);
+        // Simulated slow backend: 600 ms of virtual work.
+        handler_clock.sleep(Duration::from_millis(600));
+        let _ = conn.write_all(b"too late");
+    });
+
+    let clock = net.clock().clone();
+    let started = clock.now_us();
+    let mut conn = net.connect(addr).unwrap();
+    conn.write_all(b"ping").unwrap();
+    conn.set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let err = conn.read(&mut buf).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    assert_eq!(
+        clock.now_us() - started,
+        300_000,
+        "the timeout costs exactly its configured duration"
+    );
+}

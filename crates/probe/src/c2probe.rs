@@ -105,6 +105,10 @@ impl C2Scanner {
     }
 
     /// Scan with an explicit worker count.
+    ///
+    /// Like `Prober::probe_all`, the work is partitioned round-robin
+    /// and every worker registers with the virtual clock pre-spawn, so
+    /// scan outcomes and virtual timestamps are schedule-independent.
     pub fn scan_parallel(&self, domains: &[Fqdn], workers: usize) -> Vec<C2Detection> {
         if domains.is_empty() {
             return Vec::new();
@@ -113,28 +117,31 @@ impl C2Scanner {
         if workers == 1 {
             return domains.iter().filter_map(|d| self.scan_one(d)).collect();
         }
-        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, Fqdn)>();
-        let (hit_tx, hit_rx) = crossbeam::channel::unbounded::<(usize, C2Detection)>();
-        for (i, d) in domains.iter().enumerate() {
-            task_tx.send((i, d.clone())).expect("queue open");
-        }
-        drop(task_tx);
+        let clock = self.net.clock();
+        // Register the whole pool before spawning anyone (see
+        // `Prober::probe_all`).
+        let registrations: Vec<_> = (0..workers).map(|_| clock.register()).collect();
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
-                let hit_tx = hit_tx.clone();
-                scope.spawn(move |_| {
-                    while let Ok((i, fqdn)) = task_rx.recv() {
-                        if let Some(hit) = self.scan_one(&fqdn) {
-                            if hit_tx.send((i, hit)).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                });
-            }
-            drop(hit_tx);
-            let mut hits: Vec<(usize, C2Detection)> = hit_rx.iter().collect();
+            let handles: Vec<_> = registrations
+                .into_iter()
+                .enumerate()
+                .map(|(w, registration)| {
+                    scope.spawn(move |_| {
+                        let _active = registration.map(|r| r.activate());
+                        domains
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .filter_map(|(i, fqdn)| self.scan_one(fqdn).map(|hit| (i, hit)))
+                            .collect::<Vec<(usize, C2Detection)>>()
+                    })
+                })
+                .collect();
+            let mut hits: Vec<(usize, C2Detection)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("c2 scan workers do not panic"))
+                .collect();
             hits.sort_by_key(|(i, _)| *i);
             hits.into_iter().map(|(_, h)| h).collect()
         })

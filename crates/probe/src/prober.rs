@@ -7,12 +7,11 @@
 //! `User-Agent` (the paper additionally ran an opt-out page on the probe
 //! host).
 
-use crossbeam::channel;
 use fw_dns::resolver::{ResolveError, Resolver};
 use fw_http::client::{ClientConfig, FetchError, HttpClient, SimDialer};
 use fw_http::types::Response;
 use fw_http::url::Url;
-use fw_net::SimNet;
+use fw_net::{ClockSource as _, SimNet};
 use fw_types::{Fqdn, Rdata, RecordType};
 use parking_lot::RwLock;
 use std::net::{IpAddr, SocketAddr};
@@ -242,15 +241,23 @@ impl Prober {
             if !https {
                 fw_obs::counter_inc!("fw.probe.https_fallback");
             }
-            let started = std::time::Instant::now();
+            let clock = self.net.clock();
+            let started_us = clock.now_us();
             let result = client.get_url(SocketAddr::new(IpAddr::V4(ip), url.port), &url);
             if fw_obs::enabled() {
                 // Per-provider latency names are dynamic, so the
                 // registry is addressed directly (the macros cache one
-                // handle per call site).
+                // handle per call site). The clock source is part of
+                // the key: virtual microseconds are seed-stable, wall
+                // microseconds are not, and the two must never share a
+                // bucket.
                 fw_obs::registry()
-                    .histogram(&format!("fw.probe.latency_us.{}", provider_label(fqdn)))
-                    .record_duration_us(started.elapsed());
+                    .histogram(&format!(
+                        "fw.probe.latency_us.{}.{}",
+                        clock.label(),
+                        provider_label(fqdn)
+                    ))
+                    .record(clock.now_us().saturating_sub(started_us));
             }
             match result {
                 Ok(response) => {
@@ -275,38 +282,47 @@ impl Prober {
     }
 
     /// Probe many domains with the worker pool; results keep input order.
+    ///
+    /// Work is partitioned round-robin (domain `i` goes to worker
+    /// `i % workers`), not pulled from a shared queue: the assignment —
+    /// and with it every per-domain virtual timestamp — is a pure
+    /// function of the input, independent of host scheduling. Each
+    /// worker is registered with the virtual clock before it spawns so
+    /// timeouts fire deterministically at quiescence.
     pub fn probe_all(&self, domains: &[Fqdn]) -> Vec<ProbeRecord> {
         if domains.is_empty() {
             return Vec::new();
         }
-        let (task_tx, task_rx) = channel::unbounded::<(usize, Fqdn)>();
-        let (result_tx, result_rx) = channel::unbounded::<(usize, ProbeRecord)>();
-        for (i, d) in domains.iter().enumerate() {
-            task_tx.send((i, d.clone())).expect("queue open");
-        }
-        drop(task_tx);
-
-        let workers = self.config.workers.min(domains.len());
+        let workers = self.config.workers.min(domains.len()).max(1);
+        let clock = self.net.clock();
+        // All registrations exist before any worker spawns, so the
+        // clock can only advance once the whole pool is blocked.
+        let registrations: Vec<_> = (0..workers).map(|_| clock.register()).collect();
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
-                let result_tx = result_tx.clone();
-                scope.spawn(move |_| {
-                    while let Ok((i, fqdn)) = task_rx.recv() {
-                        let record = self.probe_one(&fqdn);
-                        if result_tx.send((i, record)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(result_tx);
+            let handles: Vec<_> = registrations
+                .into_iter()
+                .enumerate()
+                .map(|(w, registration)| {
+                    scope.spawn(move |_| {
+                        let _active = registration.map(|r| r.activate());
+                        domains
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, fqdn)| (i, self.probe_one(fqdn)))
+                            .collect::<Vec<(usize, ProbeRecord)>>()
+                    })
+                })
+                .collect();
             let mut out: Vec<Option<ProbeRecord>> = vec![None; domains.len()];
-            while let Ok((i, rec)) = result_rx.recv() {
-                out[i] = Some(rec);
+            for handle in handles {
+                for (i, rec) in handle.join().expect("probe workers do not panic") {
+                    out[i] = Some(rec);
+                }
             }
             out.into_iter()
-                .map(|r| r.expect("every task produces a result"))
+                .map(|r| r.expect("partition covers every domain"))
                 .collect()
         })
         .expect("probe workers do not panic")

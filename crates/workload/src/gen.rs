@@ -102,6 +102,10 @@ pub struct WorldConfig {
     /// Deploy live functions for probing (disable for PDNS-only
     /// experiments, which is much faster).
     pub deploy_live: bool,
+    /// Run the world on the real wall clock instead of deterministic
+    /// virtual time (the bench binaries' `--wall-clock` escape hatch;
+    /// probe outcomes then race real timeouts and may wobble).
+    pub wall_clock: bool,
     pub platform: PlatformConfig,
 }
 
@@ -111,6 +115,7 @@ impl Default for WorldConfig {
             seed: 42,
             scale: 0.1,
             deploy_live: true,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         }
     }
@@ -126,6 +131,7 @@ impl WorldConfig {
             seed,
             scale,
             deploy_live: false,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         }
     }
@@ -138,6 +144,7 @@ impl WorldConfig {
             seed,
             scale,
             deploy_live: true,
+            wall_clock: false,
             platform: PlatformConfig {
                 hang_ms: 900,
                 ..PlatformConfig::default()
@@ -168,7 +175,11 @@ pub struct World {
 impl World {
     /// Generate a world. Deterministic for a given config.
     pub fn generate(config: WorldConfig) -> World {
-        let net = SimNet::new(config.seed);
+        let net = if config.wall_clock {
+            SimNet::new_wall(config.seed)
+        } else {
+            SimNet::new(config.seed)
+        };
         let resolver = Arc::new(RwLock::new(Resolver::new()));
         let platform = CloudPlatform::new(
             net.clone(),
@@ -1322,6 +1333,7 @@ mod tests {
             seed: 7,
             scale: 0.002,
             deploy_live: true,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         })
     }
@@ -1469,6 +1481,7 @@ mod tests {
             seed: 11,
             scale: 0.01,
             deploy_live: false,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         });
         let benign: Vec<&WorldFunction> = w
@@ -1493,6 +1506,7 @@ mod tests {
             seed: 13,
             scale: 0.01,
             deploy_live: false,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         });
         for c in &calib::PROVIDERS {

@@ -20,6 +20,7 @@ fn main() {
         seed: 1,
         scale: 0.01,
         deploy_live: true,
+        wall_clock: false,
         platform: PlatformConfig {
             hang_ms: 500,
             ..PlatformConfig::default()

@@ -299,6 +299,7 @@ fn pipeline_stable_across_seeds() {
             seed,
             scale: 0.001,
             deploy_live: false,
+            wall_clock: false,
             platform: PlatformConfig::default(),
         });
         let report = Pipeline::run_usage(&w.pdns);

@@ -34,6 +34,9 @@ struct Settings {
     /// Soft wall-clock budget for the measurement phase.
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    /// `--test`: run each benchmark exactly once, untimed — the CI
+    /// smoke mode (`cargo bench -- --test`), matching real criterion.
+    test_mode: bool,
 }
 
 impl Default for Settings {
@@ -42,6 +45,7 @@ impl Default for Settings {
             sample_size: 20,
             measurement_time: Duration::from_millis(400),
             throughput: None,
+            test_mode: false,
         }
     }
 }
@@ -63,6 +67,10 @@ impl Bencher {
 
     /// Measure `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.settings.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up: one untimed call, then estimate per-iter cost.
         black_box(routine());
         let probe_start = Instant::now();
@@ -91,6 +99,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.settings.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
         let deadline = Instant::now() + self.settings.measurement_time;
         for _ in 0..self.settings.sample_size {
             let input = setup();
@@ -104,6 +116,10 @@ impl Bencher {
     }
 
     fn report(&self, name: &str) {
+        if self.settings.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
         if self.samples.is_empty() {
             println!("bench {name:<44} (no samples)");
             return;
@@ -147,9 +163,20 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 /// Top-level harness; one per `criterion_group!`.
-#[derive(Default)]
 pub struct Criterion {
     settings: Settings,
+}
+
+impl Default for Criterion {
+    /// Reads the bench binary's CLI args (everything after `--` in
+    /// `cargo bench -- --test`): only `--test` is recognized.
+    fn default() -> Criterion {
+        let settings = Settings {
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
+            ..Settings::default()
+        };
+        Criterion { settings }
+    }
 }
 
 impl Criterion {
@@ -244,6 +271,35 @@ mod tests {
             })
         });
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            settings: Settings {
+                test_mode: true,
+                ..Settings::default()
+            },
+        };
+        let mut runs = 0u64;
+        let mut setups = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(runs, 1);
+        assert_eq!(setups, 1);
     }
 
     #[test]
