@@ -16,6 +16,8 @@
 //! cannot find these.
 
 use fw_http::types::{Method, Request, Response};
+use fw_types::memmem::contains_subsequence;
+use std::sync::OnceLock;
 
 /// Probe template for one signature.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +68,7 @@ impl C2Fingerprint {
             MatchOp::HeaderEquals(n, v) => resp.headers.get(n) == Some(*v),
             MatchOp::BodyPrefix(p) => resp.body.starts_with(p),
             MatchOp::BodyContains(needle) => {
-                !needle.is_empty() && resp.body.windows(needle.len()).any(|w| w == &needle[..])
+                !needle.is_empty() && contains_subsequence(&resp.body, needle)
             }
             MatchOp::BodyLenAtLeast(n) => resp.body.len() >= *n,
         })
@@ -130,18 +132,23 @@ fn family_path(idx: usize, variant: usize) -> String {
     )
 }
 
-/// Build the 26-signature corpus: every family gets one signature; the
-/// first eight families get a second variant (26 = 18 + 8), matching the
-/// database's family/signature counts.
-pub fn corpus() -> Vec<C2Fingerprint> {
-    let mut out = Vec::with_capacity(26);
-    for (idx, family) in FAMILIES.iter().enumerate() {
-        out.push(make_signature(idx, family, 0));
-    }
-    for (idx, family) in FAMILIES.iter().take(8).enumerate() {
-        out.push(make_signature(idx, family, 1));
-    }
-    out
+/// The 26-signature corpus: every family gets one signature; the first
+/// eight families get a second variant (26 = 18 + 8), matching the
+/// database's family/signature counts. Built once on first use — the
+/// signature-id strings are interned (leaked) exactly once, not once
+/// per scanner construction.
+pub fn corpus() -> &'static [C2Fingerprint] {
+    static CORPUS: OnceLock<Vec<C2Fingerprint>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut out = Vec::with_capacity(26);
+        for (idx, family) in FAMILIES.iter().enumerate() {
+            out.push(make_signature(idx, family, 0));
+        }
+        for (idx, family) in FAMILIES.iter().take(8).enumerate() {
+            out.push(make_signature(idx, family, 1));
+        }
+        out
+    })
 }
 
 fn make_signature(idx: usize, family: &'static str, variant: usize) -> C2Fingerprint {
@@ -254,7 +261,7 @@ mod tests {
             Response::json(200, r#"{"ok":true}"#),
             Response::html(200, "<html><body>welcome</body></html>"),
         ] {
-            for sig in &c {
+            for sig in c {
                 assert!(!sig.matches(&resp), "{}", sig.signature_id);
             }
         }

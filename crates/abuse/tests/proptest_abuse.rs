@@ -94,3 +94,40 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The memchr-anchored substring search used by
+    /// `MatchOp::BodyContains` agrees with the naive `windows()` scan on
+    /// arbitrary byte haystacks and needles — including needles sliced
+    /// out of the haystack, which are guaranteed hits.
+    #[test]
+    fn memmem_matches_naive_windows(
+        haystack in proptest::collection::vec(any::<u8>(), 0..300),
+        needle in proptest::collection::vec(any::<u8>(), 0..12),
+        pick in any::<u16>(),
+    ) {
+        use fw_types::memmem::{contains_subsequence, find_subsequence};
+        let naive = |h: &[u8], n: &[u8]| -> Option<usize> {
+            if n.is_empty() {
+                return Some(0);
+            }
+            if n.len() > h.len() {
+                return None;
+            }
+            h.windows(n.len()).position(|w| w == n)
+        };
+        prop_assert_eq!(find_subsequence(&haystack, &needle), naive(&haystack, &needle));
+        prop_assert_eq!(
+            contains_subsequence(&haystack, &needle),
+            naive(&haystack, &needle).is_some()
+        );
+        // A slice of the haystack must always be found.
+        if !haystack.is_empty() {
+            let start = pick as usize % haystack.len();
+            let len = (pick as usize / 7) % (haystack.len() - start + 1);
+            let slice = haystack[start..start + len].to_vec();
+            prop_assert_eq!(find_subsequence(&haystack, &slice), naive(&haystack, &slice));
+            prop_assert!(contains_subsequence(&haystack, &slice));
+        }
+    }
+}

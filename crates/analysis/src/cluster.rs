@@ -72,8 +72,21 @@ impl Clustering {
     }
 }
 
-/// Cluster a corpus of raw documents (dedup → vectorize → cluster).
-pub fn cluster_corpus<S: AsRef<str>>(docs: &[S], params: &ClusterParams) -> Clustering {
+/// Cluster a corpus of raw documents (dedup → vectorize → cluster),
+/// vectorizing serially.
+pub fn cluster_corpus<S: AsRef<str> + Sync>(docs: &[S], params: &ClusterParams) -> Clustering {
+    cluster_corpus_par(docs, params, 1)
+}
+
+/// [`cluster_corpus`] with TF-IDF vectorization fanned out over
+/// `workers` threads (`crate::par::par_map_indexed`) — output is
+/// identical at any worker count; dedup and the clustering proper stay
+/// serial.
+pub fn cluster_corpus_par<S: AsRef<str> + Sync>(
+    docs: &[S],
+    params: &ClusterParams,
+    workers: usize,
+) -> Clustering {
     if docs.is_empty() {
         return Clustering {
             assignment: Vec::new(),
@@ -95,7 +108,7 @@ pub fn cluster_corpus<S: AsRef<str>>(docs: &[S], params: &ClusterParams) -> Clus
     }
 
     // 2. Vectorize unique docs.
-    let (_, vecs) = crate::text::TfIdf::fit_transform(&unique);
+    let (_, vecs) = crate::text::TfIdf::fit_transform_par(&unique, workers);
 
     // 3. Cluster unique docs.
     let (unique_assignment, exact) = if unique.len() <= params.exact_limit {

@@ -15,10 +15,12 @@
 
 pub mod cluster;
 pub mod content;
+pub mod par;
 pub mod stats;
 pub mod text;
 
-pub use cluster::{cluster_corpus, ClusterParams, Clustering};
+pub use cluster::{cluster_corpus, cluster_corpus_par, ClusterParams, Clustering};
 pub use content::ContentType;
+pub use par::par_map_indexed;
 pub use stats::{cdf_points, log10_histogram, top_k_share};
 pub use text::{cosine_distance, SparseVec, TfIdf};

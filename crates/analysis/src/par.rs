@@ -1,0 +1,98 @@
+//! Deterministic data-parallel map.
+//!
+//! The analysis stages (sensitive scan, content typing, TF-IDF
+//! vectorization) are embarrassingly parallel per item, but the CI
+//! determinism gate byte-diffs their downstream figures — so any
+//! parallel execution must be *provably* order-identical to the serial
+//! loop. [`par_map_indexed`] gives exactly that contract:
+//!
+//! 1. Work is partitioned round-robin by index (`skip(w).step_by(n)`),
+//!    the same scheme as `C2Scanner::scan_parallel` — the assignment of
+//!    items to workers is a pure function of `(index, workers)`, never
+//!    of thread timing.
+//! 2. Each worker maps its items with the caller's function and tags
+//!    every result with the item's original index.
+//! 3. Results are merged by sorting on that index, so the output is
+//!    `items.map(f)` in input order, regardless of which worker
+//!    finished first.
+//!
+//! The only way a schedule can leak into the result is through `f`
+//! itself (shared mutable state, I/O ordering); callers pass pure
+//! per-item functions.
+
+/// Map `f` over `items` on up to `workers` scoped threads, returning
+/// results in input order. `workers` is clamped to `[1, items.len()]`
+/// like `scan_parallel`; `workers == 1` (or one item) runs inline with
+/// no thread overhead.
+pub fn par_map_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        let mut tagged: Vec<(usize, R)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map workers do not panic"))
+            .collect();
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+    .expect("par_map workers do not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_input_ordered_at_any_worker_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| u64::from(*v) * 3 + i as u64)
+            .collect();
+        for workers in [1, 2, 3, 8, 16, 64, 200] {
+            let par = par_map_indexed(&items, workers, |i, v| u64::from(*v) * 3 + i as u64);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(
+            par_map_indexed(&[] as &[u8], 8, |_, v| *v),
+            Vec::<u8>::new()
+        );
+        assert_eq!(par_map_indexed(&[7u8], 8, |i, v| (i, *v)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn workers_see_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map_indexed(&items, 3, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+}

@@ -133,7 +133,7 @@ fn bench_c2_matching(c: &mut Criterion) {
     c.bench_function("c2/match_26_signatures", |b| {
         b.iter(|| {
             let mut hits = 0;
-            for sig in &corpus {
+            for sig in corpus {
                 if sig.matches(black_box(&hit_resp)) || sig.matches(black_box(&miss_resp)) {
                     hits += 1;
                 }

@@ -18,8 +18,9 @@ use fw_abuse::illicit::{detect_openai_promo, extract_contacts, extract_redirects
 use fw_abuse::review::{review_exemplar, AbuseType};
 use fw_abuse::sensitive::{SensitiveKind, SensitiveScanner};
 use fw_abuse::threatintel::{ThreatIntel, UrlReputation, UrlVerdict};
-use fw_analysis::cluster::{cluster_corpus, ClusterParams};
+use fw_analysis::cluster::{cluster_corpus_par, ClusterParams};
 use fw_analysis::content::ContentType;
+use fw_analysis::par::par_map_indexed;
 use fw_dns::pdns::PdnsBackend;
 use fw_dns::resolver::Resolver;
 use fw_http::types::Response;
@@ -42,6 +43,11 @@ pub struct AbuseScanConfig {
     pub scan_c2: bool,
     /// Timeout per C2 probe.
     pub c2_timeout: Duration,
+    /// Worker threads for the data-parallel stages (sensitive scan,
+    /// content typing, TF-IDF vectorization) and the C2 scan. Every
+    /// stage is deterministic in this knob — reports are identical at
+    /// any worker count.
+    pub workers: usize,
 }
 
 impl Default for AbuseScanConfig {
@@ -51,6 +57,7 @@ impl Default for AbuseScanConfig {
             salt: "faas-wild1".to_string(),
             scan_c2: true,
             c2_timeout: Duration::from_secs(10),
+            workers: 8,
         }
     }
 }
@@ -72,7 +79,7 @@ impl DetectionKind {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     pub fqdn: Fqdn,
     pub kind: DetectionKind,
@@ -87,7 +94,7 @@ pub struct Table3Row {
 }
 
 /// The §5 report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AbuseScanReport {
     /// Finding 5: sensitive items by kind.
     pub sensitive: HashMap<SensitiveKind, u64>,
@@ -149,14 +156,18 @@ pub fn abuse_scan<B: PdnsBackend + ?Sized>(
     }
     drop(corpus_span);
 
-    // 2. Sensitive scan + anonymization before any analysis.
+    // 2. Sensitive scan + anonymization before any analysis. The
+    // per-document scan is a pure function, so it fans out over
+    // `par_map_indexed`; counts are then merged serially in input order
+    // — identical to the old serial loop at any worker count.
     let sensitive_span = fw_obs::span("sensitive");
     let scanner = SensitiveScanner::new(&config.salt);
+    let scanned = par_map_indexed(&corpus, config.workers, |_, (_, resp)| {
+        scanner.scan_and_anonymize(&resp.body_text())
+    });
     let mut sensitive: HashMap<SensitiveKind, u64> = HashMap::new();
     let mut sanitized: Vec<(Fqdn, Response)> = Vec::with_capacity(corpus.len());
-    for (fqdn, resp) in corpus {
-        let text = resp.body_text();
-        let (clean, findings) = scanner.scan_and_anonymize(&text);
+    for ((fqdn, resp), (clean, findings)) in corpus.into_iter().zip(scanned) {
         for f in &findings {
             *sensitive.entry(f.kind).or_insert(0) += 1;
         }
@@ -167,29 +178,39 @@ pub fn abuse_scan<B: PdnsBackend + ?Sized>(
     let sensitive_total: u64 = sensitive.values().sum();
     drop(sensitive_span);
 
-    // 3. Content typing + per-type clustering.
+    // 3. Content typing + per-type clustering. Classification is
+    // per-document pure, merged in index order.
     let cluster_span = fw_obs::span("cluster");
+    let types = par_map_indexed(&sanitized, config.workers, |_, (_, resp)| {
+        ContentType::classify(&resp.body_text(), resp.headers.get("content-type"))
+    });
     let mut content_mix: HashMap<ContentType, u64> = HashMap::new();
     let mut by_type: HashMap<ContentType, Vec<usize>> = HashMap::new();
-    for (i, (_, resp)) in sanitized.iter().enumerate() {
-        let ct = ContentType::classify(&resp.body_text(), resp.headers.get("content-type"));
+    for (i, ct) in types.into_iter().enumerate() {
         *content_mix.entry(ct).or_insert(0) += 1;
         by_type.entry(ct).or_default().push(i);
     }
     let mut clusters_total = 0usize;
     let mut detections: Vec<Detection> = Vec::new();
     let mut detected: HashSet<Fqdn> = HashSet::new();
-    for indices in by_type.values() {
+    // Iterate types (and clusters below) in sorted order so the
+    // `detections` Vec comes out in a fixed order run-to-run; every
+    // downstream aggregate is order-independent, but a stable order
+    // makes reports directly comparable.
+    let mut typed: Vec<(&ContentType, &Vec<usize>)> = by_type.iter().collect();
+    typed.sort_by_key(|(ct, _)| **ct);
+    for (_, indices) in typed {
         let docs: Vec<String> = indices
             .iter()
             .map(|i| sanitized[*i].1.body_text())
             .collect();
-        let clustering = cluster_corpus(&docs, &config.cluster_params);
+        let clustering = cluster_corpus_par(&docs, &config.cluster_params, config.workers);
         clusters_total += clustering.cluster_count;
 
         // 4. Review exemplars; propagate to members that independently
         // pass review with the same label.
-        let members = clustering.members();
+        let mut members: Vec<(u32, Vec<usize>)> = clustering.members().into_iter().collect();
+        members.sort_by_key(|(c, _)| *c);
         for (_cluster, member_ids) in members {
             let exemplar_idx = indices[member_ids[0]];
             let Some(label) = review_exemplar(&sanitized[exemplar_idx].1) else {
@@ -242,7 +263,7 @@ pub fn abuse_scan<B: PdnsBackend + ?Sized>(
             .filter(|r| r.outcome.is_reachable())
             .map(|r| r.fqdn.clone())
             .collect();
-        for hit in scanner.scan(&candidates) {
+        for hit in scanner.scan_parallel(&candidates, config.workers) {
             if detected.insert(hit.fqdn.clone()) {
                 c2_domains.push(hit.fqdn.clone());
                 detections.push(Detection {
@@ -324,13 +345,20 @@ pub fn abuse_scan<B: PdnsBackend + ?Sized>(
         }
     }
 
-    // §5.3 group structure: contact → function count.
+    // §5.3 group structure: contact → function count. `sanitized` is
+    // indexed by fqdn once, so this pass is O(detections) instead of
+    // O(detections × corpus).
+    let mut sanitized_by_fqdn: HashMap<&Fqdn, &Response> = HashMap::with_capacity(sanitized.len());
+    for (f, r) in &sanitized {
+        // First occurrence wins, matching the old linear `find`.
+        sanitized_by_fqdn.entry(f).or_insert(r);
+    }
     let mut groups: HashMap<String, usize> = HashMap::new();
     for d in &detections {
         if !matches!(d.kind, DetectionKind::Content(AbuseType::OpenAiResale)) {
             continue;
         }
-        if let Some((_, resp)) = sanitized.iter().find(|(f, _)| f == &d.fqdn) {
+        if let Some(resp) = sanitized_by_fqdn.get(&d.fqdn) {
             let body = resp.body_text();
             if detect_openai_promo(&body).is_some() {
                 for c in extract_contacts(&body) {

@@ -8,8 +8,10 @@
 use crate::wire::{Message, QType, Rcode, ResourceRecord, RrData};
 use crate::zone::{LookupOutcome, Zone};
 use fw_types::{DayStamp, Fqdn, Rdata, RecordType};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maximum CNAME chain length before giving up.
@@ -84,20 +86,44 @@ pub struct ResolverStats {
     pub servfail: u64,
 }
 
+/// Internal atomic counters, snapshot as [`ResolverStats`].
+#[derive(Debug, Default)]
+struct AtomicStats {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    nxdomain: AtomicU64,
+    servfail: AtomicU64,
+}
+
+/// Number of cache shards. Keys are spread by an FNV-1a hash, so 16
+/// probe workers hitting distinct domains almost never contend on the
+/// same shard lock.
+const CACHE_SHARDS: usize = 16;
+
+type CacheShard = RwLock<HashMap<(Fqdn, RecordType), CacheEntry>>;
+
 /// The recursive resolver.
+///
+/// The cache and counters are interior-mutable (sharded `RwLock`s and
+/// atomics), so [`Resolver::resolve_shared`] serves lookups — cached or
+/// not — through `&self`. Callers that hold the resolver inside an
+/// outer `Arc<RwLock<..>>` can therefore stay on the outer **read**
+/// lock for the entire scan/probe path; the outer write lock is only
+/// needed for topology changes (`add_zone`, `zone_for_mut`,
+/// `set_sensor`, `flush_cache`), which then exclude all readers.
 pub struct Resolver {
     zones: Vec<Zone>,
-    cache: HashMap<(Fqdn, RecordType), CacheEntry>,
+    cache: Vec<CacheShard>,
     sensor: Option<Arc<dyn Sensor>>,
-    stats: ResolverStats,
+    stats: AtomicStats,
 }
 
 impl fmt::Debug for Resolver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Resolver")
             .field("zones", &self.zones.len())
-            .field("cache_entries", &self.cache.len())
-            .field("stats", &self.stats)
+            .field("cache_entries", &self.cache_len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -112,10 +138,26 @@ impl Resolver {
     pub fn new() -> Resolver {
         Resolver {
             zones: Vec::new(),
-            cache: HashMap::new(),
+            cache: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
             sensor: None,
-            stats: ResolverStats::default(),
+            stats: AtomicStats::default(),
         }
+    }
+
+    /// FNV-1a over the owner name and record type picks the shard.
+    fn shard(&self, name: &Fqdn, rtype: RecordType) -> &CacheShard {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_str().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= rtype as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        &self.cache[(h % CACHE_SHARDS as u64) as usize]
+    }
+
+    fn cache_len(&self) -> usize {
+        self.cache.iter().map(|s| s.read().len()).sum()
     }
 
     /// Attach the passive-DNS sensor.
@@ -143,39 +185,88 @@ impl Resolver {
             .max_by_key(|z| z.origin().as_str().len())
     }
 
-    /// Counters since construction.
+    /// Counters since construction (atomic snapshot).
     pub fn stats(&self) -> ResolverStats {
-        self.stats
+        ResolverStats {
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            nxdomain: self.stats.nxdomain.load(Ordering::Relaxed),
+            servfail: self.stats.servfail.load(Ordering::Relaxed),
+        }
     }
 
     /// Drop all cached entries.
     pub fn flush_cache(&mut self) {
-        self.cache.clear();
+        for shard in &self.cache {
+            shard.write().clear();
+        }
     }
 
     /// Resolve `name` for record type `rtype` at virtual time `now`
-    /// (seconds). Every client query — cached or not — is observed by the
-    /// sensor, matching how a recursive-resolver PDNS vantage point sees
-    /// traffic.
+    /// (seconds). Kept for API compatibility — delegates to
+    /// [`Resolver::resolve_shared`], which only needs `&self`.
     pub fn resolve(
         &mut self,
         name: &Fqdn,
         rtype: RecordType,
         now: u64,
     ) -> Result<Resolution, ResolveError> {
-        self.stats.queries += 1;
+        self.resolve_shared(name, rtype, now)
+    }
+
+    /// Resolve through `&self`: the scan/probe read path.
+    ///
+    /// Cached, unexpired entries are served under a shard **read** lock
+    /// (the fast path — no exclusive lock anywhere); misses walk the
+    /// zones (immutable under `&self`) and publish the entry under a
+    /// brief shard write lock. Every client query — cached or not — is
+    /// observed by the sensor, matching how a recursive-resolver PDNS
+    /// vantage point sees traffic; the sensor's own interior mutability
+    /// (e.g. `SharedPdns`) makes the observation append-friendly, so a
+    /// cache hit never needs `&mut Resolver`.
+    pub fn resolve_shared(
+        &self,
+        name: &Fqdn,
+        rtype: RecordType,
+        now: u64,
+    ) -> Result<Resolution, ResolveError> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let key = (name.clone(), rtype);
-        if let Some(entry) = self.cache.get(&key) {
-            if entry.expires_at > now {
-                let answers = entry.answers.clone();
-                self.stats.cache_hits += 1;
-                self.sense(&answers, now);
-                return Ok(Resolution {
-                    answers,
-                    from_cache: true,
-                });
+        let shard = self.shard(name, rtype);
+        // Fast path: shared lock, no writes.
+        let cached = {
+            let guard = shard.read();
+            guard
+                .get(&key)
+                .and_then(|entry| (entry.expires_at > now).then(|| entry.answers.clone()))
+        };
+        if let Some(answers) = cached {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            fw_obs::counter_inc!("fw.dns.resolve.fast_hit");
+            self.sense(&answers, now);
+            return Ok(Resolution {
+                answers,
+                from_cache: true,
+            });
+        }
+        fw_obs::counter_inc!("fw.dns.resolve.slow_path");
+        // Evict an expired entry (if a racing thread refreshed it in the
+        // meantime, serve the refreshed copy instead).
+        {
+            let mut guard = shard.write();
+            if let Some(entry) = guard.get(&key) {
+                if entry.expires_at > now {
+                    let answers = entry.answers.clone();
+                    drop(guard);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.sense(&answers, now);
+                    return Ok(Resolution {
+                        answers,
+                        from_cache: true,
+                    });
+                }
+                guard.remove(&key);
             }
-            self.cache.remove(&key);
         }
 
         let mut answers: Vec<(Fqdn, Rdata)> = Vec::new();
@@ -218,7 +309,7 @@ impl Resolver {
                 }
                 LookupOutcome::NxDomain => {
                     if answers.is_empty() {
-                        self.stats.nxdomain += 1;
+                        self.stats.nxdomain.fetch_add(1, Ordering::Relaxed);
                         return Err(ResolveError::NxDomain);
                     }
                     break;
@@ -233,7 +324,7 @@ impl Resolver {
         }
 
         let ttl = if min_ttl == u32::MAX { 60 } else { min_ttl };
-        self.cache.insert(
+        shard.write().insert(
             key,
             CacheEntry {
                 answers: answers.clone(),
@@ -465,5 +556,99 @@ mod tests {
     fn garbage_wire_input_yields_none() {
         let mut r = resolver_with_tencent();
         assert!(r.serve_wire(&[1, 2, 3], 0).is_none());
+    }
+
+    /// The §4 query schedule used by the read-path equivalence tests:
+    /// 20 wildcard names, each queried four times across two days.
+    fn pdns_schedule() -> Vec<(Fqdn, u64)> {
+        let mut schedule = Vec::new();
+        for i in 0..20u32 {
+            let name = fq(&format!("fn{i}.lambda-url.us-east-1.on.aws"));
+            for q in 0..4u64 {
+                // Cache hits within the TTL, refreshes across days.
+                schedule.push((name.clone(), q * 40_000));
+            }
+        }
+        schedule
+    }
+
+    fn wildcard_resolver(sensor: Arc<dyn Sensor>) -> Resolver {
+        let mut r = Resolver::new();
+        let mut z = Zone::new(fq("on.aws"));
+        z.set_wildcard(vec![(a(50), 60)]);
+        r.add_zone(z);
+        r.set_sensor(sensor);
+        r
+    }
+
+    /// PDNS `request_cnt` totals must be unchanged by the lock-free read
+    /// path: the same query schedule, issued through the old `&mut self`
+    /// write path and through `resolve_shared` from 8 concurrent
+    /// threads, yields identical per-row counts.
+    #[test]
+    fn shared_read_path_senses_identically_to_write_path() {
+        use crate::pdns::SharedPdns;
+
+        let schedule = pdns_schedule();
+
+        // Old write path, serial.
+        let serial_pdns = SharedPdns::new();
+        let mut serial = wildcard_resolver(Arc::new(serial_pdns.clone()));
+        for (name, now) in &schedule {
+            serial.resolve(name, RecordType::A, *now).unwrap();
+        }
+
+        // Read path, 8 threads round-robin over the same schedule.
+        let shared_pdns = SharedPdns::new();
+        let shared = wildcard_resolver(Arc::new(shared_pdns.clone()));
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let shared = &shared;
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    for (name, now) in schedule.iter().skip(w).step_by(8) {
+                        shared.resolve_shared(name, RecordType::A, *now).unwrap();
+                    }
+                });
+            }
+        });
+
+        let rows = |p: &SharedPdns| {
+            let mut v = Vec::new();
+            p.lock().for_each_row(|fqdn, rtype, rdata, day, cnt| {
+                v.push((fqdn.clone(), rtype, rdata.clone(), day, cnt));
+            });
+            v.sort();
+            v
+        };
+        let serial_rows = rows(&serial_pdns);
+        assert!(!serial_rows.is_empty());
+        assert_eq!(serial_rows, rows(&shared_pdns));
+        assert_eq!(serial.stats().queries, shared.stats().queries);
+        assert_eq!(serial.stats().cache_hits, shared.stats().cache_hits);
+    }
+
+    /// Concurrent readers on the fast path never lose counter updates
+    /// and always see the cached answers.
+    #[test]
+    fn concurrent_fast_path_hits_are_counted() {
+        let r = resolver_with_tencent();
+        let name = fq("1300000001-abcdefghij-gz.scf.tencentcs.com");
+        // Warm the cache.
+        r.resolve_shared(&name, RecordType::A, 0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = &r;
+                let name = &name;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let res = r.resolve_shared(name, RecordType::A, 10).unwrap();
+                        assert!(res.from_cache);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.stats().queries, 401);
+        assert_eq!(r.stats().cache_hits, 400);
     }
 }

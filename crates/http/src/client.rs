@@ -12,6 +12,7 @@ use fw_net::tcp::TcpConn;
 use fw_net::{Connection, SimNet, TlsClient, TlsError};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Client configuration. The 60-second default timeout follows the paper
@@ -156,24 +157,101 @@ impl std::fmt::Display for FetchError {
 
 impl std::error::Error for FetchError {}
 
+/// Identity of a pooled connection: same target, same server name, same
+/// transport security. A request may only reuse a connection whose key
+/// matches exactly.
+type ConnKey = (SocketAddr, String, bool);
+
 /// The blocking HTTP client.
+///
+/// Holds one keep-alive slot: after a `send` whose request *and*
+/// response both permit reuse (no `Connection: close`, self-delimiting
+/// body framing), the connection is parked and the next `send` to the
+/// same `(addr, host, tls)` replays over it instead of dialing. A
+/// server-initiated close or any mid-exchange error on a reused
+/// connection falls back to exactly one fresh dial.
 pub struct HttpClient<D: Dialer> {
     dialer: D,
     config: ClientConfig,
+    slot: Mutex<Option<(ConnKey, Box<dyn Connection>)>>,
+}
+
+/// Does the request opt out of keep-alive?
+fn request_wants_close(req: &Request) -> bool {
+    req.headers
+        .get("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+}
+
+/// May the connection be reused after this exchange? True only when the
+/// response body was self-delimiting (Content-Length, chunked, or
+/// bodiless status) — a read-to-EOF body consumes the connection — and
+/// the server did not ask to close.
+fn response_permits_reuse(head: bool, resp: &Response) -> bool {
+    if resp
+        .headers
+        .get("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    {
+        return false;
+    }
+    head || resp.status == 204
+        || resp.status == 304
+        || resp.headers.get("content-length").is_some()
+        || resp
+            .headers
+            .get("transfer-encoding")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
 }
 
 impl<D: Dialer> HttpClient<D> {
     pub fn new(dialer: D, config: ClientConfig) -> HttpClient<D> {
-        HttpClient { dialer, config }
+        HttpClient {
+            dialer,
+            config,
+            slot: Mutex::new(None),
+        }
     }
 
     pub fn config(&self) -> &ClientConfig {
         &self.config
     }
 
+    /// Take the pooled connection if its key matches.
+    fn take_pooled(&self, key: &ConnKey) -> Option<Box<dyn Connection>> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.take() {
+            Some((k, conn)) if &k == key => Some(conn),
+            other => {
+                *slot = other; // wrong key: leave it parked
+                None
+            }
+        }
+    }
+
+    /// Park `conn` for the next same-key request.
+    fn park(&self, key: ConnKey, conn: Box<dyn Connection>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some((key, conn));
+    }
+
+    /// One request/response exchange over an open connection.
+    fn exchange(&self, conn: &mut dyn Connection, req: &Request) -> Result<Response, HttpError> {
+        write_request(conn, req)?;
+        let head = req.method == Method::Head;
+        read_response(conn, &self.config.limits, head)
+    }
+
     /// Issue `req` to `addr` (resolved separately — the prober owns
     /// DNS). `host` names the server being contacted; `tls` switches TLS
     /// (with `host` as SNI) on.
+    ///
+    /// Transparent keep-alive: unless the request carries
+    /// `Connection: close`, the client first tries the parked connection
+    /// for this `(addr, host, tls)`; if the server has since closed it
+    /// (or the exchange errors mid-stream) it falls back to one fresh
+    /// dial, so callers observe at most the errors a fresh-dial-per-send
+    /// client would.
     pub fn send(
         &self,
         addr: SocketAddr,
@@ -181,15 +259,44 @@ impl<D: Dialer> HttpClient<D> {
         tls: bool,
         req: &Request,
     ) -> Result<Response, FetchError> {
+        let key: ConnKey = (addr, host.to_string(), tls);
+        let pooling = !request_wants_close(req);
+        let head = req.method == Method::Head;
+
+        if pooling {
+            if let Some(mut conn) = self.take_pooled(&key) {
+                match self.exchange(conn.as_mut(), req) {
+                    Ok(resp) => {
+                        fw_obs::counter_inc!("fw.http.conn.reused");
+                        if response_permits_reuse(head, &resp) {
+                            self.park(key, conn);
+                        }
+                        return Ok(resp);
+                    }
+                    Err(_) => {
+                        // Server closed the parked connection (or the
+                        // exchange died mid-stream): drop it and fall
+                        // back to a fresh dial below.
+                        fw_obs::counter_inc!("fw.http.conn.reuse_failed");
+                    }
+                }
+            }
+        }
+
         let mut conn = self
             .dialer
             .dial(addr, host, tls, self.config.read_timeout)
             .map_err(FetchError::Dial)?;
+        fw_obs::counter_inc!("fw.http.conn.dialed");
         conn.set_read_timeout(Some(self.config.read_timeout))
             .map_err(|e| FetchError::Http(HttpError::Io(e)))?;
-        write_request(conn.as_mut(), req).map_err(FetchError::Http)?;
-        let head = req.method == Method::Head;
-        read_response(conn.as_mut(), &self.config.limits, head).map_err(FetchError::Http)
+        let resp = self
+            .exchange(conn.as_mut(), req)
+            .map_err(FetchError::Http)?;
+        if pooling && response_permits_reuse(head, &resp) {
+            self.park(key, conn);
+        }
+        Ok(resp)
     }
 
     /// Parameter-free GET of a URL against a resolved address — the §3.3
@@ -287,6 +394,188 @@ mod tests {
             }
             other => panic!("expected refused, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection_across_sends() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = SimNet::new(5);
+        let addr: SocketAddr = "203.0.113.20:80".parse().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let accepts_srv = accepts.clone();
+        net.listen(
+            addr,
+            Arc::new(move |mut conn: Box<dyn Connection>| {
+                accepts_srv.fetch_add(1, Ordering::SeqCst);
+                // Keep-alive server: answer requests until the peer goes
+                // away. write_response always emits Content-Length, so
+                // every response is reuse-safe.
+                while let Ok(req) = crate::parse::read_request(conn.as_mut(), &Limits::default()) {
+                    let resp = Response::text(200, &format!("path={}", req.path()));
+                    if write_response(conn.as_mut(), &resp).is_err() {
+                        break;
+                    }
+                }
+            }),
+        );
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        for i in 0..5 {
+            let req = Request::get(&format!("/probe/{i}"), "relay.on.aws");
+            let resp = client.send(addr, "relay.on.aws", false, &req).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body_text(), format!("path=/probe/{i}"));
+        }
+        assert_eq!(accepts.load(Ordering::SeqCst), 1, "one dial for 5 sends");
+    }
+
+    #[test]
+    fn connection_close_request_bypasses_the_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = SimNet::new(6);
+        let addr: SocketAddr = "203.0.113.21:80".parse().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let accepts_srv = accepts.clone();
+        net.listen(
+            addr,
+            Arc::new(move |mut conn: Box<dyn Connection>| {
+                accepts_srv.fetch_add(1, Ordering::SeqCst);
+                while let Ok(_req) = crate::parse::read_request(conn.as_mut(), &Limits::default()) {
+                    if write_response(conn.as_mut(), &Response::text(200, "ok")).is_err() {
+                        break;
+                    }
+                }
+            }),
+        );
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        for _ in 0..3 {
+            let mut req = Request::get("/", "fn.on.aws");
+            req.headers.insert("Connection", "close");
+            assert_eq!(
+                client.send(addr, "fn.on.aws", false, &req).unwrap().status,
+                200
+            );
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            3,
+            "close ⇒ fresh dial each time"
+        );
+    }
+
+    #[test]
+    fn server_initiated_close_falls_back_to_fresh_dial() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = SimNet::new(7);
+        let addr: SocketAddr = "203.0.113.22:80".parse().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let accepts_srv = accepts.clone();
+        // One-shot server: answers a single request, then hangs up — the
+        // parked connection is dead by the time the client reuses it.
+        net.listen(
+            addr,
+            Arc::new(move |mut conn: Box<dyn Connection>| {
+                accepts_srv.fetch_add(1, Ordering::SeqCst);
+                if let Ok(_req) = crate::parse::read_request(conn.as_mut(), &Limits::default()) {
+                    let _ = write_response(conn.as_mut(), &Response::text(200, "once"));
+                }
+            }),
+        );
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        for _ in 0..3 {
+            let req = Request::get("/", "oneshot.on.aws");
+            let resp = client.send(addr, "oneshot.on.aws", false, &req).unwrap();
+            assert_eq!(resp.body_text(), "once");
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            3,
+            "every reuse attempt must fall back to a fresh dial"
+        );
+    }
+
+    #[test]
+    fn mid_stream_error_on_reused_connection_falls_back() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = SimNet::new(8);
+        let addr: SocketAddr = "203.0.113.23:80".parse().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let accepts_srv = accepts.clone();
+        net.listen(
+            addr,
+            Arc::new(move |mut conn: Box<dyn Connection>| {
+                let nth = accepts_srv.fetch_add(1, Ordering::SeqCst);
+                if nth == 0 {
+                    // First connection: answer one request cleanly, then
+                    // die mid-response on the next — a truncated status
+                    // line the client cannot parse.
+                    if crate::parse::read_request(conn.as_mut(), &Limits::default()).is_ok() {
+                        let _ = write_response(conn.as_mut(), &Response::text(200, "first"));
+                    }
+                    if crate::parse::read_request(conn.as_mut(), &Limits::default()).is_ok() {
+                        let _ = conn.write_all(b"HTTP/1.1 2");
+                    }
+                } else {
+                    // Replacement connection behaves.
+                    while let Ok(_req) =
+                        crate::parse::read_request(conn.as_mut(), &Limits::default())
+                    {
+                        if write_response(conn.as_mut(), &Response::text(200, "recovered")).is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }),
+        );
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let req = Request::get("/", "flaky.on.aws");
+        assert_eq!(
+            client
+                .send(addr, "flaky.on.aws", false, &req)
+                .unwrap()
+                .body_text(),
+            "first"
+        );
+        let resp = client.send(addr, "flaky.on.aws", false, &req).unwrap();
+        assert_eq!(
+            resp.body_text(),
+            "recovered",
+            "mid-stream error ⇒ fresh dial"
+        );
+        assert_eq!(accepts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn pool_is_keyed_on_addr_host_and_tls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = SimNet::new(9);
+        let addr_a: SocketAddr = "203.0.113.24:80".parse().unwrap();
+        let addr_b: SocketAddr = "203.0.113.25:80".parse().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        for addr in [addr_a, addr_b] {
+            let accepts_srv = accepts.clone();
+            net.listen(
+                addr,
+                Arc::new(move |mut conn: Box<dyn Connection>| {
+                    accepts_srv.fetch_add(1, Ordering::SeqCst);
+                    while let Ok(_req) =
+                        crate::parse::read_request(conn.as_mut(), &Limits::default())
+                    {
+                        if write_response(conn.as_mut(), &Response::text(200, "ok")).is_err() {
+                            break;
+                        }
+                    }
+                }),
+            );
+        }
+        let client = HttpClient::new(SimDialer::new(net), ClientConfig::default());
+        let req = Request::get("/", "a.on.aws");
+        client.send(addr_a, "a.on.aws", false, &req).unwrap();
+        // Different address: parked conn must not be used.
+        client.send(addr_b, "a.on.aws", false, &req).unwrap();
+        // Back to A: A's conn was displaced by B's, so this dials again.
+        client.send(addr_a, "a.on.aws", false, &req).unwrap();
+        assert_eq!(accepts.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub struct C2Detection {
 pub struct C2Scanner {
     net: SimNet,
     resolver: Arc<RwLock<Resolver>>,
-    fingerprints: Vec<C2Fingerprint>,
+    fingerprints: &'static [C2Fingerprint],
     timeout: Duration,
     now: u64,
 }
@@ -56,11 +56,17 @@ impl C2Scanner {
     }
 
     /// Scan one domain with every signature; first hit wins.
+    ///
+    /// The probe requests carry no `Connection: close`, so the client's
+    /// keep-alive slot replays all 26 signatures of a port over a single
+    /// connection: one dial (and TLS handshake) per port instead of one
+    /// per signature. A server that hangs up mid-corpus costs exactly
+    /// one transparent re-dial inside `send`.
     pub fn scan_one(&self, fqdn: &Fqdn) -> Option<C2Detection> {
         let addrs = self
             .resolver
-            .write()
-            .resolve(fqdn, RecordType::A, self.now)
+            .read()
+            .resolve_shared(fqdn, RecordType::A, self.now)
             .ok()?
             .addresses();
         let ip = addrs.iter().find_map(|r| match r {
@@ -77,7 +83,7 @@ impl C2Scanner {
         // Ports 80 and 443, like the paper.
         for (port, tls) in [(443u16, true), (80u16, false)] {
             let addr = SocketAddr::new(IpAddr::V4(ip), port);
-            for sig in &self.fingerprints {
+            for sig in self.fingerprints {
                 let req = sig.probe.to_request(fqdn.as_str());
                 match client.send(addr, fqdn.as_str(), tls, &req) {
                     Ok(resp) => {
@@ -228,6 +234,37 @@ mod tests {
         }
         let scanner = C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
         assert!(scanner.scan(&domains).is_empty());
+    }
+
+    #[test]
+    fn scan_parallel_is_identical_at_every_worker_count() {
+        let (platform, net, resolver) = world();
+        let mut domains = Vec::new();
+        // Mix of relays (several families) and benign functions.
+        for i in 0..6 {
+            domains.push(deploy_relay(&platform, i));
+            domains.push(
+                platform
+                    .deploy(DeploySpec::new(
+                        ProviderId::Aws,
+                        Behavior::JsonApi {
+                            service: format!("svc{i}"),
+                        },
+                    ))
+                    .unwrap()
+                    .fqdn,
+            );
+        }
+        let scanner = C2Scanner::new(net, resolver).with_timeout(Duration::from_millis(500));
+        let baseline = scanner.scan_parallel(&domains, 1);
+        assert_eq!(baseline.len(), 6);
+        for workers in [3, 8, 16] {
+            assert_eq!(
+                scanner.scan_parallel(&domains, workers),
+                baseline,
+                "hit list must be schedule-independent (workers={workers})"
+            );
+        }
     }
 
     #[test]

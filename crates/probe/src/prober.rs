@@ -203,10 +203,12 @@ impl Prober {
                 requests_issued: 0,
             };
         }
+        // Read path: cached entries are served under shared locks all
+        // the way down, so 16 probe workers do not convoy here.
         let resolution = self
             .resolver
-            .write()
-            .resolve(fqdn, RecordType::A, self.config.now);
+            .read()
+            .resolve_shared(fqdn, RecordType::A, self.config.now);
         let addrs = match resolution {
             Ok(res) => res.addresses(),
             Err(e) => {

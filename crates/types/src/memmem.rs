@@ -1,0 +1,131 @@
+//! Byte-substring search anchored on a fast `memchr`.
+//!
+//! The C2 fingerprint matcher and the HTTP parser both scan response
+//! bodies for short byte needles. A naive `windows(n).any(..)` walk is
+//! O(n·m) with a per-window comparison loop; the classic trick is to
+//! scan for the needle's *first byte* with a word-at-a-time `memchr`
+//! and only attempt full comparisons at those anchor points. For bodies
+//! where the anchor byte is rare (binary C2 framing, HTML tags) this
+//! does long aligned skips instead of byte-by-byte window shifts.
+//!
+//! `fw-types` has no dependencies by design, so the `memchr` here is a
+//! small hand-rolled SWAR (SIMD-within-a-register) implementation: read
+//! the haystack a `usize` word at a time and use the "has zero byte"
+//! bit trick to test eight lanes per iteration.
+
+/// Index of the first occurrence of `byte` in `haystack`, scanning a
+/// machine word at a time.
+pub fn memchr(byte: u8, haystack: &[u8]) -> Option<usize> {
+    const LANES: usize = core::mem::size_of::<usize>();
+    // Broadcast the needle byte to every lane of a word.
+    let broadcast = usize::from_ne_bytes([byte; LANES]);
+    let lo = usize::from_ne_bytes([0x01; LANES]);
+    let hi = usize::from_ne_bytes([0x80; LANES]);
+
+    let mut i = 0;
+    // Head: align to a word boundary is unnecessary — unaligned loads
+    // via `from_ne_bytes` on a copied chunk are free on the targets we
+    // care about; just chunk from the start.
+    while i + LANES <= haystack.len() {
+        let chunk: [u8; LANES] = haystack[i..i + LANES].try_into().unwrap();
+        let word = usize::from_ne_bytes(chunk) ^ broadcast;
+        // Zero-byte detector: (w - 0x01..) & !w & 0x80.. is non-zero
+        // iff some lane of `word` is zero.
+        if word.wrapping_sub(lo) & !word & hi != 0 {
+            // Some lane matched; find it with a short scalar scan.
+            for (j, &b) in haystack[i..i + LANES].iter().enumerate() {
+                if b == byte {
+                    return Some(i + j);
+                }
+            }
+        }
+        i += LANES;
+    }
+    haystack[i..].iter().position(|&b| b == byte).map(|j| i + j)
+}
+
+/// Index of the first occurrence of `needle` in `haystack`.
+///
+/// Empty needles match at offset 0, mirroring `str::find("")`.
+pub fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    let (first, rest) = needle.split_first().unwrap();
+    let mut offset = 0;
+    let last_start = haystack.len() - needle.len();
+    while offset <= last_start {
+        let found = memchr(*first, &haystack[offset..=last_start])?;
+        let start = offset + found;
+        if &haystack[start + 1..start + needle.len()] == rest {
+            return Some(start);
+        }
+        offset = start + 1;
+    }
+    None
+}
+
+/// Does `haystack` contain `needle`? (`find_subsequence(..).is_some()`.)
+pub fn contains_subsequence(haystack: &[u8], needle: &[u8]) -> bool {
+    find_subsequence(haystack, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        if needle.is_empty() {
+            return Some(0);
+        }
+        if needle.len() > haystack.len() {
+            return None;
+        }
+        haystack.windows(needle.len()).position(|w| w == needle)
+    }
+
+    #[test]
+    fn memchr_finds_first_occurrence() {
+        assert_eq!(memchr(b'x', b""), None);
+        assert_eq!(memchr(b'a', b"a"), Some(0));
+        assert_eq!(memchr(b'z', b"abcdefgh"), None);
+        assert_eq!(memchr(b'h', b"abcdefgh"), Some(7));
+        assert_eq!(memchr(b'b', b"aaaaaaaabaaab"), Some(8));
+        // Crosses a word boundary.
+        let hay = [b'q'; 37];
+        let mut hay2 = hay;
+        hay2[33] = b'!';
+        assert_eq!(memchr(b'!', &hay2), Some(33));
+        assert_eq!(memchr(b'!', &hay), None);
+    }
+
+    #[test]
+    fn find_matches_naive_on_fixed_cases() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"", b"a"),
+            (b"abc", b""),
+            (b"hello world", b"world"),
+            (b"hello world", b"worlds"),
+            (b"aaaaaaab", b"aab"),
+            (b"abababab", b"bab"),
+            (b"\x00\x01\x02\x03", b"\x02\x03"),
+            (b"mzmzmzmzmq", b"mq"),
+        ];
+        for (h, n) in cases {
+            assert_eq!(find_subsequence(h, n), naive(h, n), "h={h:?} n={n:?}");
+        }
+    }
+
+    #[test]
+    fn long_haystack_rare_anchor() {
+        let mut hay = vec![b'a'; 10_000];
+        hay.extend_from_slice(b"MZ\x90needle");
+        assert_eq!(find_subsequence(&hay, b"MZ\x90needle"), Some(10_000));
+        assert!(contains_subsequence(&hay, b"needle"));
+        assert!(!contains_subsequence(&hay, b"needles"));
+    }
+}
