@@ -20,6 +20,16 @@
 //! itself (shared mutable state, I/O ordering); callers pass pure
 //! per-item functions.
 
+/// Default worker count for data-parallel stages: the machine's
+/// available parallelism, or 1 if it cannot be determined. Results are
+/// worker-count-invariant everywhere this is used, so the value only
+/// affects speed.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Map `f` over `items` on up to `workers` scoped threads, returning
 /// results in input order. `workers` is clamped to `[1, items.len()]`
 /// like `scan_parallel`; `workers == 1` (or one item) runs inline with

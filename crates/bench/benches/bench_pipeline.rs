@@ -15,6 +15,7 @@ fn usage_config() -> WorldConfig {
         scale: 0.002,
         deploy_live: false,
         wall_clock: false,
+        gen_workers: 0,
         platform: PlatformConfig::default(),
     }
 }
@@ -49,6 +50,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                     scale: 0.001,
                     deploy_live: true,
                     wall_clock: false,
+                    gen_workers: 0,
                     platform: PlatformConfig {
                         hang_ms: 200,
                         ..PlatformConfig::default()

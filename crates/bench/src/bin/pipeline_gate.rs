@@ -1,0 +1,226 @@
+//! End-to-end data-plane gate: generate → ingest → identify → usage at
+//! full scale, timing every stage and emitting a machine-readable
+//! `BENCH_pipeline.json` (DESIGN.md §12; CI runs this at scale 0.1).
+//!
+//! ```text
+//! pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>]
+//!               [--ingest-workers <n>] [--workers <n>] [--shards <n>]
+//!               [--store <dir>] [--keep-store] [--out <path>] [--metrics]
+//! ```
+//!
+//! Defaults: scale 1.0, seed 42, every worker count 0 (one per core),
+//! 16 store shards, a temp store directory (removed on exit unless
+//! `--keep-store`), JSON to `BENCH_pipeline.json`.
+//!
+//! Unlike the figure binaries this runs the *disk* path end to end —
+//! the analyses read the freshly ingested snapshot back through the
+//! streaming segment scan, not the in-memory store — so the timings
+//! cover the whole data plane the paper's measurement would exercise.
+
+use fw_core::identify::identify_from_aggregates;
+use fw_core::usage::{ingress_table_with, monthly_requests_with};
+use fw_store::{stream_snapshot_aggregates, DiskStore};
+use fw_workload::{save_pdns_parallel, World, WorldConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn arg_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+/// Peak resident set (VmHWM) in KiB; `None` off Linux or if unreadable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Stage {
+    name: &'static str,
+    ms: f64,
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut gen_workers = 0usize;
+    let mut ingest_workers = 0usize;
+    let mut workers = 0usize;
+    let mut shards = 16usize;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut keep_store = false;
+    let mut out = PathBuf::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = arg_num(&mut args, "--scale"),
+            "--seed" => seed = arg_num(&mut args, "--seed"),
+            "--gen-workers" => gen_workers = arg_num(&mut args, "--gen-workers"),
+            "--ingest-workers" => ingest_workers = arg_num(&mut args, "--ingest-workers"),
+            "--workers" => workers = arg_num(&mut args, "--workers"),
+            "--shards" => shards = arg_num(&mut args, "--shards"),
+            "--store" => {
+                store_dir = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--store needs a path")),
+                ));
+            }
+            "--keep-store" => keep_store = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--metrics" => fw_obs::set_enabled(true),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>] [--ingest-workers <n>] [--workers <n>] [--shards <n>] [--store <dir>] [--keep-store] [--out <path>] [--metrics]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ingest_workers = if ingest_workers == 0 {
+        cores
+    } else {
+        ingest_workers
+    };
+    let workers = if workers == 0 { cores } else { workers };
+    let store = store_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("fw-pipeline-gate-{}", std::process::id()))
+    });
+
+    let _gate = fw_obs::span("gate/pipeline");
+    let mut stages: Vec<Stage> = Vec::new();
+    let total_start = Instant::now();
+
+    // 1. Generate the world (PDNS-only flavor; the usage figures' feed).
+    eprintln!("[generate] scale {scale} seed {seed} gen_workers {gen_workers} (0 = {cores} cores)");
+    let t = Instant::now();
+    let world = {
+        let _s = fw_obs::span("gate/generate");
+        let mut config = WorldConfig::usage(seed, scale);
+        config.gen_workers = gen_workers;
+        World::generate(config)
+    };
+    stages.push(Stage {
+        name: "generate",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    let rows = world.pdns.record_count();
+    let fqdns = world.pdns.fqdn_count();
+    eprintln!(
+        "[generate] {:.1} ms: {} functions, {fqdns} fqdns, {rows} rows",
+        stages[0].ms,
+        world.functions.len()
+    );
+
+    // 2. Ingest into the on-disk store (parallel producers).
+    eprintln!(
+        "[ingest] {ingest_workers} producers, {shards} shards -> {}",
+        store.display()
+    );
+    let t = Instant::now();
+    let stats = {
+        let _s = fw_obs::span("gate/ingest");
+        save_pdns_parallel(&world.pdns, &store, shards, ingest_workers)
+            .unwrap_or_else(|e| die(&format!("ingest failed: {e}")))
+    };
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rows_per_sec = stats.rows as f64 / (ingest_ms / 1e3);
+    stages.push(Stage {
+        name: "ingest",
+        ms: ingest_ms,
+    });
+    eprintln!(
+        "[ingest] {ingest_ms:.1} ms: {} rows ({rows_per_sec:.0} rows/s)",
+        stats.rows
+    );
+
+    // 3. Identify, reading the snapshot back via the streaming scan.
+    let t = Instant::now();
+    let report = {
+        let _s = fw_obs::span("gate/identify");
+        let aggs = stream_snapshot_aggregates(&store, workers)
+            .unwrap_or_else(|e| die(&format!("snapshot scan failed: {e}")));
+        identify_from_aggregates(aggs, workers)
+    };
+    stages.push(Stage {
+        name: "identify",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    eprintln!(
+        "[identify] {:.1} ms: {} functions identified, {} unmatched",
+        stages[2].ms,
+        report.functions.len(),
+        report.unmatched
+    );
+
+    // 4. Usage sweeps (Figure 3 series + Table 2) against the disk store.
+    let t = Instant::now();
+    let (series_len, ingress_rows) = {
+        let _s = fw_obs::span("gate/usage");
+        let disk = DiskStore::open_read_only(&store)
+            .unwrap_or_else(|e| die(&format!("cannot reopen store: {e}")));
+        let series = monthly_requests_with(&report, &disk, workers);
+        let ingress = ingress_table_with(&report, &disk, workers);
+        (series.months.len(), ingress.len())
+    };
+    stages.push(Stage {
+        name: "usage",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    eprintln!(
+        "[usage] {:.1} ms: {series_len} months, {ingress_rows} ingress rows",
+        stages[3].ms
+    );
+
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_kb();
+
+    // Hand-rolled JSON: flat, no escaping needed for the values we emit.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"scale\": {scale}, \"seed\": {seed}, \"gen_workers\": {gen_workers}, \"ingest_workers\": {ingest_workers}, \"workers\": {workers}, \"shards\": {shards}}},\n"
+    ));
+    json.push_str("  \"stages\": {\n");
+    for (i, s) in stages.iter().enumerate() {
+        let comma = if i + 1 == stages.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"ms\": {:.3}}}{comma}\n",
+            s.name, s.ms
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+    json.push_str(&format!("  \"rows\": {},\n", stats.rows));
+    json.push_str(&format!("  \"fqdns\": {},\n", stats.fqdns));
+    json.push_str(&format!("  \"functions\": {},\n", world.functions.len()));
+    json.push_str(&format!("  \"identified\": {},\n", report.functions.len()));
+    json.push_str(&format!("  \"ingest_rows_per_sec\": {rows_per_sec:.0},\n"));
+    match rss {
+        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
+        None => json.push_str("  \"peak_rss_kb\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+
+    println!(
+        "pipeline gate: scale {scale} seed {seed} total {total_ms:.0} ms (generate {:.0} / ingest {:.0} / identify {:.0} / usage {:.0}); report -> {}",
+        stages[0].ms, stages[1].ms, stages[2].ms, stages[3].ms, out.display()
+    );
+
+    if store_dir.is_none() && !keep_store {
+        let _ = std::fs::remove_dir_all(&store);
+    }
+    if fw_obs::enabled() {
+        eprint!("{}", fw_obs::registry().render_text());
+    }
+}

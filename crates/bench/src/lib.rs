@@ -13,6 +13,8 @@
 //!                   fw_snapshot) instead of regenerating the feed;
 //!                   stdout is byte-identical to a live run at the same
 //!                   seed/scale
+//! --gen-workers <n> world-generation worker threads (0 = one per
+//!                   core); output is byte-identical at every count
 //! --tsv             additionally print machine-readable TSV series
 //! --metrics         enable fw-obs telemetry; report dumped to stderr
 //!                   on exit (equivalent: FW_METRICS=1 in the env)
@@ -41,6 +43,9 @@ pub struct Cli {
     pub snapshot: Option<PathBuf>,
     /// Opt out of deterministic virtual time (`--wall-clock`).
     pub wall_clock: bool,
+    /// World-generation worker threads (`--gen-workers`; 0 = one per
+    /// core). Output is byte-identical at every worker count.
+    pub gen_workers: usize,
     /// Free-form extra flags (binary-specific).
     pub flags: Vec<String>,
 }
@@ -60,6 +65,7 @@ impl Cli {
             tsv: false,
             snapshot: None,
             wall_clock: false,
+            gen_workers: 0,
             flags: Vec::new(),
         };
         let (mut explicit_scale, mut explicit_seed) = (false, false);
@@ -86,12 +92,18 @@ impl Cli {
                             .unwrap_or_else(|| die("--snapshot needs a path")),
                     ));
                 }
+                "--gen-workers" => {
+                    cli.gen_workers = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--gen-workers needs an integer"));
+                }
                 "--tsv" => cli.tsv = true,
                 "--metrics" => fw_obs::set_enabled(true),
                 "--wall-clock" => cli.wall_clock = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f64>] [--seed <u64>] [--snapshot <dir>] [--tsv] [--metrics] [--wall-clock] [binary-specific flags]"
+                        "usage: [--scale <f64>] [--seed <u64>] [--snapshot <dir>] [--gen-workers <n>] [--tsv] [--metrics] [--wall-clock] [binary-specific flags]"
                     );
                     std::process::exit(0);
                 }
@@ -145,6 +157,7 @@ fn die(msg: &str) -> ! {
 pub fn usage_world(cli: &Cli) -> World {
     let mut config = WorldConfig::usage(cli.seed, cli.scale);
     config.wall_clock = cli.wall_clock;
+    config.gen_workers = cli.gen_workers;
     World::generate(config)
 }
 
@@ -152,6 +165,7 @@ pub fn usage_world(cli: &Cli) -> World {
 pub fn live_world(cli: &Cli) -> World {
     let mut config = WorldConfig::live(cli.seed, cli.scale);
     config.wall_clock = cli.wall_clock;
+    config.gen_workers = cli.gen_workers;
     World::generate(config)
 }
 

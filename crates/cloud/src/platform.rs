@@ -91,6 +91,13 @@ pub struct DeploySpec {
     pub account_id: Option<u64>,
     pub memory_mb: Option<u32>,
     pub exec_ms: Option<u64>,
+    /// Entropy for the deployment's random draws (domain minting, region
+    /// pick, behaviour seed). `None` draws from the platform RNG —
+    /// convenient, but then the minted domain depends on global
+    /// deployment order. Callers that deploy from parallel workers pass
+    /// an explicit value derived from their own seed so the deployment
+    /// is a pure function of the spec.
+    pub entropy: Option<u64>,
 }
 
 impl DeploySpec {
@@ -104,6 +111,7 @@ impl DeploySpec {
             account_id: None,
             memory_mb: None,
             exec_ms: None,
+            entropy: None,
         }
     }
 
@@ -114,6 +122,11 @@ impl DeploySpec {
 
     pub fn with_auth(mut self) -> DeploySpec {
         self.auth_protected = true;
+        self
+    }
+
+    pub fn with_entropy(mut self, entropy: u64) -> DeploySpec {
+        self.entropy = Some(entropy);
         self
     }
 }
@@ -292,6 +305,15 @@ impl CloudPlatform {
             return Err(DeployError::UnsupportedProvider(ProviderId::Azure));
         }
         let pstate = self.provider_state(spec_req.provider);
+        // All of this deployment's random draws come from one local RNG:
+        // seeded by the caller's entropy when given, else by a single
+        // draw from the platform RNG (one draw per deploy keeps the
+        // global sequence cheap to reason about).
+        let mut rng = SmallRng::seed_from_u64(
+            spec_req
+                .entropy
+                .unwrap_or_else(|| self.inner.rng.lock().gen()),
+        );
         let region = match &spec_req.region {
             Some(r) => {
                 if !pstate.spec.regions.contains(&r.as_str()) {
@@ -303,11 +325,7 @@ impl CloudPlatform {
                 r.clone()
             }
             None => {
-                let idx = self
-                    .inner
-                    .rng
-                    .lock()
-                    .gen_range(0..pstate.spec.regions.len());
+                let idx = rng.gen_range(0..pstate.spec.regions.len());
                 pstate.spec.regions[idx].to_string()
             }
         };
@@ -320,7 +338,7 @@ impl CloudPlatform {
 
         // Mint a unique domain.
         let (fqdn, path) = loop {
-            let parts = self.mint_parts(&spec_req, &region);
+            let parts = mint_parts(&mut rng, &spec_req, &region);
             let (fqdn, path) = format_for(spec_req.provider).generate(&parts);
             if !self.inner.functions.read().contains_key(&fqdn) {
                 break (fqdn, path);
@@ -329,7 +347,7 @@ impl CloudPlatform {
 
         self.publish_dns(&pstate, &region, &fqdn);
 
-        let seed = self.inner.rng.lock().gen();
+        let seed = rng.gen();
         let entry = Arc::new(FunctionEntry {
             fqdn: fqdn.clone(),
             provider: spec_req.provider,
@@ -463,49 +481,17 @@ impl CloudPlatform {
             .unwrap_or(false)
     }
 
-    fn mint_parts(&self, spec_req: &DeploySpec, region: &str) -> UrlParts {
-        let mut rng = self.inner.rng.lock();
-        let format = format_for(spec_req.provider);
-        let alphabet: &[u8] = if spec_req.provider == ProviderId::Aliyun {
-            b"abcdefghijklmnopqrstuvwxyz"
-        } else {
-            b"abcdefghijklmnopqrstuvwxyz0123456789"
-        };
-        let random: String = (0..format.random_len.max(8))
-            .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
-            .collect();
-        let random = if format.random_len > 0 {
-            random[..format.random_len].to_string()
-        } else {
-            random
-        };
-        let fname = spec_req.fname.clone().unwrap_or_else(|| {
-            let names = [
-                "api", "webhook", "hello", "svc", "worker", "handler", "app", "fn", "gateway",
-                "task",
-            ];
-            format!(
-                "{}{}",
-                names[rng.gen_range(0..names.len())],
-                rng.gen_range(0..10_000)
-            )
-        });
-        let account = spec_req
-            .account_id
-            .unwrap_or_else(|| rng.gen_range(1_250_000_000u64..1_399_999_999));
-        UrlParts {
-            fname,
-            pname: format!("proj{}", rng.gen_range(0..10_000)),
-            user_id: format!("{account:010}"),
-            random,
-            region: region.to_string(),
-        }
-    }
-
     /// Lazily build a provider's state: region ingress plans, DNS zone,
     /// listeners.
     fn provider_state(&self, provider: ProviderId) -> Arc<ProviderState> {
         if let Some(state) = self.inner.providers.read().get(&provider) {
+            return state.clone();
+        }
+        // Double-checked under the write lock: two racing first-deploys
+        // must not both build the state — the loser's zone would be
+        // registered twice and shadow the winner's records.
+        let mut providers = self.inner.providers.write();
+        if let Some(state) = providers.get(&provider) {
             return state.clone();
         }
         let pspec = spec(provider);
@@ -521,7 +507,6 @@ impl CloudPlatform {
                 plan_region_ingress(&pspec, provider_idx, r_idx as u8, region),
             );
         }
-        let _ = provider_idx;
         let state = Arc::new(ProviderState {
             spec: pspec,
             regions,
@@ -530,10 +515,59 @@ impl CloudPlatform {
         self.create_zone(&state);
         self.install_listeners(&state);
 
-        self.inner.providers.write().insert(provider, state.clone());
+        providers.insert(provider, state.clone());
         state
     }
 
+    /// Pre-register a provider's zone and listeners. Parallel world
+    /// generation calls this for every probed provider, in catalogue
+    /// order, before fanning out: zone registration order then matches a
+    /// serial run instead of depending on which worker deploys first.
+    pub fn warm_provider(&self, provider: ProviderId) {
+        if provider != ProviderId::Azure {
+            let _ = self.provider_state(provider);
+        }
+    }
+}
+
+fn mint_parts(rng: &mut SmallRng, spec_req: &DeploySpec, region: &str) -> UrlParts {
+    let format = format_for(spec_req.provider);
+    let alphabet: &[u8] = if spec_req.provider == ProviderId::Aliyun {
+        b"abcdefghijklmnopqrstuvwxyz"
+    } else {
+        b"abcdefghijklmnopqrstuvwxyz0123456789"
+    };
+    let random: String = (0..format.random_len.max(8))
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect();
+    let random = if format.random_len > 0 {
+        random[..format.random_len].to_string()
+    } else {
+        random
+    };
+    let fname = spec_req.fname.clone().unwrap_or_else(|| {
+        let names = [
+            "api", "webhook", "hello", "svc", "worker", "handler", "app", "fn", "gateway", "task",
+        ];
+        format!(
+            "{}{}",
+            names[rng.gen_range(0..names.len())],
+            rng.gen_range(0..10_000)
+        )
+    });
+    let account = spec_req
+        .account_id
+        .unwrap_or_else(|| rng.gen_range(1_250_000_000u64..1_399_999_999));
+    UrlParts {
+        fname,
+        pname: format!("proj{}", rng.gen_range(0..10_000)),
+        user_id: format!("{account:010}"),
+        random,
+        region: region.to_string(),
+    }
+}
+
+impl CloudPlatform {
     fn create_zone(&self, state: &ProviderState) {
         let origin = Fqdn::parse(state.spec.id.domain_suffix()).expect("valid suffix");
         let mut zone = Zone::new(origin.clone());
@@ -858,13 +892,7 @@ fn egress_ip(provider_idx: u8, region_idx: u8, slot: u8) -> Ipv4Addr {
 }
 
 fn stable_hash(s: &str) -> u64 {
-    // FNV-1a.
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    fw_types::fnv::fnv1a(s.as_bytes())
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! `fw-pattern`) scan every fqdn in the store; matches are aggregated per
 //! function with the §3.2 key metrics.
 
+use fw_analysis::par::{default_workers, par_map_indexed};
 use fw_cloud::formats::{all_formats, format_for, identify};
 use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
 use fw_types::{Fqdn, ProviderId};
@@ -71,24 +72,50 @@ impl IdentificationReport {
 
 /// Scan a PDNS backend and identify all serverless function domains.
 pub fn identify_functions<B: PdnsBackend + ?Sized>(pdns: &B) -> IdentificationReport {
-    let mut functions = Vec::new();
+    identify_functions_with(pdns, default_workers())
+}
+
+/// [`identify_functions`] with an explicit worker count. The result is
+/// independent of `workers`: classification is a pure per-fqdn function
+/// and the output keeps the backend's sorted-fqdn order.
+pub fn identify_functions_with<B: PdnsBackend + ?Sized>(
+    pdns: &B,
+    workers: usize,
+) -> IdentificationReport {
+    identify_from_aggregates(pdns.par_aggregates(workers), workers)
+}
+
+/// Identify functions from pre-computed per-fqdn aggregates — the
+/// columnar fast path. `fw_store::stream_snapshot_aggregates` feeds this
+/// directly from snapshot segments without building store tables.
+pub fn identify_from_aggregates(aggs: Vec<FqdnAggregate>, workers: usize) -> IdentificationReport {
+    // Classification (regex match + region extraction) is the per-fqdn
+    // CPU cost; run it data-parallel, then zip the verdicts back onto
+    // the owned aggregates.
+    let verdicts: Vec<Option<(ProviderId, Option<String>)>> =
+        par_map_indexed(&aggs, workers, |_, agg| {
+            identify(&agg.fqdn)
+                .map(|provider| (provider, format_for(provider).region_of(&agg.fqdn)))
+        });
+    let mut functions = Vec::with_capacity(aggs.len());
     let mut unmatched = 0u64;
     let mut total_requests = 0u64;
-    pdns.for_each_fqdn(&mut |fqdn| match identify(fqdn) {
-        Some(provider) => {
-            let agg = pdns.aggregate(fqdn).expect("fqdn is in the store");
-            total_requests += agg.total_request_cnt;
-            let region = format_for(provider).region_of(fqdn);
-            functions.push(IdentifiedFunction {
-                fqdn: fqdn.clone(),
-                provider,
-                region,
-                agg,
-            });
+    for (agg, verdict) in aggs.into_iter().zip(verdicts) {
+        match verdict {
+            Some((provider, region)) => {
+                total_requests += agg.total_request_cnt;
+                functions.push(IdentifiedFunction {
+                    fqdn: agg.fqdn.clone(),
+                    provider,
+                    region,
+                    agg,
+                });
+            }
+            None => unmatched += 1,
         }
-        None => unmatched += 1,
-    });
-    // Deterministic order for downstream consumers.
+    }
+    // Deterministic order for downstream consumers (aggregates arrive
+    // sorted from both backends, but don't rely on it).
     functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
     IdentificationReport {
         functions,
@@ -195,6 +222,29 @@ mod tests {
         let (full, suffix_only) = suffix_only_ablation(&s);
         assert_eq!(full, 1);
         assert_eq!(suffix_only, 3);
+    }
+
+    #[test]
+    fn worker_count_invariant() {
+        let s = store_with(&[
+            ("1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com", 10),
+            ("myfn-a1b2c3d4e5-uc.a.run.app", 7),
+            ("x2h5k7m9p1q3.lambda-url.us-east-1.on.aws", 3),
+            ("www.example.com", 100),
+        ]);
+        let base = identify_functions_with(&s, 1);
+        for workers in [3, 8] {
+            let got = identify_functions_with(&s, workers);
+            assert_eq!(got.unmatched, base.unmatched);
+            assert_eq!(got.total_requests, base.total_requests);
+            assert_eq!(got.functions.len(), base.functions.len());
+            for (a, b) in got.functions.iter().zip(&base.functions) {
+                assert_eq!(a.fqdn, b.fqdn);
+                assert_eq!(a.provider, b.provider);
+                assert_eq!(a.region, b.region);
+                assert_eq!(a.agg, b.agg);
+            }
+        }
     }
 
     #[test]

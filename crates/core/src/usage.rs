@@ -1,12 +1,22 @@
 //! Usage-status analyses (§4): trends, ingress, invocation patterns.
 
 use crate::identify::{IdentificationReport, IdentifiedFunction};
+use fw_analysis::par::{default_workers, par_map_indexed};
 use fw_analysis::stats;
 use fw_dns::pdns::PdnsBackend;
-use fw_types::{
-    Fqdn, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START,
-};
+use fw_types::{MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START};
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Split `report.functions` into up to `workers` contiguous index
+/// ranges for data-parallel per-function sweeps. Contiguous (rather
+/// than round-robin) chunks keep each worker on one stretch of the
+/// fqdn-sorted function list, which clusters shard-lock reuse in
+/// `for_each_record_of`.
+fn function_chunks(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let w = workers.clamp(1, n.max(1));
+    (0..w).map(|i| (n * i / w)..(n * (i + 1) / w)).collect()
+}
 
 /// Figure 3/4 series: per-month values for one provider (or the total).
 #[derive(Debug, Clone)]
@@ -74,22 +84,53 @@ pub fn monthly_requests<B: PdnsBackend + ?Sized>(
     report: &IdentificationReport,
     pdns: &B,
 ) -> MonthlySeries {
+    monthly_requests_with(report, pdns, default_workers())
+}
+
+/// [`monthly_requests`] with an explicit worker count. Rather than
+/// scanning every row in the store and filtering against an fqdn map,
+/// each worker visits only its own functions' rows through
+/// [`PdnsBackend::for_each_record_of`]; per-month sums are commutative,
+/// so merging the partials is worker-count invariant.
+pub fn monthly_requests_with<B: PdnsBackend + ?Sized>(
+    report: &IdentificationReport,
+    pdns: &B,
+    workers: usize,
+) -> MonthlySeries {
     let months = window_months();
-    let provider_of: HashMap<&Fqdn, ProviderId> = report
-        .functions
-        .iter()
-        .map(|f| (&f.fqdn, f.provider))
-        .collect();
+    let n_months = months.len();
+    let chunks = function_chunks(report.functions.len(), workers);
+    let parts: Vec<HashMap<ProviderId, Vec<u64>>> =
+        par_map_indexed(&chunks, workers, |_, range| {
+            let mut part: HashMap<ProviderId, Vec<u64>> = HashMap::new();
+            for f in &report.functions[range.clone()] {
+                let series = part.entry(f.provider).or_insert_with(|| vec![0; n_months]);
+                pdns.for_each_record_of(&f.fqdn, &mut |_rtype, _rdata, pdate, cnt| {
+                    if let Some(idx) = month_index_of(pdate) {
+                        series[idx] += cnt;
+                    }
+                });
+            }
+            part
+        });
     let mut per_provider: HashMap<ProviderId, Vec<u64>> = HashMap::new();
-    pdns.for_each_row(&mut |fqdn, _rtype, _rdata, pdate, cnt| {
-        let Some(provider) = provider_of.get(fqdn) else {
-            return;
-        };
-        let Some(idx) = month_index_of(pdate) else {
-            return;
-        };
-        per_provider.entry(*provider).or_insert_with(|| vec![0; 24])[idx] += cnt;
-    });
+    for part in parts {
+        for (provider, series) in part {
+            match per_provider.entry(provider) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(series);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (acc, v) in e.get_mut().iter_mut().zip(series) {
+                        *acc += v;
+                    }
+                }
+            }
+        }
+    }
+    // The row-scan formulation only created a provider entry when a row
+    // fell inside the measurement window; keep that contract.
+    per_provider.retain(|_, series| series.iter().any(|v| *v > 0));
     MonthlySeries {
         months,
         per_provider,
@@ -120,26 +161,47 @@ pub fn ingress_table<B: PdnsBackend + ?Sized>(
     report: &IdentificationReport,
     pdns: &B,
 ) -> Vec<IngressRow> {
-    let provider_of: HashMap<&Fqdn, ProviderId> = report
-        .functions
-        .iter()
-        .map(|f| (&f.fqdn, f.provider))
-        .collect();
+    ingress_table_with(report, pdns, default_workers())
+}
 
+/// [`ingress_table`] with an explicit worker count. Same sweep shape as
+/// [`monthly_requests_with`]: workers visit disjoint function chunks via
+/// [`PdnsBackend::for_each_record_of`] and the per-rdata request sums
+/// merge commutatively, so the table is worker-count invariant.
+pub fn ingress_table_with<B: PdnsBackend + ?Sized>(
+    report: &IdentificationReport,
+    pdns: &B,
+    workers: usize,
+) -> Vec<IngressRow> {
     // provider → rtype → rdata text → requests.
+    let chunks = function_chunks(report.functions.len(), workers);
+    let parts: Vec<HashMap<ProviderId, [HashMap<String, u64>; 3]>> =
+        par_map_indexed(&chunks, workers, |_, range| {
+            let mut part: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
+            for f in &report.functions[range.clone()] {
+                let maps = part.entry(f.provider).or_default();
+                pdns.for_each_record_of(&f.fqdn, &mut |rtype, rdata, _pdate, cnt| {
+                    let slot = match rtype {
+                        RecordType::A => 0,
+                        RecordType::Cname => 1,
+                        RecordType::Aaaa => 2,
+                    };
+                    *maps[slot].entry(rdata.text()).or_insert(0) += cnt;
+                });
+            }
+            part
+        });
     let mut dist: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
-    pdns.for_each_row(&mut |fqdn, rtype, rdata, _pdate, cnt| {
-        let Some(provider) = provider_of.get(fqdn) else {
-            return;
-        };
-        let slot = match rtype {
-            RecordType::A => 0,
-            RecordType::Cname => 1,
-            RecordType::Aaaa => 2,
-        };
-        let maps = dist.entry(*provider).or_default();
-        *maps[slot].entry(rdata.text()).or_insert(0) += cnt;
-    });
+    for part in parts {
+        for (provider, maps) in part {
+            let acc = dist.entry(provider).or_default();
+            for (slot, map) in maps.into_iter().enumerate() {
+                for (text, cnt) in map {
+                    *acc[slot].entry(text).or_insert(0) += cnt;
+                }
+            }
+        }
+    }
 
     let mut rows = Vec::new();
     let domains = report.domains_per_provider();
@@ -264,7 +326,7 @@ mod tests {
     use super::*;
     use crate::identify::identify_functions;
     use fw_dns::pdns::PdnsStore;
-    use fw_types::DayStamp;
+    use fw_types::{DayStamp, Fqdn};
     use std::net::Ipv4Addr;
 
     fn day(n: i64) -> DayStamp {
@@ -350,6 +412,28 @@ mod tests {
         assert!((inv.mean_lifespan_days - 16.0).abs() < 1e-9);
         // Google2 has 2 active days over a 31-day span → density < 1.
         assert!((inv.frac_density_one - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_sweeps_are_worker_count_invariant() {
+        let s = store();
+        let report = identify_functions(&s);
+        let base_months = monthly_requests_with(&report, &s, 1);
+        let base_table = ingress_table_with(&report, &s, 1);
+        for workers in [3, 8] {
+            let months = monthly_requests_with(&report, &s, workers);
+            assert_eq!(months.months, base_months.months);
+            assert_eq!(months.per_provider, base_months.per_provider);
+            let table = ingress_table_with(&report, &s, workers);
+            assert_eq!(table.len(), base_table.len());
+            for (a, b) in table.iter().zip(&base_table) {
+                assert_eq!(a.provider, b.provider);
+                assert_eq!(a.total_requests, b.total_requests);
+                assert_eq!(a.rdata_cnt, b.rdata_cnt);
+                assert_eq!(a.rtype_share, b.rtype_share);
+                assert_eq!(a.top10, b.top10);
+            }
+        }
     }
 
     #[test]

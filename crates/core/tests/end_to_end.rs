@@ -15,6 +15,7 @@ fn world() -> World {
         scale: 0.003,
         deploy_live: true,
         wall_clock: false,
+        gen_workers: 0,
         platform: PlatformConfig {
             // Hangs must outlast the probe timeout below.
             hang_ms: 400,
@@ -215,6 +216,7 @@ fn usage_only_pipeline_without_live_network() {
         scale: 0.004,
         deploy_live: false,
         wall_clock: false,
+        gen_workers: 0,
         platform: PlatformConfig::default(),
     });
     let report = Pipeline::run_usage(&w.pdns);

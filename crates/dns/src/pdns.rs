@@ -92,7 +92,12 @@ impl FqdnAggregate {
 /// persistent sharded segment store in `fw-store`. Callbacks take
 /// `&mut dyn FnMut` so the trait stays object-safe; iteration order is
 /// backend-defined and consumers must not rely on it.
-pub trait PdnsBackend {
+///
+/// `Sync` is a supertrait: both shipped backends are trivially shareable,
+/// and requiring it here lets the provided [`PdnsBackend::par_aggregates`]
+/// fan read-only aggregation out across threads for any backend —
+/// including through `&dyn PdnsBackend`.
+pub trait PdnsBackend: Sync {
     /// Record `count` observations of `fqdn → rdata` on `day`.
     fn observe_count(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64);
 
@@ -117,6 +122,14 @@ pub trait PdnsBackend {
     /// Per-fqdn aggregate (paper §3.2), or `None` if the fqdn is unknown.
     fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate>;
 
+    /// Visit one fqdn's daily rows as `(rtype, rdata, pdate, request_cnt)`
+    /// in `(pdate, rdata text)` order — exactly the rows and order of
+    /// `PdnsStore::records_for`, without allocating owned `PdnsRecord`s.
+    /// A no-op for unknown fqdns. Sharded backends may hold a shard lock
+    /// across the visit, so the callback must not call back into the same
+    /// backend.
+    fn for_each_record_of(&self, fqdn: &Fqdn, f: &mut dyn FnMut(RecordType, &Rdata, DayStamp, u64));
+
     /// All aggregates, sorted by fqdn — deterministic across backends, so
     /// equivalence tests can compare stores element-wise.
     fn all_aggregates(&self) -> Vec<FqdnAggregate> {
@@ -127,6 +140,44 @@ pub trait PdnsBackend {
         out.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
         out
     }
+
+    /// All observed fqdns, sorted. The deterministic work-list the
+    /// parallel aggregation path fans out over.
+    fn sorted_fqdns(&self) -> Vec<Fqdn> {
+        let mut out = Vec::with_capacity(self.fqdn_count());
+        self.for_each_fqdn(&mut |fqdn| out.push(fqdn.clone()));
+        out.sort();
+        out
+    }
+
+    /// [`PdnsBackend::all_aggregates`], computed on up to `workers`
+    /// threads. Identical output at any worker count: the work-list is
+    /// the sorted fqdn list and `par_map_indexed` merges in input order.
+    /// Backends with cheaper internal parallelism (per-shard locks)
+    /// override this.
+    fn par_aggregates(&self, workers: usize) -> Vec<FqdnAggregate> {
+        let fqdns = self.sorted_fqdns();
+        fw_analysis::par::par_map_indexed(&fqdns, workers, |_, fqdn| {
+            self.aggregate(fqdn).expect("fqdn is in the store")
+        })
+    }
+}
+
+/// Order one entry's rows by `(pdate, rdata text)` — the canonical
+/// `records_for` order, shared by the owned and visitor read paths.
+/// Each interned rdata's text is rendered once; sorting by
+/// `rdata.text()` directly would re-allocate the text per comparison.
+fn sorted_rows<'e>(rows: &'e [DailyRow], rdatas: &'e [Rdata]) -> Vec<(&'e DailyRow, &'e Rdata)> {
+    let texts: Vec<String> = rdatas.iter().map(|r| r.text()).collect();
+    let mut order: Vec<&DailyRow> = rows.iter().collect();
+    order.sort_by(|a, b| {
+        (a.pdate, texts[a.rdata_idx as usize].as_str())
+            .cmp(&(b.pdate, texts[b.rdata_idx as usize].as_str()))
+    });
+    order
+        .into_iter()
+        .map(|row| (row, &rdatas[row.rdata_idx as usize]))
+        .collect()
 }
 
 /// The passive-DNS record store.
@@ -195,30 +246,81 @@ impl PdnsStore {
         let Some(entry) = self.entries.get(fqdn) else {
             return Vec::new();
         };
-        // Render each interned rdata's text once; sorting by
-        // `(pdate, rdata.text())` directly would re-allocate the text on
-        // every comparison.
-        let texts: Vec<String> = entry.rdatas.iter().map(|r| r.text()).collect();
-        let mut order: Vec<&DailyRow> = entry.rows.iter().collect();
-        order.sort_by(|a, b| {
-            (a.pdate, texts[a.rdata_idx as usize].as_str())
-                .cmp(&(b.pdate, texts[b.rdata_idx as usize].as_str()))
-        });
-        order
+        sorted_rows(&entry.rows, &entry.rdatas)
             .into_iter()
-            .map(|row| {
-                let rdata = entry.rdatas[row.rdata_idx as usize].clone();
-                PdnsRecord {
-                    fqdn: fqdn.clone(),
-                    rtype: rdata.rtype(),
-                    rdata,
-                    first_seen: row.pdate,
-                    last_seen: row.pdate,
-                    request_cnt: row.cnt,
-                    pdate: row.pdate,
-                }
+            .map(|(row, rdata)| PdnsRecord {
+                fqdn: fqdn.clone(),
+                rtype: rdata.rtype(),
+                rdata: rdata.clone(),
+                first_seen: row.pdate,
+                last_seen: row.pdate,
+                request_cnt: row.cnt,
+                pdate: row.pdate,
             })
             .collect()
+    }
+
+    /// Visit one fqdn's rows in `records_for` order (`(pdate, rdata
+    /// text)`) without materializing owned `PdnsRecord`s — the hot-path
+    /// replacement for `records_for` in `identify`/`usage`, which only
+    /// read each row once.
+    pub fn for_each_record_of<F>(&self, fqdn: &Fqdn, mut f: F)
+    where
+        F: FnMut(RecordType, &Rdata, DayStamp, u64),
+    {
+        let Some(entry) = self.entries.get(fqdn) else {
+            return;
+        };
+        for (row, rdata) in sorted_rows(&entry.rows, &entry.rdatas) {
+            f(rdata.rtype(), rdata, row.pdate, row.cnt);
+        }
+    }
+
+    /// Move another store's entries into this one. Entry moves are O(1)
+    /// per fqdn when the key sets are disjoint (the parallel generator's
+    /// shard merge — each fqdn is minted by exactly one shard); colliding
+    /// fqdns fall back to row-by-row replay with exact `(pdate, rdata)`
+    /// merging, which commutes, so the merged store is independent of
+    /// absorb order for a given shard sequence.
+    pub fn absorb(&mut self, other: PdnsStore) {
+        if self.entries.is_empty() {
+            *self = other;
+            return;
+        }
+        for (fqdn, src) in other.entries {
+            match self.entries.entry(fqdn) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.total_rows += src.rows.len();
+                    v.insert(src);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let dst = o.get_mut();
+                    let mut by_key: HashMap<(DayStamp, u32), usize> = dst
+                        .rows
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| ((r.pdate, r.rdata_idx), i))
+                        .collect();
+                    for row in src.rows {
+                        let idx = dst.intern(&src.rdatas[row.rdata_idx as usize]);
+                        match by_key.entry((row.pdate, idx)) {
+                            std::collections::hash_map::Entry::Occupied(pos) => {
+                                dst.rows[*pos.get()].cnt += row.cnt;
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert(dst.rows.len());
+                                dst.rows.push(DailyRow {
+                                    pdate: row.pdate,
+                                    rdata_idx: idx,
+                                    cnt: row.cnt,
+                                });
+                                self.total_rows += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Visit every daily row without materializing owned records. The
@@ -313,6 +415,16 @@ impl PdnsBackend for PdnsStore {
 
     fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
         PdnsStore::aggregate(self, fqdn)
+    }
+
+    fn for_each_record_of(
+        &self,
+        fqdn: &Fqdn,
+        f: &mut dyn FnMut(RecordType, &Rdata, DayStamp, u64),
+    ) {
+        PdnsStore::for_each_record_of(self, fqdn, |rtype, rdata, pdate, cnt| {
+            f(rtype, rdata, pdate, cnt)
+        });
     }
 }
 
@@ -480,6 +592,81 @@ mod tests {
         let agg = s.aggregate(&f).unwrap();
         assert_eq!(agg.rdata_dist.len(), 300);
         assert_eq!(agg.total_request_cnt, 600);
+    }
+
+    #[test]
+    fn absorb_disjoint_and_colliding_stores() {
+        // Disjoint: plain entry moves.
+        let mut base = PdnsStore::new();
+        base.observe_count(&fq("a.on.aws"), &a(1), day(0), 4);
+        let mut other = PdnsStore::new();
+        other.observe_count(&fq("b.on.aws"), &a(2), day(1), 6);
+        base.absorb(other);
+        assert_eq!(base.fqdn_count(), 2);
+        assert_eq!(base.record_count(), 2);
+
+        // Colliding fqdn: exact (pdate, rdata) keys merge, new keys append.
+        let mut collide = PdnsStore::new();
+        collide.observe_count(&fq("a.on.aws"), &a(1), day(0), 10); // merges
+        collide.observe_count(&fq("a.on.aws"), &a(3), day(0), 1); // new rdata
+        collide.observe_count(&fq("a.on.aws"), &a(1), day(5), 2); // new day
+        base.absorb(collide);
+        assert_eq!(base.fqdn_count(), 2);
+        assert_eq!(base.record_count(), 4);
+        let agg = base.aggregate(&fq("a.on.aws")).unwrap();
+        assert_eq!(agg.total_request_cnt, 17);
+        assert_eq!(agg.days_count, 2);
+
+        // Absorbing into an empty store is a move.
+        let mut empty = PdnsStore::new();
+        empty.absorb(PdnsStore::from_backend(&base));
+        assert_eq!(empty.all_aggregates(), base.all_aggregates());
+        assert_eq!(empty.record_count(), base.record_count());
+    }
+
+    #[test]
+    fn sharded_build_and_absorb_equals_serial_build() {
+        // The parallel generator's merge pattern: each fqdn's rows all
+        // come from one shard; absorbing in shard order must reproduce
+        // the serially built store exactly (aggregates and row dumps).
+        let build = |stores: &mut [PdnsStore]| {
+            for i in 0..40u8 {
+                let f = fq(&format!("fn{i}.on.aws"));
+                let shard = (i % stores.len() as u8) as usize;
+                for d in 0..4 {
+                    stores[shard].observe_count(&f, &a(i % 7), day(d), u64::from(i) + 1);
+                }
+            }
+        };
+        let mut serial = vec![PdnsStore::new()];
+        build(&mut serial);
+        let serial = serial.pop().unwrap();
+        for shards in [2usize, 3, 8] {
+            let mut parts: Vec<PdnsStore> = (0..shards).map(|_| PdnsStore::new()).collect();
+            build(&mut parts);
+            let mut merged = PdnsStore::new();
+            for part in parts {
+                merged.absorb(part);
+            }
+            assert_eq!(merged.all_aggregates(), serial.all_aggregates());
+            assert_eq!(merged.record_count(), serial.record_count());
+        }
+    }
+
+    #[test]
+    fn par_aggregates_default_matches_all_aggregates() {
+        let mut s = PdnsStore::new();
+        for i in 0..30u8 {
+            s.observe_count(&fq(&format!("p{i}.on.aws")), &a(i), day(i64::from(i)), 2);
+        }
+        let want = s.all_aggregates();
+        for workers in [1, 3, 8] {
+            assert_eq!(s.par_aggregates(workers), want, "workers={workers}");
+        }
+        assert_eq!(
+            s.sorted_fqdns(),
+            want.iter().map(|a| a.fqdn.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

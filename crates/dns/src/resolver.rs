@@ -146,13 +146,7 @@ impl Resolver {
 
     /// FNV-1a over the owner name and record type picks the shard.
     fn shard(&self, name: &Fqdn, rtype: RecordType) -> &CacheShard {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in name.as_str().as_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h ^= rtype as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        let h = fw_types::fnv::fold(fw_types::fnv::fnv1a(name.as_str().as_bytes()), rtype as u64);
         &self.cache[(h % CACHE_SHARDS as u64) as usize]
     }
 

@@ -65,14 +65,7 @@ struct Inner {
 
 /// FNV-1a 64-bit, the flow-key hash (stable across processes, unlike
 /// the std hasher).
-fn fnv64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use fw_types::fnv::fnv1a as fnv64;
 
 /// splitmix64 finalizer: spreads structured seed material across the
 /// whole word so nearby flows get unrelated RNG streams.

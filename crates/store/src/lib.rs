@@ -26,10 +26,12 @@
 
 mod codec;
 mod crc;
+mod scan;
 mod segment;
 mod store;
 
 pub use crc::crc32;
+pub use scan::stream_snapshot_aggregates;
 pub use segment::{decode_segment, read_segment, SegRow, SegmentBuilder, SegmentData};
 pub use store::{DiskStore, SharedDiskStore};
 
@@ -399,5 +401,112 @@ mod tests {
             .map(|a| a.total_request_cnt)
             .sum();
         assert_eq!(total, 4_000);
+    }
+
+    /// Build the same pseudo-random workload into both backend flavors.
+    fn twin_stores(tmp: &TempDir) -> (PdnsStore, DiskStore) {
+        let mut mem = PdnsStore::new();
+        let store = DiskStore::create(tmp.path(), small_config()).unwrap();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..3_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let f = fq(&format!("f{}.on.aws", state % 83));
+            let r = v4((state >> 16) as u8 % 5, (state >> 24) as u8 % 9);
+            let d = day((state >> 32) as i64 % 120);
+            let cnt = state % 7 + 1;
+            mem.observe_count(&f, &r, d, cnt);
+            store.observe_count(&f, &r, d, cnt);
+        }
+        (mem, store)
+    }
+
+    /// The non-allocating visitor must see exactly the rows — and the
+    /// row order — its own backend's materializing read path produces.
+    /// (Row *lists* are not comparable across backends: `PdnsStore`
+    /// merges same-day duplicates only at the tail while `DiskStore`
+    /// merges on exact key; only aggregates are backend-invariant.)
+    #[test]
+    fn record_visitor_matches_records_for_order() {
+        let tmp = TempDir::new("visitor");
+        let (mem, store) = twin_stores(&tmp);
+        let mut checked = 0usize;
+        for fqdn in mem.sorted_fqdns() {
+            // PdnsStore: visitor ≡ records_for, element for element.
+            let owned: Vec<_> = mem
+                .records_for(&fqdn)
+                .into_iter()
+                .map(|r| (r.rtype, r.rdata, r.pdate, r.request_cnt))
+                .collect();
+            assert!(!owned.is_empty());
+            let mut via_mem = Vec::new();
+            mem.for_each_record_of(&fqdn, |rt, rd, pd, cnt| {
+                via_mem.push((rt, rd.clone(), pd, cnt));
+            });
+            assert_eq!(via_mem, owned, "PdnsStore visitor diverges for {fqdn}");
+
+            // DiskStore: visitor ≡ its own rows in canonical
+            // `(pdate, rdata text)` order.
+            let mut disk_rows = Vec::new();
+            store.for_each_row(&mut |f, rt, rd, pd, cnt| {
+                if *f == fqdn {
+                    disk_rows.push((rt, rd.clone(), pd, cnt));
+                }
+            });
+            disk_rows.sort_by_key(|a| (a.2, a.1.text()));
+            let mut via_disk = Vec::new();
+            store.for_each_record_of(&fqdn, &mut |rt, rd, pd, cnt| {
+                via_disk.push((rt, rd.clone(), pd, cnt));
+            });
+            assert_eq!(via_disk, disk_rows, "DiskStore visitor diverges for {fqdn}");
+            checked += owned.len();
+        }
+        assert!(checked > 100, "workload produced enough rows to matter");
+        // Unknown fqdns: no rows, no panic.
+        store.for_each_record_of(&fq("missing.on.aws"), &mut |_, _, _, _| {
+            panic!("visited a row of an unknown fqdn")
+        });
+    }
+
+    #[test]
+    fn par_aggregates_is_worker_count_invariant() {
+        let tmp = TempDir::new("paragg");
+        let (mem, store) = twin_stores(&tmp);
+        let want = mem.all_aggregates();
+        for workers in [1, 3, 8] {
+            assert_eq!(mem.par_aggregates(workers), want, "mem workers={workers}");
+            assert_eq!(
+                store.par_aggregates(workers),
+                want,
+                "disk workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_matches_serial() {
+        let src_tmp = TempDir::new("ingest-src");
+        let (mem, _src_disk) = twin_stores(&src_tmp);
+        let mut want = None;
+        for workers in [1, 3, 8] {
+            let tmp = TempDir::new(&format!("ingest-w{workers}"));
+            let dst = DiskStore::create(
+                tmp.path(),
+                StoreConfig {
+                    shards: 4,
+                    flush_rows: 512,
+                },
+            )
+            .unwrap();
+            dst.ingest_parallel(&mem, workers);
+            dst.compact().unwrap();
+            let got = dst.all_aggregates();
+            assert_eq!(got, mem.all_aggregates(), "workers={workers}");
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(&got, w, "workers={workers}"),
+            }
+        }
     }
 }

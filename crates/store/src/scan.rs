@@ -1,0 +1,276 @@
+//! Streaming columnar scan: segment bytes → per-fqdn aggregates.
+//!
+//! `DiskStore::open` replays every segment into per-shard hash tables
+//! before anything can be queried — the right trade when the store will
+//! be queried repeatedly, but pure overhead for the identification
+//! stage, which needs exactly one [`FqdnAggregate`] per fqdn and never
+//! looks at the table again. This module decodes the delta-encoded rows
+//! block directly into aggregates instead: segment rows are sorted by
+//! `(fqdn, pdate, rdata)`, so each fqdn is one contiguous run, the day
+//! count is a run-length count over `pdate`, and no intermediate
+//! `SegRow` vector, hash table, or `PdnsRecord` is ever materialized.
+//!
+//! The fast path requires one segment per shard — what `compact`
+//! guarantees and every snapshot written by `fw_snapshot` satisfies. A
+//! multi-segment shard (an uncompacted store) falls back to replaying
+//! that shard through an in-memory [`PdnsStore`], trading speed for the
+//! exact-merge semantics; the output is identical either way.
+
+use crate::segment::{next_row, parse_segment};
+use crate::store::{read_superblock, shard_segment_paths};
+use crate::StoreError;
+use fw_dns::pdns::{FqdnAggregate, PdnsBackend as _, PdnsStore};
+use fw_types::{DayStamp, Rdata};
+use std::path::Path;
+
+/// Stream one segment's rows into per-fqdn aggregates, emitting each
+/// aggregate as its run ends. Emission order is the segment's fqdn
+/// dictionary order (lexicographic).
+fn scan_segment_into(bytes: &[u8], emit: &mut dyn FnMut(FqdnAggregate)) -> Result<(), StoreError> {
+    let (dicts, mut r) = parse_segment(bytes)?;
+    // Per-run state. `dist` maps segment rdata index → count via linear
+    // scan: a run's distinct rdatas are few even when the segment's
+    // dictionary is large.
+    let mut run_fqdn: Option<u32> = None;
+    let mut first = DayStamp(i64::MAX);
+    let mut last = DayStamp(i64::MIN);
+    let mut prev_day = DayStamp(i64::MIN);
+    let mut days = 0u32;
+    let mut total = 0u64;
+    let mut dist: Vec<(u32, u64)> = Vec::new();
+    let mut prev = 0u64;
+
+    let mut flush = |fqdn_idx: u32,
+                     first: DayStamp,
+                     last: DayStamp,
+                     days: u32,
+                     total: u64,
+                     dist: &mut Vec<(u32, u64)>| {
+        let mut rdata_dist: Vec<(Rdata, u64)> = dist
+            .drain(..)
+            .map(|(ri, cnt)| (dicts.rdatas[ri as usize].clone(), cnt))
+            .collect();
+        rdata_dist.sort_by(|a, b| a.0.cmp(&b.0));
+        emit(FqdnAggregate {
+            fqdn: dicts.fqdns[fqdn_idx as usize].clone(),
+            first_seen_all: first,
+            last_seen_all: last,
+            days_count: days,
+            total_request_cnt: total,
+            rdata_dist,
+        });
+    };
+
+    for _ in 0..dicts.n_rows {
+        let row = next_row(&mut r, &dicts, &mut prev)?;
+        if run_fqdn != Some(row.fqdn) {
+            if let Some(done) = run_fqdn {
+                flush(done, first, last, days, total, &mut dist);
+            }
+            run_fqdn = Some(row.fqdn);
+            first = row.pdate;
+            last = row.pdate;
+            prev_day = row.pdate;
+            days = 1;
+            total = 0;
+        } else {
+            // Rows are sorted, so within a run pdate is non-decreasing:
+            // `last` is the current row and a new day is a transition.
+            last = row.pdate;
+            if row.pdate != prev_day {
+                days += 1;
+                prev_day = row.pdate;
+            }
+        }
+        total += row.cnt;
+        match dist.iter_mut().find(|(ri, _)| *ri == row.rdata) {
+            Some((_, cnt)) => *cnt += row.cnt,
+            None => dist.push((row.rdata, row.cnt)),
+        }
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes in rows block".to_string(),
+        ));
+    }
+    if let Some(done) = run_fqdn {
+        flush(done, first, last, days, total, &mut dist);
+    }
+    Ok(())
+}
+
+/// Aggregate one shard: streaming for the compacted single-segment
+/// case, `PdnsStore` replay for multi-segment shards.
+fn scan_shard(dir: &Path, shard: usize) -> Result<Vec<FqdnAggregate>, StoreError> {
+    let paths = shard_segment_paths(dir, shard)?;
+    let mut out = Vec::new();
+    match paths.as_slice() {
+        [] => {}
+        [single] => {
+            let bytes = std::fs::read(single)?;
+            fw_obs::counter_inc!("fw.store.scan.segments_streamed");
+            scan_segment_into(&bytes, &mut |agg| out.push(agg)).map_err(|e| match e {
+                StoreError::Corrupt(msg) => {
+                    StoreError::Corrupt(format!("{}: {msg}", single.display()))
+                }
+                other => other,
+            })?;
+        }
+        many => {
+            fw_obs::counter_inc!("fw.store.scan.shards_replayed");
+            let mut replay = PdnsStore::new();
+            for path in many {
+                let seg = crate::segment::read_segment(path)?;
+                for row in &seg.rows {
+                    replay.observe_count(
+                        &seg.fqdns[row.fqdn as usize],
+                        &seg.rdatas[row.rdata as usize],
+                        row.pdate,
+                        row.cnt,
+                    );
+                }
+            }
+            out = replay.all_aggregates();
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate a snapshot directory directly from its segments on up to
+/// `workers` threads, without building `DiskStore` shard tables.
+///
+/// Output is sorted by fqdn — element-wise equal to
+/// `DiskStore::open_read_only(dir)?.all_aggregates()` — and independent
+/// of the worker count: workers claim whole shards round-robin and the
+/// final sort erases completion order.
+pub fn stream_snapshot_aggregates(
+    dir: &Path,
+    workers: usize,
+) -> Result<Vec<FqdnAggregate>, StoreError> {
+    let _span = fw_obs::span("store/stream_scan");
+    let shard_count = read_superblock(dir)?;
+    let workers = workers.clamp(1, shard_count);
+    let parts: Vec<Result<Vec<FqdnAggregate>, StoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut part = Vec::new();
+                    for shard in (w..shard_count).step_by(workers) {
+                        part.extend(scan_shard(dir, shard)?);
+                    }
+                    Ok(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan workers do not panic"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for part in parts {
+        out.extend(part?);
+    }
+    out.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskStore, StoreConfig};
+    use fw_types::Fqdn;
+    use std::net::Ipv4Addr;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "fw-scan-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn fq(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    fn fill(store: &DiskStore) {
+        let d0 = fw_types::MEASUREMENT_START;
+        for i in 0..60u8 {
+            let f = fq(&format!("fn{i}.fcapp.run"));
+            for day in 0..5i64 {
+                store.observe_count(&f, &Rdata::V4(Ipv4Addr::new(198, 51, 100, i)), d0 + day, 3);
+                if day % 2 == 0 {
+                    store.observe_count(&f, &Rdata::Name(fq("edge.fcapp.run")), d0 + day, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_aggregates_equal_table_aggregates() {
+        let tmp = TempDir::new("equal");
+        let store = DiskStore::create(&tmp.0, StoreConfig::default()).unwrap();
+        fill(&store);
+        store.compact().unwrap();
+        let want = store.all_aggregates();
+        for workers in [1, 3, 8] {
+            let got = stream_snapshot_aggregates(&tmp.0, workers).unwrap();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn multi_segment_shards_fall_back_to_replay() {
+        let tmp = TempDir::new("multiseg");
+        let store = DiskStore::create(
+            &tmp.0,
+            StoreConfig {
+                shards: 2,
+                flush_rows: 0,
+            },
+        )
+        .unwrap();
+        // Two flushes → two segments per touched shard, no compaction:
+        // counts for the same (fqdn, pdate, rdata) key split across
+        // segments and must be re-merged by the fallback.
+        let d0 = fw_types::MEASUREMENT_START;
+        for round in 0..2 {
+            for i in 0..10u8 {
+                let f = fq(&format!("fn{i}.fcapp.run"));
+                store.observe_count(&f, &Rdata::V4(Ipv4Addr::new(198, 51, 100, i)), d0, 2);
+                store.observe_count(
+                    &f,
+                    &Rdata::V4(Ipv4Addr::new(198, 51, 100, i)),
+                    d0 + i64::from(round),
+                    1,
+                );
+            }
+            store.flush().unwrap();
+        }
+        assert!(store.segment_count() > store.shard_count());
+        let want = store.all_aggregates();
+        let got = stream_snapshot_aggregates(&tmp.0, 4).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_store_streams_empty() {
+        let tmp = TempDir::new("empty");
+        let store = DiskStore::create(&tmp.0, StoreConfig::default()).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        assert!(stream_snapshot_aggregates(&tmp.0, 4).unwrap().is_empty());
+    }
+}

@@ -265,8 +265,21 @@ fn read_block(bytes: &[u8], offset: usize, want_tag: u8) -> Result<&[u8], StoreE
     Ok(payload)
 }
 
-/// Decode a segment from raw file bytes.
-pub fn decode_segment(bytes: &[u8]) -> Result<SegmentData, StoreError> {
+/// A segment's dictionaries and row-block framing, parsed without
+/// materializing any rows — the shared front half of the materializing
+/// decoder and the streaming aggregate scanner.
+pub(crate) struct SegmentDicts {
+    pub fqdns: Vec<Fqdn>,
+    pub rdatas: Vec<Rdata>,
+    pub min_day: DayStamp,
+    pub max_day: DayStamp,
+    pub n_rows: usize,
+}
+
+/// Verify magic/CRCs, decode the dictionaries, and return a [`Reader`]
+/// positioned at the first row varint (the row count has been read and
+/// checked against the footer).
+pub(crate) fn parse_segment(bytes: &[u8]) -> Result<(SegmentDicts, Reader<'_>), StoreError> {
     if bytes.len() < SEG_MAGIC.len() + TAIL_LEN {
         return Err(corrupt("segment shorter than header + tail"));
     }
@@ -347,55 +360,81 @@ pub fn decode_segment(bytes: &[u8]) -> Result<SegmentData, StoreError> {
         });
     }
 
-    // Rows.
+    // Rows block framing; rows themselves are decoded by the caller.
     let rows_blk = read_block(bytes, rows_offset, TAG_ROWS)?;
     let mut r = Reader::new(rows_blk);
     let row_cnt = r.read_len(MAX_ITEMS)?;
     if row_cnt != n_rows {
         return Err(corrupt("row count disagrees with footer"));
     }
-    let mut rows = Vec::with_capacity(row_cnt);
-    let mut fqdn = 0u64;
-    for _ in 0..row_cnt {
-        fqdn += r.uvarint()?;
-        let day_off = r.uvarint()?;
-        let rdata = r.uvarint()?;
-        let cnt = r.uvarint()?;
-        if fqdn >= fqdn_cnt as u64 {
-            return Err(corrupt("row fqdn index out of range"));
-        }
-        if rdata >= rdata_cnt as u64 {
-            return Err(corrupt("row rdata index out of range"));
-        }
-        let pdate = DayStamp(
-            min_day
-                .0
-                .checked_add(day_off as i64)
-                .ok_or_else(|| corrupt("day offset overflow"))?,
-        );
-        if pdate > max_day {
-            return Err(corrupt("row day outside footer range"));
-        }
-        if cnt == 0 {
-            return Err(corrupt("zero-count row"));
-        }
-        rows.push(SegRow {
-            fqdn: fqdn as u32,
-            pdate,
-            rdata: rdata as u32,
-            cnt,
-        });
+    Ok((
+        SegmentDicts {
+            fqdns,
+            rdatas,
+            min_day,
+            max_day,
+            n_rows,
+        },
+        r,
+    ))
+}
+
+/// Decode the next row from the rows block. Delta state lives in
+/// `prev_fqdn`, which the caller threads through consecutive calls
+/// (starting at 0).
+pub(crate) fn next_row(
+    r: &mut Reader<'_>,
+    dicts: &SegmentDicts,
+    prev_fqdn: &mut u64,
+) -> Result<SegRow, StoreError> {
+    *prev_fqdn += r.uvarint()?;
+    let day_off = r.uvarint()?;
+    let rdata = r.uvarint()?;
+    let cnt = r.uvarint()?;
+    if *prev_fqdn >= dicts.fqdns.len() as u64 {
+        return Err(corrupt("row fqdn index out of range"));
+    }
+    if rdata >= dicts.rdatas.len() as u64 {
+        return Err(corrupt("row rdata index out of range"));
+    }
+    let pdate = DayStamp(
+        dicts
+            .min_day
+            .0
+            .checked_add(day_off as i64)
+            .ok_or_else(|| corrupt("day offset overflow"))?,
+    );
+    if pdate > dicts.max_day {
+        return Err(corrupt("row day outside footer range"));
+    }
+    if cnt == 0 {
+        return Err(corrupt("zero-count row"));
+    }
+    Ok(SegRow {
+        fqdn: *prev_fqdn as u32,
+        pdate,
+        rdata: rdata as u32,
+        cnt,
+    })
+}
+
+/// Decode a segment from raw file bytes.
+pub fn decode_segment(bytes: &[u8]) -> Result<SegmentData, StoreError> {
+    let (dicts, mut r) = parse_segment(bytes)?;
+    let mut rows = Vec::with_capacity(dicts.n_rows);
+    let mut prev_fqdn = 0u64;
+    for _ in 0..dicts.n_rows {
+        rows.push(next_row(&mut r, &dicts, &mut prev_fqdn)?);
     }
     if !r.is_empty() {
         return Err(corrupt("trailing bytes in rows block"));
     }
-
     Ok(SegmentData {
-        fqdns,
-        rdatas,
+        fqdns: dicts.fqdns,
+        rdatas: dicts.rdatas,
         rows,
-        min_day,
-        max_day,
+        min_day: dicts.min_day,
+        max_day: dicts.max_day,
     })
 }
 

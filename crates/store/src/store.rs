@@ -277,35 +277,7 @@ impl DiskStore {
 
     fn open_inner(dir: &Path, read_only: bool) -> Result<DiskStore, StoreError> {
         let _span = fw_obs::span("store/open");
-        let superblock = std::fs::read(dir.join(SUPERBLOCK))?;
-        if superblock.len() != 24 || &superblock[..8] != SUPER_MAGIC {
-            return Err(StoreError::Corrupt(format!(
-                "{}: bad superblock",
-                dir.display()
-            )));
-        }
-        let crc = u32::from_le_bytes(superblock[20..24].try_into().expect("4 bytes"));
-        if crate::crc32(&superblock[..20]) != crc {
-            return Err(StoreError::Corrupt(format!(
-                "{}: superblock CRC mismatch",
-                dir.display()
-            )));
-        }
-        let version = u32::from_le_bytes(superblock[8..12].try_into().expect("4 bytes"));
-        if version != SUPER_VERSION {
-            return Err(StoreError::Version {
-                found: u64::from(version),
-                expected: u64::from(SUPER_VERSION),
-            });
-        }
-        let shard_count =
-            u32::from_le_bytes(superblock[12..16].try_into().expect("4 bytes")) as usize;
-        if !(1..=4096).contains(&shard_count) {
-            return Err(StoreError::Corrupt(format!(
-                "{}: implausible shard count {shard_count}",
-                dir.display()
-            )));
-        }
+        let shard_count = read_superblock(dir)?;
 
         // Shards are independent on disk, so replay them concurrently —
         // on a multi-core host this takes open from O(total rows) to
@@ -336,17 +308,7 @@ impl DiskStore {
     /// Replay one shard directory's segments into an in-memory table.
     fn load_shard(dir: &Path, i: usize) -> Result<Shard, StoreError> {
         let shard_dir = dir.join(format!("shard-{i:03}"));
-        let mut seg_paths: Vec<PathBuf> = Vec::new();
-        if shard_dir.is_dir() {
-            for entry in std::fs::read_dir(&shard_dir)? {
-                let path = entry?.path();
-                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                if name.starts_with("seg-") && name.ends_with(".fws") {
-                    seg_paths.push(path);
-                }
-            }
-        }
-        seg_paths.sort();
+        let seg_paths = shard_segment_paths(dir, i)?;
         let next_seg = seg_paths
             .iter()
             .filter_map(|p| {
@@ -445,11 +407,7 @@ impl DiskStore {
     fn shard_of(&self, fqdn: &Fqdn) -> MutexGuard<'_, Shard> {
         // FNV-1a, stable across processes (unlike SipHash with a random
         // key) so a reopened store shards identically.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in fqdn.as_str().as_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        let h = fw_types::fnv::fnv1a(fqdn.as_str().as_bytes());
         self.shards[(h % self.shards.len() as u64) as usize].lock()
     }
 
@@ -463,7 +421,7 @@ impl DiskStore {
             !self.read_only,
             "observe_count on a read-only snapshot store"
         );
-        fw_obs::counter_inc!("fw.store.rows_ingested");
+        fw_obs::counter_inc!("fw.store.ingest.rows");
         let mut shard = self.shard_of(fqdn);
         shard.observe(fqdn, rdata, day, count);
         if self.flush_rows > 0 && shard.pending >= self.flush_rows {
@@ -503,30 +461,121 @@ impl DiskStore {
     fn aggregate_inner(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
         let shard = self.shard_of(fqdn);
         let entry = shard.table.get(fqdn)?;
-        let mut first = i64::MAX;
-        let mut last = i64::MIN;
-        let mut total = 0u64;
-        let mut dist: Vec<u64> = vec![0; entry.rdatas.len()];
-        let mut days: Vec<i64> = Vec::with_capacity(entry.rows.len());
-        for row in &entry.rows {
-            first = first.min(row.pdate);
-            last = last.max(row.pdate);
-            total += row.cnt;
-            dist[row.rdata as usize] += row.cnt;
-            days.push(row.pdate);
+        Some(aggregate_entry(fqdn, entry))
+    }
+
+    /// Re-ingest every row of `src` on up to `workers` producer threads.
+    /// Producers partition `src`'s fqdns round-robin over a sorted list
+    /// (same scheme as `par_map_indexed`), so each fqdn's rows are
+    /// written by exactly one producer in `records_for` order — the
+    /// merged table contents are identical at any worker count; only
+    /// segment *boundaries* (auto-flush timing) may differ, and those
+    /// are erased by `compact`.
+    pub fn ingest_parallel<B: PdnsBackend + ?Sized>(&self, src: &B, workers: usize) {
+        let _span = fw_obs::span("store/ingest");
+        let fqdns = src.sorted_fqdns();
+        let workers = workers.clamp(1, fqdns.len().max(1));
+        fw_obs::counter_add!("fw.store.ingest.producers", workers as u64);
+        if workers == 1 {
+            src.for_each_row(&mut |fqdn, _rtype, rdata, pdate, cnt| {
+                self.observe_count(fqdn, rdata, pdate, cnt);
+            });
+            return;
         }
-        days.sort_unstable();
-        days.dedup();
-        let mut rdata_dist: Vec<(Rdata, u64)> = entry.rdatas.iter().cloned().zip(dist).collect();
-        rdata_dist.sort_by(|a, b| a.0.cmp(&b.0));
-        Some(FqdnAggregate {
-            fqdn: fqdn.clone(),
-            first_seen_all: DayStamp(first),
-            last_seen_all: DayStamp(last),
-            days_count: days.len() as u32,
-            total_request_cnt: total,
-            rdata_dist,
-        })
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let fqdns = &fqdns;
+                scope.spawn(move || {
+                    for fqdn in fqdns.iter().skip(w).step_by(workers) {
+                        src.for_each_record_of(fqdn, &mut |_rtype, rdata, pdate, cnt| {
+                            self.observe_count(fqdn, rdata, pdate, cnt);
+                        });
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Read and verify a store directory's superblock; returns the shard
+/// count. Shared by `DiskStore::open` and the streaming snapshot scan,
+/// which reads segments without building shard tables.
+pub(crate) fn read_superblock(dir: &Path) -> Result<usize, StoreError> {
+    let superblock = std::fs::read(dir.join(SUPERBLOCK))?;
+    if superblock.len() != 24 || &superblock[..8] != SUPER_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad superblock",
+            dir.display()
+        )));
+    }
+    let crc = u32::from_le_bytes(superblock[20..24].try_into().expect("4 bytes"));
+    if crate::crc32(&superblock[..20]) != crc {
+        return Err(StoreError::Corrupt(format!(
+            "{}: superblock CRC mismatch",
+            dir.display()
+        )));
+    }
+    let version = u32::from_le_bytes(superblock[8..12].try_into().expect("4 bytes"));
+    if version != SUPER_VERSION {
+        return Err(StoreError::Version {
+            found: u64::from(version),
+            expected: u64::from(SUPER_VERSION),
+        });
+    }
+    let shard_count = u32::from_le_bytes(superblock[12..16].try_into().expect("4 bytes")) as usize;
+    if !(1..=4096).contains(&shard_count) {
+        return Err(StoreError::Corrupt(format!(
+            "{}: implausible shard count {shard_count}",
+            dir.display()
+        )));
+    }
+    Ok(shard_count)
+}
+
+/// List one shard directory's segment files in replay order. Shared by
+/// `DiskStore::load_shard` and the streaming snapshot scan.
+pub(crate) fn shard_segment_paths(dir: &Path, shard: usize) -> Result<Vec<PathBuf>, StoreError> {
+    let shard_dir = dir.join(format!("shard-{shard:03}"));
+    let mut seg_paths: Vec<PathBuf> = Vec::new();
+    if shard_dir.is_dir() {
+        for entry in std::fs::read_dir(&shard_dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".fws") {
+                seg_paths.push(path);
+            }
+        }
+    }
+    seg_paths.sort();
+    Ok(seg_paths)
+}
+
+/// Aggregate one in-memory entry (shared by the point lookup and the
+/// per-shard parallel sweep).
+fn aggregate_entry(fqdn: &Fqdn, entry: &Entry) -> FqdnAggregate {
+    let mut first = i64::MAX;
+    let mut last = i64::MIN;
+    let mut total = 0u64;
+    let mut dist: Vec<u64> = vec![0; entry.rdatas.len()];
+    let mut days: Vec<i64> = Vec::with_capacity(entry.rows.len());
+    for row in &entry.rows {
+        first = first.min(row.pdate);
+        last = last.max(row.pdate);
+        total += row.cnt;
+        dist[row.rdata as usize] += row.cnt;
+        days.push(row.pdate);
+    }
+    days.sort_unstable();
+    days.dedup();
+    let mut rdata_dist: Vec<(Rdata, u64)> = entry.rdatas.iter().cloned().zip(dist).collect();
+    rdata_dist.sort_by(|a, b| a.0.cmp(&b.0));
+    FqdnAggregate {
+        fqdn: fqdn.clone(),
+        first_seen_all: DayStamp(first),
+        last_seen_all: DayStamp(last),
+        days_count: days.len() as u32,
+        total_request_cnt: total,
+        rdata_dist,
     }
 }
 
@@ -569,6 +618,62 @@ impl PdnsBackend for DiskStore {
 
     fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
         self.aggregate_inner(fqdn)
+    }
+
+    fn for_each_record_of(
+        &self,
+        fqdn: &Fqdn,
+        f: &mut dyn FnMut(RecordType, &Rdata, DayStamp, u64),
+    ) {
+        let shard = self.shard_of(fqdn);
+        let Some(entry) = shard.table.get(fqdn) else {
+            return;
+        };
+        // Canonical `(pdate, rdata text)` order, matching
+        // `PdnsStore::records_for`; texts render once per distinct rdata.
+        let texts: Vec<String> = entry.rdatas.iter().map(|r| r.text()).collect();
+        let mut order: Vec<&Row> = entry.rows.iter().collect();
+        order.sort_by(|a, b| {
+            (a.pdate, texts[a.rdata as usize].as_str())
+                .cmp(&(b.pdate, texts[b.rdata as usize].as_str()))
+        });
+        for row in order {
+            let rdata = &entry.rdatas[row.rdata as usize];
+            f(rdata.rtype(), rdata, DayStamp(row.pdate), row.cnt);
+        }
+    }
+
+    /// Shard-parallel override: each worker sweeps whole shards under
+    /// one lock acquisition instead of re-hashing every fqdn through
+    /// `aggregate`. The final sort by fqdn makes the output identical to
+    /// the provided implementation at any worker count.
+    fn par_aggregates(&self, workers: usize) -> Vec<FqdnAggregate> {
+        let workers = workers.clamp(1, self.shards.len());
+        let mut out: Vec<FqdnAggregate> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut part = Vec::new();
+                        for shard in self.shards.iter().skip(w).step_by(workers) {
+                            let shard = shard.lock();
+                            part.extend(
+                                shard
+                                    .table
+                                    .iter()
+                                    .map(|(fqdn, entry)| aggregate_entry(fqdn, entry)),
+                            );
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("aggregate workers do not panic"))
+                .collect()
+        });
+        out.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        out
     }
 }
 

@@ -12,6 +12,7 @@
 pub mod day;
 pub mod domain;
 pub mod error;
+pub mod fnv;
 pub mod memmem;
 pub mod provider;
 pub mod record;

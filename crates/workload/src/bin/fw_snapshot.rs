@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fw_snapshot --snapshot-out <dir> [--scale <f64>] [--seed <u64>]
-//!             [--shards <n>] [--live] [--metrics]
+//!             [--shards <n>] [--gen-workers <n>] [--ingest-workers <n>]
+//!             [--live] [--metrics]
 //! ```
 //!
 //! The snapshot can then be reopened read-only by any fw-bench figure
@@ -29,6 +30,8 @@ fn main() {
     let mut scale = 0.1f64;
     let mut seed = 42u64;
     let mut shards = 16usize;
+    let mut gen_workers = 0usize;
+    let mut ingest_workers = 0usize;
     let mut live = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -57,11 +60,23 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--shards needs an integer"));
             }
+            "--gen-workers" => {
+                gen_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--gen-workers needs an integer"));
+            }
+            "--ingest-workers" => {
+                ingest_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ingest-workers needs an integer"));
+            }
             "--live" => live = true,
             "--metrics" => fw_obs::set_enabled(true),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: fw_snapshot --snapshot-out <dir> [--scale <f64>] [--seed <u64>] [--shards <n>] [--live] [--metrics]"
+                    "usage: fw_snapshot --snapshot-out <dir> [--scale <f64>] [--seed <u64>] [--shards <n>] [--gen-workers <n>] [--ingest-workers <n>] [--live] [--metrics]"
                 );
                 std::process::exit(0);
             }
@@ -73,11 +88,13 @@ fn main() {
     let flavor = if live { "live" } else { "PDNS only" };
     eprintln!("generating world: scale {scale} seed {seed} ({flavor})...");
     let gen_start = Instant::now();
-    let world = World::generate(if live {
+    let mut config = if live {
         WorldConfig::live(seed, scale)
     } else {
         WorldConfig::usage(seed, scale)
-    });
+    };
+    config.gen_workers = gen_workers;
+    let world = World::generate(config);
     let gen_elapsed = gen_start.elapsed();
     eprintln!(
         "world ready in {:.2?}: {} pdns rows; writing snapshot to {}...",
@@ -87,7 +104,12 @@ fn main() {
     );
 
     let save_start = Instant::now();
-    match world.save_snapshot(&out, shards) {
+    let ingest_workers = if ingest_workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        ingest_workers
+    };
+    match world.save_snapshot_parallel(&out, shards, ingest_workers) {
         Ok(stats) => {
             println!(
                 "snapshot: {} fqdns, {} rows, {} shards, seed {}, scale {}",

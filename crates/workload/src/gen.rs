@@ -18,6 +18,7 @@
 
 use crate::calib;
 use fw_abuse::c2::relay_template;
+use fw_analysis::par::{default_workers, par_map_indexed};
 use fw_cloud::behavior::{Behavior, LeakItem};
 use fw_cloud::formats::format_for;
 use fw_cloud::platform::{CloudPlatform, DeploySpec, PlatformConfig};
@@ -34,6 +35,14 @@ use std::sync::Arc;
 
 /// Abuse ground truth reuses the platform's behaviour labels.
 pub use fw_cloud::behavior::AbuseCase;
+
+/// Fixed partition width for parallel generation. The function space is
+/// always split into this many shards regardless of how many worker
+/// threads run them, so the sampled world depends only on the seed —
+/// `gen_workers` merely schedules shards and can never change a byte of
+/// output. 32 divides evenly across typical core counts and keeps the
+/// per-shard population large enough to amortize the merge.
+const GEN_SHARDS: usize = 32;
 
 /// What a benign function is planted to do (drives Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +115,10 @@ pub struct WorldConfig {
     /// virtual time (the bench binaries' `--wall-clock` escape hatch;
     /// probe outcomes then race real timeouts and may wobble).
     pub wall_clock: bool,
+    /// Worker threads for generation (0 = one per available core).
+    /// Output is byte-identical at every worker count — see
+    /// [`GEN_SHARDS`].
+    pub gen_workers: usize,
     pub platform: PlatformConfig,
 }
 
@@ -116,6 +129,7 @@ impl Default for WorldConfig {
             scale: 0.1,
             deploy_live: true,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         }
     }
@@ -132,6 +146,7 @@ impl WorldConfig {
             scale,
             deploy_live: false,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         }
     }
@@ -145,6 +160,7 @@ impl WorldConfig {
             scale,
             deploy_live: true,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig {
                 hang_ms: 900,
                 ..PlatformConfig::default()
@@ -173,8 +189,10 @@ pub struct World {
 }
 
 impl World {
-    /// Generate a world. Deterministic for a given config.
+    /// Generate a world. Deterministic for a given config; the
+    /// `gen_workers` field only changes wall time, never output.
     pub fn generate(config: WorldConfig) -> World {
+        let _span = fw_obs::span("gen/world");
         let net = if config.wall_clock {
             SimNet::new_wall(config.seed)
         } else {
@@ -189,18 +207,74 @@ impl World {
                 ..config.platform.clone()
             },
         );
+        // Provider zones/listeners registered up front in catalogue
+        // order, so resolver state doesn't depend on which worker's
+        // deploy gets there first.
+        if config.deploy_live {
+            for c in &calib::PROVIDERS {
+                if c.provider.function_identifiable() {
+                    platform.warm_provider(c.provider);
+                }
+            }
+        }
+
+        let pools = build_pools(&config);
+        let plan = AbusePlan::build(&config);
+        let workers = match config.gen_workers {
+            0 => default_workers(),
+            w => w,
+        }
+        .clamp(1, GEN_SHARDS);
+        fw_obs::counter_add!("fw.gen.workers", workers as u64);
+
+        // Every shard generates its own deterministic slice of each
+        // provider's population into a private store, then the slices
+        // merge in shard order.
+        let shards: Vec<usize> = (0..GEN_SHARDS).collect();
+        let parts: Vec<(PdnsStore, Vec<WorldFunction>)> =
+            par_map_indexed(&shards, workers, |_, shard| {
+                let mut gen = Generator {
+                    rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(
+                        config.seed,
+                        *shard as u64,
+                    )),
+                    pdns: PdnsStore::new(),
+                    functions: Vec::new(),
+                    platform: &platform,
+                    config: &config,
+                    pools: &pools,
+                };
+                for (p_idx, c) in calib::PROVIDERS.iter().enumerate() {
+                    gen.generate_provider_shard(c, p_idx, &plan, *shard);
+                }
+                (gen.pdns, gen.functions)
+            });
+
+        let mut pdns = PdnsStore::new();
+        let mut functions = Vec::new();
+        for (part_pdns, part_functions) in parts {
+            pdns.absorb(part_pdns);
+            functions.extend(part_functions);
+        }
+
+        // The request-total top-up runs serially over the merged world;
+        // its RNG stream is its own, so it sees the same state whatever
+        // the worker count was.
         let (pdns, functions) = {
             let mut gen = Generator {
-                rng: SmallRng::seed_from_u64(config.seed),
-                pdns: PdnsStore::new(),
-                functions: Vec::new(),
+                rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(config.seed, 0xF1AA_707A1)),
+                pdns,
+                functions,
                 platform: &platform,
                 config: &config,
-                pools: Vec::new(),
+                pools: &pools,
             };
-            gen.run();
+            gen.match_provider_totals();
             (gen.pdns, gen.functions)
         };
+        fw_obs::counter_add!("fw.gen.shards", GEN_SHARDS as u64);
+        fw_obs::counter_add!("fw.gen.functions", functions.len() as u64);
+        fw_obs::counter_add!("fw.gen.pdns_rows", pdns.record_count() as u64);
         World {
             net,
             resolver,
@@ -242,63 +316,57 @@ struct Generator<'a> {
     functions: Vec<WorldFunction>,
     platform: &'a CloudPlatform,
     config: &'a WorldConfig,
-    /// (provider, rtype-slot 0=A,1=CNAME,2=AAAA) → pool.
-    pools: Vec<RdataPool>,
+    /// (provider, rtype-slot 0=A,1=CNAME,2=AAAA) → pool. Shared
+    /// read-only across generation shards.
+    pools: &'a [RdataPool],
+}
+
+// ---- rdata pools (Table 2 rdata_cnt + Top10 concentration) ----
+
+fn build_pools(config: &WorldConfig) -> Vec<RdataPool> {
+    let mut pools = Vec::new();
+    for (p_idx, c) in calib::PROVIDERS.iter().enumerate() {
+        let (a_pool, cname_pool, v6_pool) = c.rdata_pool;
+        let theta = zipf_theta(c.provider);
+        for (slot, full) in [(0u8, a_pool), (1, cname_pool), (2, v6_pool)] {
+            if full == 0 {
+                continue;
+            }
+            let n = scaled_pool(full, config.scale);
+            let values: Vec<Rdata> = (0..n)
+                .map(|k| match slot {
+                    0 => Rdata::V4(pool_v4(p_idx as u8, k)),
+                    2 => Rdata::V6(
+                        format!("2001:db8:{}:ffff::{:x}", p_idx, k + 1)
+                            .parse()
+                            .expect("valid v6"),
+                    ),
+                    _ => {
+                        let region =
+                            spec(c.provider).regions[k as usize % spec(c.provider).regions.len()];
+                        let host = format!("{region}-lb{k}.{}", cname_suffix(c.provider));
+                        Rdata::Name(Fqdn::parse(&host).expect("valid cname"))
+                    }
+                })
+                .collect();
+            let mut cumulative = Vec::with_capacity(values.len());
+            let mut acc = 0.0;
+            for rank in 1..=values.len() {
+                acc += 1.0 / (rank as f64).powf(theta);
+                cumulative.push(acc);
+            }
+            pools.push(RdataPool {
+                provider: c.provider,
+                is_v6: slot == 2,
+                values,
+                cumulative,
+            });
+        }
+    }
+    pools
 }
 
 impl<'a> Generator<'a> {
-    fn run(&mut self) {
-        self.build_pools();
-        let plan = AbusePlan::build(self.config);
-        for c in &calib::PROVIDERS {
-            self.generate_provider(c, &plan);
-        }
-        self.match_provider_totals();
-    }
-
-    // ---- rdata pools (Table 2 rdata_cnt + Top10 concentration) ----
-
-    fn build_pools(&mut self) {
-        for (p_idx, c) in calib::PROVIDERS.iter().enumerate() {
-            let (a_pool, cname_pool, v6_pool) = c.rdata_pool;
-            let theta = zipf_theta(c.provider);
-            for (slot, full) in [(0u8, a_pool), (1, cname_pool), (2, v6_pool)] {
-                if full == 0 {
-                    continue;
-                }
-                let n = scaled_pool(full, self.config.scale);
-                let values: Vec<Rdata> = (0..n)
-                    .map(|k| match slot {
-                        0 => Rdata::V4(pool_v4(p_idx as u8, k)),
-                        2 => Rdata::V6(
-                            format!("2001:db8:{}:ffff::{:x}", p_idx, k + 1)
-                                .parse()
-                                .expect("valid v6"),
-                        ),
-                        _ => {
-                            let region = spec(c.provider).regions
-                                [k as usize % spec(c.provider).regions.len()];
-                            let host = format!("{region}-lb{k}.{}", cname_suffix(c.provider));
-                            Rdata::Name(Fqdn::parse(&host).expect("valid cname"))
-                        }
-                    })
-                    .collect();
-                let mut cumulative = Vec::with_capacity(values.len());
-                let mut acc = 0.0;
-                for rank in 1..=values.len() {
-                    acc += 1.0 / (rank as f64).powf(theta);
-                    cumulative.push(acc);
-                }
-                self.pools.push(RdataPool {
-                    provider: c.provider,
-                    is_v6: slot == 2,
-                    values,
-                    cumulative,
-                });
-            }
-        }
-    }
-
     fn pool_position(&self, provider: ProviderId, slot: u8) -> Option<usize> {
         self.pools.iter().position(|p| {
             p.provider == provider
@@ -312,34 +380,56 @@ impl<'a> Generator<'a> {
 
     // ---- population ----
 
-    fn generate_provider(&mut self, c: &calib::ProviderCalib, plan: &AbusePlan) {
-        let n = self.config.scaled(c.domains);
+    /// Generate one shard's slice of a provider's population: global
+    /// function indices `[n·s/32, n·(s+1)/32)`. Planted abuse and leak
+    /// functions occupy the low indices (in plan order), benign fills
+    /// the rest; which shard owns an index never depends on the worker
+    /// count, and all sampling for the slice comes from this shard's
+    /// own RNG stream.
+    fn generate_provider_shard(
+        &mut self,
+        c: &calib::ProviderCalib,
+        p_idx: usize,
+        plan: &AbusePlan,
+        shard: usize,
+    ) {
         let probed = c.provider.function_identifiable();
 
         // Carve out planted functions for this provider.
-        let abuse: Vec<PlannedAbuse> = plan
+        let abuse: Vec<&PlannedAbuse> = plan
             .entries
             .iter()
             .filter(|e| e.provider == c.provider)
-            .cloned()
             .collect();
-        let leaks: Vec<Vec<LeakItem>> = if c.provider == plan.leak_provider {
-            plan.leaks.clone()
+        let leaks: &[Vec<LeakItem>] = if c.provider == plan.leak_provider {
+            &plan.leaks
         } else {
-            Vec::new()
+            &[]
         };
-        let planted = (abuse.len() + leaks.len()) as u64;
-        let benign_n = n.saturating_sub(planted);
+        let planted = abuse.len() + leaks.len();
+        // Planted functions are never dropped, even if the scaled
+        // population is smaller than the plan.
+        let n = (self.config.scaled(c.domains) as usize).max(planted);
 
-        for entry in abuse {
-            self.generate_function(c, FunctionPlan::Abuse(entry), probed);
-        }
-        for items in leaks {
-            self.generate_function(c, FunctionPlan::Leak(items), probed);
-        }
-        for _ in 0..benign_n {
-            let class = self.sample_benign_class(c.provider);
-            self.generate_function(c, FunctionPlan::Benign(class), probed);
+        let lo = n * shard / GEN_SHARDS;
+        let hi = n * (shard + 1) / GEN_SHARDS;
+
+        for i in lo..hi {
+            let fplan = if i < abuse.len() {
+                FunctionPlan::Abuse(abuse[i].clone())
+            } else if i < planted {
+                FunctionPlan::Leak(leaks[i - abuse.len()].clone())
+            } else {
+                FunctionPlan::Benign(self.sample_benign_class(c.provider))
+            };
+            // Deployment entropy is a pure function of (seed, provider,
+            // index): the platform's minted domain can't drift with
+            // deployment interleaving across workers.
+            let entropy = fw_types::fnv::fold(
+                fw_types::fnv::stream_seed(self.config.seed, 0xDE_9107),
+                ((p_idx as u64) << 32) | i as u64,
+            );
+            self.generate_function(c, fplan, probed, entropy);
         }
     }
 
@@ -431,7 +521,13 @@ impl<'a> Generator<'a> {
         BenignClass::Gated404
     }
 
-    fn generate_function(&mut self, c: &calib::ProviderCalib, plan: FunctionPlan, probed: bool) {
+    fn generate_function(
+        &mut self,
+        c: &calib::ProviderCalib,
+        plan: FunctionPlan,
+        probed: bool,
+        entropy: u64,
+    ) {
         let provider = c.provider;
         // Region: abuse geo-proxies must sit outside China.
         let region = self.pick_region(provider, &plan);
@@ -445,7 +541,9 @@ impl<'a> Generator<'a> {
         // Live deployment (probed providers only).
         let (fqdn, deployed) = if probed && self.config.deploy_live {
             let behavior = self.behavior_for(&plan, provider);
-            let mut dspec = DeploySpec::new(provider, behavior).in_region(&region);
+            let mut dspec = DeploySpec::new(provider, behavior)
+                .in_region(&region)
+                .with_entropy(entropy);
             if matches!(plan.benign_class(), Some(BenignClass::Auth401)) {
                 dspec = dspec.with_auth();
             }
@@ -1334,6 +1432,7 @@ mod tests {
             scale: 0.002,
             deploy_live: true,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         })
     }
@@ -1482,6 +1581,7 @@ mod tests {
             scale: 0.01,
             deploy_live: false,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         });
         let benign: Vec<&WorldFunction> = w
@@ -1507,6 +1607,7 @@ mod tests {
             scale: 0.01,
             deploy_live: false,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         });
         for c in &calib::PROVIDERS {

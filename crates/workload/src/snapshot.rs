@@ -29,6 +29,29 @@ pub struct SnapshotMeta {
     /// or PDNS-only (`WorldConfig::usage`); the two flavors mint
     /// different fqdn populations at the same seed.
     pub live: bool,
+    /// Commutative content hash of the saved rows (see
+    /// [`pdns_content_hash`]); `0` for manifests written before the
+    /// field existed. Lets replay consumers check a snapshot matches
+    /// its source world without reading every segment.
+    pub rows_fnv: u64,
+}
+
+/// Order- and merge-insensitive content hash of a PDNS backend: each
+/// `(fqdn, rtype, rdata, pdate)` key hashes to an FNV value which is
+/// weighted by its count and summed with wrapping addition. Splitting a
+/// count across rows (as uncompacted segments do) or visiting rows in a
+/// different order cannot change the result, so the in-memory store and
+/// any on-disk copy of it hash identically.
+pub fn pdns_content_hash<B: PdnsBackend + ?Sized>(pdns: &B) -> u64 {
+    let mut h = 0u64;
+    pdns.for_each_row(&mut |fqdn, rtype, rdata, pdate, cnt| {
+        let mut k = fw_types::fnv::fnv1a(fqdn.as_str().as_bytes());
+        k = fw_types::fnv::fold(k, rtype as u64);
+        k = fw_types::fnv::update(k, rdata.text().as_bytes());
+        k = fw_types::fnv::fold(k, pdate.0 as u64);
+        h = h.wrapping_add(k.wrapping_mul(cnt));
+    });
+    h
 }
 
 /// File name of the manifest inside a snapshot directory. The store
@@ -39,8 +62,8 @@ pub const META_FILE: &str = "world.meta";
 impl SnapshotMeta {
     pub fn write(&self, dir: &Path) -> std::io::Result<()> {
         let text = format!(
-            "seed={}\nscale={}\nlive={}\n",
-            self.seed, self.scale, self.live
+            "seed={}\nscale={}\nlive={}\nrows_fnv={:016x}\n",
+            self.seed, self.scale, self.live, self.rows_fnv
         );
         std::fs::write(dir.join(META_FILE), text)
     }
@@ -49,12 +72,13 @@ impl SnapshotMeta {
     /// written by hand via [`save_pdns`] have no manifest).
     pub fn read(dir: &Path) -> Option<SnapshotMeta> {
         let text = std::fs::read_to_string(dir.join(META_FILE)).ok()?;
-        let (mut seed, mut scale, mut live) = (None, None, None);
+        let (mut seed, mut scale, mut live, mut rows_fnv) = (None, None, None, None);
         for line in text.lines() {
             match line.split_once('=')? {
                 ("seed", v) => seed = v.parse().ok(),
                 ("scale", v) => scale = v.parse().ok(),
                 ("live", v) => live = v.parse().ok(),
+                ("rows_fnv", v) => rows_fnv = u64::from_str_radix(v, 16).ok(),
                 _ => {}
             }
         }
@@ -62,6 +86,7 @@ impl SnapshotMeta {
             seed: seed?,
             scale: scale?,
             live: live?,
+            rows_fnv: rows_fnv.unwrap_or(0),
         })
     }
 }
@@ -74,6 +99,18 @@ pub fn save_pdns<B: PdnsBackend + ?Sized>(
     dir: &Path,
     shards: usize,
 ) -> Result<SnapshotStats, StoreError> {
+    save_pdns_parallel(pdns, dir, shards, 1)
+}
+
+/// [`save_pdns`] with `workers` parallel producers feeding the store
+/// (each owns a disjoint fqdn set, so the compacted result is
+/// byte-identical at every worker count).
+pub fn save_pdns_parallel<B: PdnsBackend + ?Sized>(
+    pdns: &B,
+    dir: &Path,
+    shards: usize,
+    workers: usize,
+) -> Result<SnapshotStats, StoreError> {
     let store = DiskStore::create(
         dir,
         StoreConfig {
@@ -81,9 +118,7 @@ pub fn save_pdns<B: PdnsBackend + ?Sized>(
             ..StoreConfig::default()
         },
     )?;
-    pdns.for_each_row(&mut |fqdn, _rtype, rdata, pdate, cnt| {
-        store.observe_count(fqdn, rdata, pdate, cnt);
-    });
+    store.ingest_parallel(pdns, workers.max(1));
     store.flush()?;
     store.compact()?;
     Ok(SnapshotStats {
@@ -96,11 +131,22 @@ impl World {
     /// Save this world's PDNS store as a reopenable snapshot, with a
     /// [`SnapshotMeta`] manifest recording the source seed/scale.
     pub fn save_snapshot(&self, dir: &Path, shards: usize) -> Result<SnapshotStats, StoreError> {
-        let stats = save_pdns(&self.pdns, dir, shards)?;
+        self.save_snapshot_parallel(dir, shards, 1)
+    }
+
+    /// [`World::save_snapshot`] with parallel ingest producers.
+    pub fn save_snapshot_parallel(
+        &self,
+        dir: &Path,
+        shards: usize,
+        workers: usize,
+    ) -> Result<SnapshotStats, StoreError> {
+        let stats = save_pdns_parallel(&self.pdns, dir, shards, workers)?;
         SnapshotMeta {
             seed: self.config.seed,
             scale: self.config.scale,
             live: self.config.deploy_live,
+            rows_fnv: pdns_content_hash(&self.pdns),
         }
         .write(dir)?;
         Ok(stats)
@@ -176,9 +222,15 @@ mod tests {
             SnapshotMeta {
                 seed: 7,
                 scale: 0.002,
-                live: false
+                live: false,
+                rows_fnv: pdns_content_hash(&world.pdns),
             }
         );
+        assert_ne!(meta.rows_fnv, 0);
+        // The on-disk copy hashes identically despite different row
+        // merge boundaries.
+        let disk = DiskStore::open_read_only(&dir.0).unwrap();
+        assert_eq!(pdns_content_hash(&disk), meta.rows_fnv);
         // A bare save_pdns snapshot has no manifest.
         let dir2 = TempDir::new();
         save_pdns(&world.pdns, &dir2.0, 4).unwrap();

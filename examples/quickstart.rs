@@ -21,6 +21,7 @@ fn main() {
         scale: 0.01,
         deploy_live: true,
         wall_clock: false,
+        gen_workers: 0,
         platform: PlatformConfig {
             hang_ms: 500,
             ..PlatformConfig::default()

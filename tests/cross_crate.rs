@@ -300,6 +300,7 @@ fn pipeline_stable_across_seeds() {
             scale: 0.001,
             deploy_live: false,
             wall_clock: false,
+            gen_workers: 0,
             platform: PlatformConfig::default(),
         });
         let report = Pipeline::run_usage(&w.pdns);
