@@ -21,6 +21,6 @@ pub mod text;
 
 pub use cluster::{cluster_corpus, cluster_corpus_par, ClusterParams, Clustering};
 pub use content::ContentType;
-pub use par::par_map_indexed;
+pub use par::{par_map_indexed, par_map_named};
 pub use stats::{cdf_points, log10_histogram, top_k_share};
 pub use text::{cosine_distance, SparseVec, TfIdf};

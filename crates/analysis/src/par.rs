@@ -40,18 +40,48 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_named(items, workers, "", f)
+}
+
+/// [`par_map_indexed`] with a trace label: when event tracing is on,
+/// each worker's whole slice runs under a `label[w]` trace span linked
+/// child-of the calling thread's current span, so the fork shows up as
+/// one connected tree in the Chrome trace and the critical-path walk
+/// can attribute stall time to the slowest worker. An empty label (or
+/// tracing off) adds nothing to the hot loop.
+pub fn par_map_named<T, R, F>(items: &[T], workers: usize, label: &str, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, items.len());
     if workers == 1 {
+        let _span = if label.is_empty() {
+            fw_obs::TraceSpan::inert()
+        } else {
+            fw_obs::trace_span_arg(label, 0)
+        };
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let f = &f;
+    let fork = if label.is_empty() {
+        0
+    } else {
+        fw_obs::current_trace_span()
+    };
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move |_| {
+                    let _span = if label.is_empty() {
+                        fw_obs::TraceSpan::inert()
+                    } else {
+                        fw_obs::trace_span_child_of(fork, label, w as u64)
+                    };
                     items
                         .iter()
                         .enumerate()

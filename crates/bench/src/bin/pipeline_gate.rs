@@ -6,11 +6,23 @@
 //! pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>]
 //!               [--ingest-workers <n>] [--workers <n>] [--shards <n>]
 //!               [--store <dir>] [--keep-store] [--out <path>] [--metrics]
+//!               [--trace] [--trace-out <path>]
 //! ```
 //!
 //! Defaults: scale 1.0, seed 42, every worker count 0 (one per core),
 //! 16 store shards, a temp store directory (removed on exit unless
 //! `--keep-store`), JSON to `BENCH_pipeline.json`.
+//!
+//! With `--trace` (or `FW_TRACE=1`), the run records causal span events
+//! (DESIGN.md §13), dumps them next to the report as
+//! `<out stem>.trace.jsonl`, and invokes the `fw_trace_report` sibling
+//! binary to derive the Chrome trace, folded flamegraph stacks and the
+//! critical-path attribution from the dump (falling back to writing
+//! them in-process if the binary is not installed alongside).
+//!
+//! The JSON report carries per-stage wall time and peak RSS, per-shard
+//! ingest accounting, and a rolling `history` array (one entry per
+//! run, newest last) that `bench_regress` uses as its baseline series.
 //!
 //! Unlike the figure binaries this runs the *disk* path end to end —
 //! the analyses read the freshly ingested snapshot back through the
@@ -19,9 +31,10 @@
 
 use fw_core::identify::identify_from_aggregates;
 use fw_core::usage::{ingress_table_with, monthly_requests_with};
+use fw_obs::Json;
 use fw_store::{stream_snapshot_aggregates, DiskStore};
 use fw_workload::{save_pdns_parallel, World, WorldConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn die(msg: &str) -> ! {
@@ -45,6 +58,61 @@ fn peak_rss_kb() -> Option<u64> {
 struct Stage {
     name: &'static str,
     ms: f64,
+    /// Process RSS high-water mark at the end of the stage. VmHWM is
+    /// monotonic, so this reads as "the run had peaked at N KiB by the
+    /// time this stage finished", not a per-stage delta.
+    peak_rss_kb: Option<u64>,
+}
+
+/// How many runs the report's `history` array retains (newest last).
+const HISTORY_CAP: usize = 50;
+
+/// Previous runs recorded in an existing report at `out`, rendered as
+/// compact JSON objects ready to splice into the rewritten file.
+fn prior_history(out: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(out) else {
+        return Vec::new();
+    };
+    let Ok(old) = Json::parse(&text) else {
+        eprintln!(
+            "[history] existing {} is not valid JSON; starting a fresh history",
+            out.display()
+        );
+        return Vec::new();
+    };
+    match old.get("history").and_then(Json::as_arr) {
+        Some(entries) => entries.iter().map(Json::render).collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Hand the trace dump to the `fw_trace_report` sibling binary (same
+/// target directory as this gate); if it is missing or fails, derive
+/// the reports in-process instead so `--trace` always yields artifacts.
+fn emit_trace_reports(dump: &fw_obs::TraceDump, trace_path: &Path) {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("fw_trace_report")));
+    if let Some(bin) = sibling {
+        if bin.exists() {
+            match std::process::Command::new(&bin).arg(trace_path).status() {
+                Ok(status) if status.success() => return,
+                Ok(status) => eprintln!("[trace] fw_trace_report exited {status}; falling back"),
+                Err(e) => eprintln!("[trace] cannot spawn {}: {e}; falling back", bin.display()),
+            }
+        }
+    }
+    match fw_obs::write_trace_reports(dump, trace_path) {
+        Ok(paths) => {
+            eprintln!("[trace] chrome trace   -> {}", paths.chrome.display());
+            eprintln!("[trace] folded stacks  -> {}", paths.folded.display());
+            eprintln!("[trace] critical path  -> {}", paths.critpath_txt.display());
+            if let Some(crit) = &paths.crit {
+                eprint!("{}", crit.render_text());
+            }
+        }
+        Err(e) => eprintln!("[trace] cannot write trace reports: {e}"),
+    }
 }
 
 fn main() {
@@ -57,6 +125,7 @@ fn main() {
     let mut store_dir: Option<PathBuf> = None;
     let mut keep_store = false;
     let mut out = PathBuf::from("BENCH_pipeline.json");
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -76,9 +145,16 @@ fn main() {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--metrics" => fw_obs::set_enabled(true),
+            "--trace" => fw_obs::set_trace_enabled(true),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>] [--ingest-workers <n>] [--workers <n>] [--shards <n>] [--store <dir>] [--keep-store] [--out <path>] [--metrics]"
+                    "usage: pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>] [--ingest-workers <n>] [--workers <n>] [--shards <n>] [--store <dir>] [--keep-store] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
                 );
                 std::process::exit(0);
             }
@@ -96,7 +172,7 @@ fn main() {
         std::env::temp_dir().join(format!("fw-pipeline-gate-{}", std::process::id()))
     });
 
-    let _gate = fw_obs::span("gate/pipeline");
+    let gate_span = fw_obs::span("gate/pipeline");
     let mut stages: Vec<Stage> = Vec::new();
     let total_start = Instant::now();
 
@@ -112,6 +188,7 @@ fn main() {
     stages.push(Stage {
         name: "generate",
         ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
     });
     let rows = world.pdns.record_count();
     let fqdns = world.pdns.fqdn_count();
@@ -137,6 +214,7 @@ fn main() {
     stages.push(Stage {
         name: "ingest",
         ms: ingest_ms,
+        peak_rss_kb: peak_rss_kb(),
     });
     eprintln!(
         "[ingest] {ingest_ms:.1} ms: {} rows ({rows_per_sec:.0} rows/s)",
@@ -154,6 +232,7 @@ fn main() {
     stages.push(Stage {
         name: "identify",
         ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
     });
     eprintln!(
         "[identify] {:.1} ms: {} functions identified, {} unmatched",
@@ -175,6 +254,7 @@ fn main() {
     stages.push(Stage {
         name: "usage",
         ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
     });
     eprintln!(
         "[usage] {:.1} ms: {series_len} months, {ingress_rows} ingress rows",
@@ -183,6 +263,45 @@ fn main() {
 
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let rss = peak_rss_kb();
+
+    // Close the root span before draining so its End event is in the
+    // dump (the drain also flushes this thread's buffer).
+    drop(gate_span);
+    let tracing = fw_obs::trace_enabled();
+    let trace_path = trace_out.unwrap_or_else(|| {
+        let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        out.with_file_name(format!("{stem}.trace.jsonl"))
+    });
+    let dump = if tracing {
+        Some(fw_obs::drain_trace())
+    } else {
+        None
+    };
+
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let rss_json = |kb: Option<u64>| kb.map_or("null".to_string(), |kb| kb.to_string());
+
+    // This run's history entry: the per-stage walls and throughput that
+    // bench_regress compares, one compact object per run.
+    let mut entry = format!(
+        "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"seed\": {seed}, \"workers\": {workers}, \"total_ms\": {total_ms:.3}"
+    );
+    for s in &stages {
+        entry.push_str(&format!(", \"{}_ms\": {:.3}", s.name, s.ms));
+    }
+    entry.push_str(&format!(
+        ", \"rows\": {}, \"ingest_rows_per_sec\": {rows_per_sec:.0}, \"peak_rss_kb\": {}}}",
+        stats.rows,
+        rss_json(rss)
+    ));
+    let mut history = prior_history(&out);
+    history.push(entry);
+    if history.len() > HISTORY_CAP {
+        let drop_n = history.len() - HISTORY_CAP;
+        history.drain(..drop_n);
+    }
 
     // Hand-rolled JSON: flat, no escaping needed for the values we emit.
     let mut json = String::from("{\n");
@@ -193,21 +312,41 @@ fn main() {
     for (i, s) in stages.iter().enumerate() {
         let comma = if i + 1 == stages.len() { "" } else { "," };
         json.push_str(&format!(
-            "    \"{}\": {{\"ms\": {:.3}}}{comma}\n",
-            s.name, s.ms
+            "    \"{}\": {{\"ms\": {:.3}, \"peak_rss_kb\": {}}}{comma}\n",
+            s.name,
+            s.ms,
+            rss_json(s.peak_rss_kb)
         ));
     }
     json.push_str("  },\n");
+    json.push_str("  \"ingest_shards\": [\n");
+    for (i, sh) in stats.shards.iter().enumerate() {
+        let comma = if i + 1 == stats.shards.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"shard\": {}, \"fqdns\": {}, \"rows\": {}, \"flushes\": {}, \"flush_ms\": {:.3}, \"bytes_written\": {}, \"segments\": {}}}{comma}\n",
+            sh.shard,
+            sh.fqdns,
+            sh.rows,
+            sh.flushes,
+            sh.flush_ns as f64 / 1e6,
+            sh.bytes_written,
+            sh.segments
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
     json.push_str(&format!("  \"rows\": {},\n", stats.rows));
     json.push_str(&format!("  \"fqdns\": {},\n", stats.fqdns));
     json.push_str(&format!("  \"functions\": {},\n", world.functions.len()));
     json.push_str(&format!("  \"identified\": {},\n", report.functions.len()));
     json.push_str(&format!("  \"ingest_rows_per_sec\": {rows_per_sec:.0},\n"));
-    match rss {
-        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
-        None => json.push_str("  \"peak_rss_kb\": null\n"),
+    json.push_str(&format!("  \"peak_rss_kb\": {},\n", rss_json(rss)));
+    json.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 == history.len() { "" } else { "," };
+        json.push_str(&format!("    {entry}{comma}\n"));
     }
+    json.push_str("  ]\n");
     json.push_str("}\n");
     std::fs::write(&out, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
@@ -216,6 +355,19 @@ fn main() {
         "pipeline gate: scale {scale} seed {seed} total {total_ms:.0} ms (generate {:.0} / ingest {:.0} / identify {:.0} / usage {:.0}); report -> {}",
         stages[0].ms, stages[1].ms, stages[2].ms, stages[3].ms, out.display()
     );
+
+    if let Some(dump) = &dump {
+        if let Err(e) = std::fs::write(&trace_path, dump.to_jsonl()) {
+            die(&format!("cannot write {}: {e}", trace_path.display()));
+        }
+        eprintln!(
+            "[trace] {} events ({} dropped) -> {}",
+            dump.events.len(),
+            dump.dropped,
+            trace_path.display()
+        );
+        emit_trace_reports(dump, &trace_path);
+    }
 
     if store_dir.is_none() && !keep_store {
         let _ = std::fs::remove_dir_all(&store);

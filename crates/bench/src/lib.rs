@@ -24,6 +24,8 @@
 //!                   see DESIGN.md §10)
 //! ```
 
+pub mod regress;
+
 use fw_core::abusescan::AbuseScanConfig;
 use fw_core::pipeline::{FullReport, Pipeline, PipelineConfig, UsageReport};
 use fw_dns::pdns::PdnsBackend as _;

@@ -1,0 +1,350 @@
+//! Bench regression gate: compare a fresh `pipeline_gate` report
+//! against a committed baseline and fail on per-stage slowdowns.
+//!
+//! The committed `BENCH_pipeline.json` doubles as the baseline series:
+//! its top level describes the most recent run and its `history` array
+//! holds one entry per prior run. A candidate report (usually
+//! `BENCH_current.json`, written by CI) is compared stage-by-stage
+//! against the newest baseline entry at the **same scale** — CI gates
+//! at scale 0.1 while the committed top level is a scale-1.0 run, so
+//! matching by scale is what makes the comparison apples-to-apples.
+//!
+//! Two guards keep the gate useful rather than flaky:
+//!
+//! * a *relative* tolerance per stage (machines differ, and small
+//!   stages jitter), and
+//! * an *absolute* slack floor in milliseconds, so a 3 ms stage going
+//!   to 5 ms (a 66% "regression") cannot fail the build.
+//!
+//! A stage regresses only if it exceeds both
+//! `baseline * (1 + tolerance)` and `baseline + abs_slack_ms`.
+
+use fw_obs::Json;
+
+/// Comparison knobs. Defaults are deliberately loose enough for
+/// cross-machine CI comparisons; tighten for same-machine A/B runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressConfig {
+    /// Allowed relative slowdown per stage (0.25 = +25%).
+    pub tolerance: f64,
+    /// Allowed absolute slowdown per stage in milliseconds, applied on
+    /// top of the relative tolerance as a floor for tiny stages.
+    pub abs_slack_ms: f64,
+    /// Allowed relative slowdown for the end-to-end total; totals
+    /// aggregate away per-stage jitter, so this can sit tighter than
+    /// the per-stage tolerance.
+    pub total_tolerance: f64,
+}
+
+impl Default for RegressConfig {
+    fn default() -> RegressConfig {
+        RegressConfig {
+            tolerance: 0.25,
+            abs_slack_ms: 50.0,
+            total_tolerance: 0.20,
+        }
+    }
+}
+
+/// One stage's comparison (also used for the synthetic `total` row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelta {
+    pub name: String,
+    pub baseline_ms: f64,
+    pub current_ms: f64,
+    /// Signed relative change (+0.10 = 10% slower).
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// Outcome of a full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Scale both runs were matched at.
+    pub scale: f64,
+    pub stages: Vec<StageDelta>,
+    /// Human-readable provenance of the baseline ("top-level run" or
+    /// "history entry N").
+    pub baseline_from: String,
+}
+
+impl RegressReport {
+    pub fn regressed(&self) -> bool {
+        self.stages.iter().any(|s| s.regressed)
+    }
+
+    /// Fixed-width table plus a PASS/FAIL verdict line.
+    pub fn render_text(&self, config: &RegressConfig) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench_regress @ scale {} (baseline: {})\n",
+            self.scale, self.baseline_from
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>8}  verdict\n",
+            "stage", "baseline ms", "current ms", "delta"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}\n",
+                s.name,
+                s.baseline_ms,
+                s.current_ms,
+                s.ratio * 100.0,
+                if s.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        let verdict = if self.regressed() { "FAIL" } else { "PASS" };
+        out.push_str(&format!(
+            "{verdict} (tolerance +{:.0}% per stage / +{:.0}% total, slack {} ms)\n",
+            config.tolerance * 100.0,
+            config.total_tolerance * 100.0,
+            config.abs_slack_ms
+        ));
+        out
+    }
+}
+
+/// A `(stage name, wall ms)` series extracted from one gate run.
+#[derive(Debug, Clone, PartialEq)]
+struct RunTimings {
+    scale: f64,
+    stages: Vec<(String, f64)>,
+    total_ms: f64,
+}
+
+/// Read the per-stage timings out of a report's **top level**
+/// (`stages.<name>.ms` + `total_ms`).
+fn top_level_timings(doc: &Json) -> Option<RunTimings> {
+    let scale = doc.get("config")?.get("scale")?.as_f64()?;
+    let stages = doc
+        .get("stages")?
+        .as_obj()?
+        .iter()
+        .filter_map(|(name, v)| Some((name.clone(), v.get("ms")?.as_f64()?)))
+        .collect::<Vec<_>>();
+    if stages.is_empty() {
+        return None;
+    }
+    Some(RunTimings {
+        scale,
+        stages,
+        total_ms: doc.get("total_ms")?.as_f64()?,
+    })
+}
+
+/// Read the timings out of one **history entry** (`<name>_ms` keys).
+fn history_timings(entry: &Json) -> Option<RunTimings> {
+    let scale = entry.get("scale")?.as_f64()?;
+    let mut stages = Vec::new();
+    for (key, v) in entry.as_obj()? {
+        if key == "total_ms" {
+            continue;
+        }
+        if let Some(name) = key.strip_suffix("_ms") {
+            if name != "unix" && name != "flush" {
+                if let Some(ms) = v.as_f64() {
+                    stages.push((name.to_string(), ms));
+                }
+            }
+        }
+    }
+    if stages.is_empty() {
+        return None;
+    }
+    Some(RunTimings {
+        scale,
+        stages,
+        total_ms: entry.get("total_ms")?.as_f64()?,
+    })
+}
+
+/// Scales within 1% count as "the same" — reports store them as f64.
+fn scale_matches(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 0.01 * a.abs().max(b.abs()).max(1e-9)
+}
+
+/// Find the newest run at `scale` in a baseline document: the
+/// top-level run if it matches, else the latest matching `history`
+/// entry (the array is ordered oldest → newest).
+fn baseline_at_scale(doc: &Json, scale: f64) -> Option<(RunTimings, String)> {
+    if let Some(t) = top_level_timings(doc) {
+        if scale_matches(t.scale, scale) {
+            return Some((t, "top-level run".to_string()));
+        }
+    }
+    let history = doc.get("history")?.as_arr()?;
+    for (i, entry) in history.iter().enumerate().rev() {
+        if let Some(t) = history_timings(entry) {
+            if scale_matches(t.scale, scale) {
+                return Some((t, format!("history entry {i}")));
+            }
+        }
+    }
+    None
+}
+
+/// Compare a candidate report against a baseline document. Returns
+/// `Err` with a diagnostic when either document is missing the needed
+/// shape or the baseline has no run at the candidate's scale.
+pub fn compare(
+    baseline: &Json,
+    current: &Json,
+    config: &RegressConfig,
+) -> Result<RegressReport, String> {
+    let cur = top_level_timings(current)
+        .ok_or("candidate report has no stages/total_ms (not a pipeline_gate report?)")?;
+    let (base, baseline_from) = baseline_at_scale(baseline, cur.scale).ok_or_else(|| {
+        format!(
+            "baseline has no run at scale {} (top level or history)",
+            cur.scale
+        )
+    })?;
+
+    let mut stages = Vec::new();
+    for (name, cur_ms) in &cur.stages {
+        let Some((_, base_ms)) = base.stages.iter().find(|(n, _)| n == name) else {
+            // A stage the baseline predates (new instrumentation) has
+            // nothing to regress against; skip rather than fail.
+            continue;
+        };
+        stages.push(delta(name, *base_ms, *cur_ms, config.tolerance, config));
+    }
+    if stages.is_empty() {
+        return Err("no stage names in common between baseline and candidate".to_string());
+    }
+    stages.push(delta(
+        "total",
+        base.total_ms,
+        cur.total_ms,
+        config.total_tolerance,
+        config,
+    ));
+    Ok(RegressReport {
+        scale: cur.scale,
+        stages,
+        baseline_from,
+    })
+}
+
+fn delta(
+    name: &str,
+    baseline_ms: f64,
+    current_ms: f64,
+    tolerance: f64,
+    config: &RegressConfig,
+) -> StageDelta {
+    let ratio = if baseline_ms > 0.0 {
+        current_ms / baseline_ms - 1.0
+    } else {
+        0.0
+    };
+    let regressed = current_ms > baseline_ms * (1.0 + tolerance)
+        && current_ms > baseline_ms + config.abs_slack_ms;
+    StageDelta {
+        name: name.to_string(),
+        baseline_ms,
+        current_ms,
+        ratio,
+        regressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scale: f64, gen: f64, ingest: f64, total: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "config": {{"scale": {scale}, "seed": 42}},
+              "stages": {{
+                "generate": {{"ms": {gen}, "peak_rss_kb": 1000}},
+                "ingest": {{"ms": {ingest}, "peak_rss_kb": 2000}}
+              }},
+              "total_ms": {total},
+              "history": [
+                {{"unix_ms": 1, "scale": 0.1, "seed": 42, "total_ms": 100.0,
+                  "generate_ms": 40.0, "ingest_ms": 60.0, "rows": 10, "peak_rss_kb": 500}},
+                {{"unix_ms": 2, "scale": {scale}, "seed": 42, "total_ms": {total},
+                  "generate_ms": {gen}, "ingest_ms": {ingest}, "rows": 10, "peak_rss_kb": 500}}
+              ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = report(1.0, 1100.0, 2100.0, 3200.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert!(
+            !r.regressed(),
+            "{}",
+            r.render_text(&RegressConfig::default())
+        );
+        assert_eq!(r.baseline_from, "top-level run");
+        assert_eq!(r.stages.len(), 3); // generate, ingest, total
+    }
+
+    #[test]
+    fn big_stage_slowdown_fails() {
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = report(1.0, 1400.0, 2000.0, 3400.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        let gen = r.stages.iter().find(|s| s.name == "generate").unwrap();
+        assert!(gen.regressed);
+        assert!(r.regressed());
+        assert!(r.render_text(&RegressConfig::default()).contains("FAIL"));
+    }
+
+    #[test]
+    fn tiny_stage_jitter_is_absorbed_by_abs_slack() {
+        // 3 ms -> 5 ms is +66% but only 2 ms; the slack floor absorbs it.
+        let base = report(1.0, 3.0, 2000.0, 2003.0);
+        let cur = report(1.0, 5.0, 2000.0, 2005.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert!(!r.regressed());
+    }
+
+    #[test]
+    fn baseline_found_in_history_when_scales_differ() {
+        // Baseline top level is scale 1.0; candidate runs at 0.1 and
+        // must match the 0.1 history entry instead.
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = report(0.1, 42.0, 61.0, 103.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert_eq!(r.baseline_from, "history entry 0");
+        let gen = r.stages.iter().find(|s| s.name == "generate").unwrap();
+        assert_eq!(gen.baseline_ms, 40.0);
+        assert!(!r.regressed());
+    }
+
+    #[test]
+    fn missing_scale_is_a_clean_error() {
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = report(0.5, 500.0, 1000.0, 1500.0);
+        let err = compare(&base, &cur, &RegressConfig::default()).unwrap_err();
+        assert!(err.contains("no run at scale 0.5"), "{err}");
+    }
+
+    #[test]
+    fn new_stages_absent_from_baseline_are_skipped() {
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = Json::parse(
+            r#"{
+              "config": {"scale": 1.0, "seed": 42},
+              "stages": {
+                "generate": {"ms": 1000.0, "peak_rss_kb": 1},
+                "brand_new": {"ms": 9999.0, "peak_rss_kb": 1}
+              },
+              "total_ms": 3000.0
+            }"#,
+        )
+        .unwrap();
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert!(r.stages.iter().all(|s| s.name != "brand_new"));
+        assert!(!r.regressed());
+    }
+}

@@ -6,7 +6,7 @@
 //! `fw-pattern`) scan every fqdn in the store; matches are aggregated per
 //! function with the §3.2 key metrics.
 
-use fw_analysis::par::{default_workers, par_map_indexed};
+use fw_analysis::par::{default_workers, par_map_named};
 use fw_cloud::formats::{all_formats, format_for, identify};
 use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
 use fw_types::{Fqdn, ProviderId};
@@ -93,7 +93,7 @@ pub fn identify_from_aggregates(aggs: Vec<FqdnAggregate>, workers: usize) -> Ide
     // CPU cost; run it data-parallel, then zip the verdicts back onto
     // the owned aggregates.
     let verdicts: Vec<Option<(ProviderId, Option<String>)>> =
-        par_map_indexed(&aggs, workers, |_, agg| {
+        par_map_named(&aggs, workers, "identify/verdicts", |_, agg| {
             identify(&agg.fqdn)
                 .map(|provider| (provider, format_for(provider).region_of(&agg.fqdn)))
         });

@@ -1,7 +1,7 @@
 //! Usage-status analyses (§4): trends, ingress, invocation patterns.
 
 use crate::identify::{IdentificationReport, IdentifiedFunction};
-use fw_analysis::par::{default_workers, par_map_indexed};
+use fw_analysis::par::{default_workers, par_map_named};
 use fw_analysis::stats;
 use fw_dns::pdns::PdnsBackend;
 use fw_types::{MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START};
@@ -101,7 +101,7 @@ pub fn monthly_requests_with<B: PdnsBackend + ?Sized>(
     let n_months = months.len();
     let chunks = function_chunks(report.functions.len(), workers);
     let parts: Vec<HashMap<ProviderId, Vec<u64>>> =
-        par_map_indexed(&chunks, workers, |_, range| {
+        par_map_named(&chunks, workers, "usage/monthly", |_, range| {
             let mut part: HashMap<ProviderId, Vec<u64>> = HashMap::new();
             for f in &report.functions[range.clone()] {
                 let series = part.entry(f.provider).or_insert_with(|| vec![0; n_months]);
@@ -176,7 +176,7 @@ pub fn ingress_table_with<B: PdnsBackend + ?Sized>(
     // provider → rtype → rdata text → requests.
     let chunks = function_chunks(report.functions.len(), workers);
     let parts: Vec<HashMap<ProviderId, [HashMap<String, u64>; 3]>> =
-        par_map_indexed(&chunks, workers, |_, range| {
+        par_map_named(&chunks, workers, "usage/ingress", |_, range| {
             let mut part: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
             for f in &report.functions[range.clone()] {
                 let maps = part.entry(f.provider).or_default();

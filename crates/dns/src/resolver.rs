@@ -244,6 +244,7 @@ impl Resolver {
             });
         }
         fw_obs::counter_inc!("fw.dns.resolve.slow_path");
+        let _trace = fw_obs::trace_span("dns/resolve_slow");
         // Evict an expired entry (if a racing thread refreshed it in the
         // meantime, serve the refreshed copy instead).
         {

@@ -241,6 +241,7 @@ impl SimNet {
             inner: server_end,
             rng: SmallRng::seed_from_u64(conn_seed ^ 0x5ca1_ab1e_0000_0001),
             net: self.inner.clone(),
+            _trace: None,
         });
         // Register the handler thread with the virtual clock *before*
         // spawning it, so the clock cannot advance in the window where
@@ -258,6 +259,10 @@ impl SimNet {
             inner: client_end,
             rng,
             net: self.inner.clone(),
+            // Connection lifetimes overlap arbitrarily with the opening
+            // stack, so they trace as async (Chrome `b`/`e`) events
+            // keyed by target port rather than nested sync spans.
+            _trace: Some(fw_obs::trace_async("net/conn", addr.port() as u64)),
         }))
     }
 }
@@ -268,6 +273,9 @@ struct FaultedConn {
     inner: PipeConn,
     rng: SmallRng,
     net: Arc<Inner>,
+    /// Open async trace span bracketing the connection's lifetime
+    /// (client end only; the guard's drop emits the AsyncEnd event).
+    _trace: Option<fw_obs::AsyncSpan>,
 }
 
 impl std::fmt::Debug for FaultedConn {

@@ -1,0 +1,121 @@
+//! Folded-stacks flamegraph exporter.
+//!
+//! Emits the `flamegraph.pl` / inferno collapsed format: one line per
+//! distinct stack, `name;name;name <value>`, where the value is the
+//! stack's *self* wall time in microseconds (total span time minus the
+//! time covered by sync children). Cross-thread forks appear under
+//! their forking parent, so a worker pool folds into the stage that
+//! spawned it. Async lifetime spans are observational overlays and are
+//! skipped, as are their subtrees' contribution to parent self time.
+
+use crate::forest::{build_forest, Forest};
+use crate::trace::TraceDump;
+use std::collections::BTreeMap;
+
+/// Render the dump as folded stacks, sorted lexicographically by stack
+/// (deterministic across runs for diffing).
+pub fn to_folded_stacks(dump: &TraceDump) -> String {
+    let forest = build_forest(dump);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for &r in &forest.roots {
+        if forest.nodes[r].is_async {
+            continue;
+        }
+        fold(dump, &forest, r, String::new(), &mut folded);
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn fold(
+    dump: &TraceDump,
+    forest: &Forest,
+    idx: usize,
+    prefix: String,
+    folded: &mut BTreeMap<String, u64>,
+) {
+    let node = &forest.nodes[idx];
+    let label = node.label(dump).replace([';', ' ', '\n'], "_");
+    let stack = if prefix.is_empty() {
+        label
+    } else {
+        format!("{prefix};{label}")
+    };
+
+    let mut child_ns = 0u64;
+    for &c in &node.children {
+        let ch = &forest.nodes[c];
+        if ch.is_async {
+            continue;
+        }
+        // Clamp to the parent interval; cross-thread children can
+        // overlap each other, but self time only needs an upper bound
+        // on coverage — sum of clamped child durations, saturating.
+        let b = ch.begin_ns.max(node.begin_ns);
+        let e = ch.end_ns.min(node.end_ns);
+        child_ns += e.saturating_sub(b);
+        fold(dump, forest, c, stack.clone(), folded);
+    }
+    let self_us = node.wall_dur_ns().saturating_sub(child_ns) / 1000;
+    if self_us > 0 || node.children.is_empty() {
+        *folded.entry(stack).or_insert(0) += self_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::testutil::dump;
+
+    #[test]
+    fn folds_self_time_per_stack() {
+        // root [0µs,100µs] with child a [10µs,40µs]; a has leaf b
+        // [20µs,30µs]. Values in ns here; folded output is µs.
+        let d = dump(
+            &["root", "a", "b"],
+            &[
+                ('B', 1, 0, 1, 0, 0),
+                ('B', 2, 1, 1, 1, 10_000),
+                ('B', 3, 2, 1, 2, 20_000),
+                ('E', 3, 0, 1, 2, 30_000),
+                ('E', 2, 0, 1, 1, 40_000),
+                ('E', 1, 0, 1, 0, 100_000),
+            ],
+        );
+        let text = to_folded_stacks(&d);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["root 70", "root;a 20", "root;a;b 10"],
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn async_spans_and_their_time_are_skipped() {
+        let d = dump(
+            &["root", "conn"],
+            &[
+                ('B', 1, 0, 1, 0, 0),
+                ('b', 2, 1, 1, 1, 10_000),
+                ('e', 2, 0, 1, 1, 90_000),
+                ('E', 1, 0, 1, 0, 100_000),
+            ],
+        );
+        let text = to_folded_stacks(&d);
+        assert_eq!(text, "root 100\n", "async overlay must not eat self time");
+    }
+
+    #[test]
+    fn sanitizes_separator_characters_in_labels() {
+        let d = dump(&["a;b c"], &[('B', 1, 0, 1, 0, 0), ('E', 1, 0, 1, 0, 5000)]);
+        let text = to_folded_stacks(&d);
+        assert_eq!(text, "a_b_c 5\n");
+    }
+}

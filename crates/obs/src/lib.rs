@@ -28,13 +28,31 @@
 //! macros cache the metric handle in a per-call-site `static`, so a hot
 //! loop pays one atomic add per event, not a registry lookup.
 
+mod chrome;
+mod critpath;
+mod flame;
+mod forest;
+mod json;
 mod metric;
 mod registry;
+mod report;
 mod span;
+mod trace;
 
+pub use chrome::to_chrome_json;
+pub use critpath::{critical_path, CritEntry, CritReport};
+pub use flame::to_folded_stacks;
+pub use forest::{build_forest, validate_forest, Forest, SpanNode};
+pub use json::Json;
 pub use metric::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, NUM_BUCKETS};
 pub use registry::Registry;
+pub use report::{artifact_paths, write_trace_reports, TraceReportPaths};
 pub use span::{advance_sim_micros, sim_now_micros, Span, StageStat};
+pub use trace::{
+    current_trace_span, drain_trace, flush_thread_trace, set_trace_enabled, trace_async,
+    trace_enabled, trace_instant, trace_reset, trace_span, trace_span_arg, trace_span_child_of,
+    AsyncSpan, TraceDump, TraceEvent, TraceEventKind, TraceSpan, ARG_NONE,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Once, OnceLock};
@@ -72,9 +90,15 @@ pub fn registry() -> &'static Registry {
 
 /// Open a timed stage span (child of the thread's current span). Inert
 /// when telemetry is disabled. Bind the guard: `let _span = ...`.
+///
+/// When event tracing is on ([`trace_enabled`]) the guard also emits
+/// begin/end trace events — even if the metrics layer is off, in which
+/// case the stage tree is left untouched.
 pub fn span(name: &str) -> Span {
     if enabled() {
         Span::enter(name)
+    } else if trace_enabled() {
+        Span::enter_gated(name, false)
     } else {
         Span::disabled()
     }
@@ -142,10 +166,35 @@ mod tests {
         assert_eq!(registry().counter("fw.obs.test.macro_counter").get(), 0);
 
         set_enabled(true);
-        counter_add!("fw.obs.test.macro_counter", 3);
-        counter_inc!("fw.obs.test.macro_counter");
-        histogram_record!("fw.obs.test.macro_hist", 42);
+        // One shared call site, so the macro's cached handle is reused
+        // across invocations (including across the reset below).
+        fn bump() {
+            counter_add!("fw.obs.test.macro_counter", 3);
+            counter_inc!("fw.obs.test.macro_counter");
+            histogram_record!("fw.obs.test.macro_hist", 42);
+        }
+        bump();
         assert_eq!(registry().counter("fw.obs.test.macro_counter").get(), 4);
         assert_eq!(registry().histogram("fw.obs.test.macro_hist").count(), 1);
+
+        // `bump()` cached its handles in per-call-site statics;
+        // `Registry::reset()` must leave those handles live (it zeroes
+        // values in place rather than replacing the maps), so recording
+        // through the same call site lands in the registry a reader
+        // sees — not in orphaned metrics.
+        registry().reset();
+        assert_eq!(registry().counter("fw.obs.test.macro_counter").get(), 0);
+        assert_eq!(registry().histogram("fw.obs.test.macro_hist").count(), 0);
+        bump();
+        assert_eq!(
+            registry().counter("fw.obs.test.macro_counter").get(),
+            4,
+            "cached counter handle detached from live registry by reset()"
+        );
+        assert_eq!(
+            registry().histogram("fw.obs.test.macro_hist").count(),
+            1,
+            "cached histogram handle detached from live registry by reset()"
+        );
     }
 }

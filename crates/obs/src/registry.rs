@@ -221,8 +221,8 @@ impl Registry {
 }
 
 /// Minimal JSON string quoting; metric names are ASCII by convention
-/// but escape defensively anyway.
-fn json_str(s: &str) -> String {
+/// but escape defensively anyway. Shared with the trace exporters.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

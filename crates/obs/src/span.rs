@@ -58,6 +58,11 @@ pub struct Span {
     path: Option<String>,
     start_wall: Instant,
     start_sim: u64,
+    /// Whether to fold the timing into the stage tree on drop; stage
+    /// recording follows the metrics gate, not the trace gate.
+    record_stage: bool,
+    /// Companion trace span (inert unless event tracing is on).
+    trace: crate::trace::TraceSpan,
 }
 
 impl Span {
@@ -67,11 +72,19 @@ impl Span {
             path: None,
             start_wall: Instant::now(),
             start_sim: 0,
+            record_stage: false,
+            trace: crate::trace::TraceSpan::inert(),
         }
     }
 
     /// Open a span named `name` under the current thread's span stack.
     pub(crate) fn enter(name: &str) -> Span {
+        Span::enter_gated(name, true)
+    }
+
+    /// [`Span::enter`], with stage-tree recording decided by the caller
+    /// (event tracing can be on while the metrics layer is off).
+    pub(crate) fn enter_gated(name: &str, record_stage: bool) -> Span {
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = match stack.last() {
@@ -85,12 +98,20 @@ impl Span {
             path: Some(path),
             start_wall: Instant::now(),
             start_sim: sim_now_micros(),
+            record_stage,
+            trace: crate::trace::trace_span(name),
         }
     }
 
     /// The full stage path, e.g. `pipeline/probe` (`None` when inert).
     pub fn path(&self) -> Option<&str> {
         self.path.as_deref()
+    }
+
+    /// Trace span id for cross-thread parent links (0 when tracing is
+    /// off or the guard is inert).
+    pub fn trace_id(&self) -> u64 {
+        self.trace.id()
     }
 }
 
@@ -101,13 +122,19 @@ impl Drop for Span {
         };
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            if stack.last().map(String::as_str) == Some(path.as_str()) {
-                stack.pop();
+            // Pop by position, not just when this span is the top: a
+            // guard dropped out of LIFO order (mis-scoped, moved into a
+            // struct, leaked across a loop) must not leave its path
+            // stuck on the stack corrupting every later span's parent.
+            if let Some(i) = stack.iter().rposition(|p| *p == path) {
+                stack.remove(i);
             }
         });
-        let wall_ns = self.start_wall.elapsed().as_nanos() as u64;
-        let sim_us = sim_now_micros().saturating_sub(self.start_sim);
-        crate::registry().record_stage(&path, wall_ns, sim_us);
+        if self.record_stage {
+            let wall_ns = self.start_wall.elapsed().as_nanos() as u64;
+            let sim_us = sim_now_micros().saturating_sub(self.start_sim);
+            crate::registry().record_stage(&path, wall_ns, sim_us);
+        }
     }
 }
 
@@ -161,6 +188,28 @@ mod tests {
         let stat = crate::registry().stage("sim_advance_test").unwrap();
         assert_eq!(stat.count, 1);
         assert!(stat.sim_us >= 250);
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_do_not_corrupt_the_stack() {
+        let root = Span::enter("ooo_root");
+        let a = Span::enter("a");
+        let b = Span::enter("b");
+        // Drop the *outer* child first — a mis-scoped guard. `a`'s path
+        // must be removed from the middle of the stack, not ignored.
+        drop(a);
+        assert_eq!(b.path(), Some("ooo_root/a/b"));
+        drop(b);
+        // With `a` gone and `b` popped, the next child nests directly
+        // under the root — before the fix, the stale "ooo_root/a" left
+        // on the stack would parent it as "ooo_root/a/after".
+        let after = Span::enter("after");
+        assert_eq!(after.path(), Some("ooo_root/after"));
+        drop(after);
+        drop(root);
+        // And the stack is fully unwound for whatever runs next.
+        let fresh = Span::enter("ooo_fresh_root");
+        assert_eq!(fresh.path(), Some("ooo_fresh_root"));
     }
 
     #[test]

@@ -63,6 +63,7 @@ impl C2Scanner {
     /// per signature. A server that hangs up mid-corpus costs exactly
     /// one transparent re-dial inside `send`.
     pub fn scan_one(&self, fqdn: &Fqdn) -> Option<C2Detection> {
+        let _trace = fw_obs::trace_span("c2scan/domain");
         let addrs = self
             .resolver
             .read()
@@ -127,6 +128,7 @@ impl C2Scanner {
         // Register the whole pool before spawning anyone (see
         // `Prober::probe_all`).
         let registrations: Vec<_> = (0..workers).map(|_| clock.register()).collect();
+        let fork = fw_obs::current_trace_span();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = registrations
                 .into_iter()
@@ -134,6 +136,7 @@ impl C2Scanner {
                 .map(|(w, registration)| {
                     scope.spawn(move |_| {
                         let _active = registration.map(|r| r.activate());
+                        let _trace = fw_obs::trace_span_child_of(fork, "c2scan/worker", w as u64);
                         domains
                             .iter()
                             .enumerate()

@@ -195,6 +195,7 @@ impl Prober {
 
     /// Probe a single domain: resolve, HTTPS, fallback HTTP.
     pub fn probe_one(&self, fqdn: &Fqdn) -> ProbeRecord {
+        let _trace = fw_obs::trace_span("probe/domain");
         if self.opt_out.contains(fqdn) {
             fw_obs::counter_inc!("fw.probe.opt_out_skips");
             return ProbeRecord {
@@ -300,6 +301,7 @@ impl Prober {
         // All registrations exist before any worker spawns, so the
         // clock can only advance once the whole pool is blocked.
         let registrations: Vec<_> = (0..workers).map(|_| clock.register()).collect();
+        let fork = fw_obs::current_trace_span();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = registrations
                 .into_iter()
@@ -307,6 +309,7 @@ impl Prober {
                 .map(|(w, registration)| {
                     scope.spawn(move |_| {
                         let _active = registration.map(|r| r.activate());
+                        let _trace = fw_obs::trace_span_child_of(fork, "probe/worker", w as u64);
                         domains
                             .iter()
                             .enumerate()

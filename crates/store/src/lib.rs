@@ -33,7 +33,7 @@ mod store;
 pub use crc::crc32;
 pub use scan::stream_snapshot_aggregates;
 pub use segment::{decode_segment, read_segment, SegRow, SegmentBuilder, SegmentData};
-pub use store::{DiskStore, SharedDiskStore};
+pub use store::{DiskStore, ShardIngestStats, SharedDiskStore};
 
 use std::path::PathBuf;
 

@@ -102,6 +102,7 @@ fn scan_segment_into(bytes: &[u8], emit: &mut dyn FnMut(FqdnAggregate)) -> Resul
 /// Aggregate one shard: streaming for the compacted single-segment
 /// case, `PdnsStore` replay for multi-segment shards.
 fn scan_shard(dir: &Path, shard: usize) -> Result<Vec<FqdnAggregate>, StoreError> {
+    let _trace = fw_obs::trace_span_arg("store/scan_shard", shard as u64);
     let paths = shard_segment_paths(dir, shard)?;
     let mut out = Vec::new();
     match paths.as_slice() {
@@ -150,10 +151,12 @@ pub fn stream_snapshot_aggregates(
     let _span = fw_obs::span("store/stream_scan");
     let shard_count = read_superblock(dir)?;
     let workers = workers.clamp(1, shard_count);
+    let fork = fw_obs::current_trace_span();
     let parts: Vec<Result<Vec<FqdnAggregate>, StoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
+                    let _trace = fw_obs::trace_span_child_of(fork, "store/scan_worker", w as u64);
                     let mut part = Vec::new();
                     for shard in (w..shard_count).step_by(workers) {
                         part.extend(scan_shard(dir, shard)?);

@@ -82,6 +82,8 @@ impl Entry {
 
 #[derive(Debug)]
 struct Shard {
+    /// This shard's index, for trace labels and per-shard stats.
+    idx: usize,
     dir: PathBuf,
     table: HashMap<Fqdn, Entry>,
     /// Distinct `(fqdn, rdata, pdate)` keys.
@@ -93,6 +95,12 @@ struct Shard {
     dirty: Vec<Fqdn>,
     next_seg: u64,
     segments: Vec<PathBuf>,
+    /// Lifetime flush count (segments written by `flush`).
+    flushes: u64,
+    /// Wall nanoseconds spent inside `flush`.
+    flush_ns: u64,
+    /// Segment bytes written by this shard (flush + compact).
+    bytes_written: u64,
 }
 
 impl Shard {
@@ -136,6 +144,7 @@ impl Shard {
             return Ok(0);
         }
         let start = Instant::now();
+        let _trace = fw_obs::trace_span_arg("store/flush", self.idx as u64);
         let mut builder = SegmentBuilder::new();
         for fqdn in self.dirty.drain(..) {
             let entry = self.table.get_mut(&fqdn).expect("dirty fqdn in table");
@@ -158,6 +167,9 @@ impl Shard {
         };
         let path = self.write_segment(&bytes)?;
         self.segments.push(path);
+        self.flushes += 1;
+        self.flush_ns += start.elapsed().as_nanos() as u64;
+        self.bytes_written += bytes.len() as u64;
         fw_obs::counter_inc!("fw.store.segments_written");
         fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
         fw_obs::histogram_record!("fw.store.flush_us", start.elapsed().as_micros() as u64);
@@ -169,6 +181,7 @@ impl Shard {
         if self.segments.len() < 2 {
             return Ok(());
         }
+        let _trace = fw_obs::trace_span_arg("store/compact_shard", self.idx as u64);
         let mut builder = SegmentBuilder::new();
         for (fqdn, entry) in &self.table {
             for row in &entry.rows {
@@ -190,6 +203,7 @@ impl Shard {
             std::fs::remove_file(&old)?;
         }
         self.segments.push(path);
+        self.bytes_written += bytes.len() as u64;
         fw_obs::counter_inc!("fw.store.compactions");
         fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
         Ok(())
@@ -246,6 +260,7 @@ impl DiskStore {
             let shard_dir = dir.join(format!("shard-{i:03}"));
             std::fs::create_dir_all(&shard_dir)?;
             shards.push(Mutex::new(Shard {
+                idx: i,
                 dir: shard_dir,
                 table: HashMap::new(),
                 rows: 0,
@@ -253,6 +268,9 @@ impl DiskStore {
                 dirty: Vec::new(),
                 next_seg: 1,
                 segments: Vec::new(),
+                flushes: 0,
+                flush_ns: 0,
+                bytes_written: 0,
             }));
         }
         Ok(DiskStore {
@@ -321,6 +339,7 @@ impl DiskStore {
             + 1;
 
         let mut shard = Shard {
+            idx: i,
             dir: shard_dir,
             table: HashMap::new(),
             rows: 0,
@@ -328,6 +347,9 @@ impl DiskStore {
             dirty: Vec::new(),
             next_seg,
             segments: seg_paths.clone(),
+            flushes: 0,
+            flush_ns: 0,
+            bytes_written: 0,
         };
         for path in &seg_paths {
             let seg = read_segment(path)?;
@@ -482,10 +504,12 @@ impl DiskStore {
             });
             return;
         }
+        let fork = fw_obs::current_trace_span();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let fqdns = &fqdns;
                 scope.spawn(move || {
+                    let _trace = fw_obs::trace_span_child_of(fork, "store/ingest_worker", w as u64);
                     for fqdn in fqdns.iter().skip(w).step_by(workers) {
                         src.for_each_record_of(fqdn, &mut |_rtype, rdata, pdate, cnt| {
                             self.observe_count(fqdn, rdata, pdate, cnt);
@@ -495,6 +519,47 @@ impl DiskStore {
             }
         });
     }
+
+    /// Per-shard ingest/flush accounting since this handle was created.
+    /// Row counts cover the current table (including replayed segments);
+    /// flush timings cover only work done through this handle.
+    pub fn shard_ingest_stats(&self) -> Vec<ShardIngestStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                ShardIngestStats {
+                    shard: s.idx,
+                    fqdns: s.table.len(),
+                    rows: s.rows,
+                    flushes: s.flushes,
+                    flush_ns: s.flush_ns,
+                    bytes_written: s.bytes_written,
+                    segments: s.segments.len(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-shard ingest accounting, surfaced in `pipeline_gate`'s JSON so
+/// the bench regression gate can localize IO/skew regressions to a
+/// shard instead of a whole stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIngestStats {
+    pub shard: usize,
+    /// Distinct fqdns resident in the shard table.
+    pub fqdns: usize,
+    /// Distinct `(fqdn, rdata, pdate)` rows.
+    pub rows: usize,
+    /// Segments written by `flush` through this handle.
+    pub flushes: u64,
+    /// Wall nanoseconds spent in `flush` through this handle.
+    pub flush_ns: u64,
+    /// Segment bytes written (flush + compact) through this handle.
+    pub bytes_written: u64,
+    /// Segment files currently on disk.
+    pub segments: usize,
 }
 
 /// Read and verify a store directory's superblock; returns the shard
@@ -649,10 +714,13 @@ impl PdnsBackend for DiskStore {
     /// the provided implementation at any worker count.
     fn par_aggregates(&self, workers: usize) -> Vec<FqdnAggregate> {
         let workers = workers.clamp(1, self.shards.len());
+        let fork = fw_obs::current_trace_span();
         let mut out: Vec<FqdnAggregate> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        let _trace =
+                            fw_obs::trace_span_child_of(fork, "store/agg_worker", w as u64);
                         let mut part = Vec::new();
                         for shard in self.shards.iter().skip(w).step_by(workers) {
                             let shard = shard.lock();

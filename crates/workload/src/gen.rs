@@ -18,7 +18,7 @@
 
 use crate::calib;
 use fw_abuse::c2::relay_template;
-use fw_analysis::par::{default_workers, par_map_indexed};
+use fw_analysis::par::{default_workers, par_map_named};
 use fw_cloud::behavior::{Behavior, LeakItem};
 use fw_cloud::formats::format_for;
 use fw_cloud::platform::{CloudPlatform, DeploySpec, PlatformConfig};
@@ -232,7 +232,8 @@ impl World {
         // merge in shard order.
         let shards: Vec<usize> = (0..GEN_SHARDS).collect();
         let parts: Vec<(PdnsStore, Vec<WorldFunction>)> =
-            par_map_indexed(&shards, workers, |_, shard| {
+            par_map_named(&shards, workers, "gen/worker", |_, shard| {
+                let _trace = fw_obs::trace_span_arg("gen/shard", *shard as u64);
                 let mut gen = Generator {
                     rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(
                         config.seed,

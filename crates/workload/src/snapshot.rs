@@ -12,10 +12,14 @@ use fw_store::{DiskStore, StoreConfig, StoreError};
 use std::path::Path;
 
 /// What a snapshot save wrote, for progress reporting.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SnapshotStats {
     pub fqdns: usize,
     pub rows: usize,
+    /// Per-shard ingest/flush accounting from the store that wrote the
+    /// snapshot (flush counts, flush wall time, bytes written) — feeds
+    /// `pipeline_gate`'s per-shard ingest timings.
+    pub shards: Vec<fw_store::ShardIngestStats>,
 }
 
 /// Sidecar manifest (`world.meta`) recording which world a snapshot was
@@ -124,6 +128,7 @@ pub fn save_pdns_parallel<B: PdnsBackend + ?Sized>(
     Ok(SnapshotStats {
         fqdns: store.fqdn_count(),
         rows: store.record_count(),
+        shards: store.shard_ingest_stats(),
     })
 }
 
