@@ -50,11 +50,16 @@ impl Default for RegressConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageDelta {
     pub name: String,
+    /// `NaN` for informational rows (no baseline to compare against).
     pub baseline_ms: f64,
     pub current_ms: f64,
     /// Signed relative change (+0.10 = 10% slower).
     pub ratio: f64,
     pub regressed: bool,
+    /// The baseline predates this stage (new instrumentation): the row
+    /// is reported for visibility but can never fail the gate — the
+    /// next committed baseline picks it up.
+    pub informational: bool,
 }
 
 /// Outcome of a full comparison.
@@ -85,14 +90,21 @@ impl RegressReport {
             "stage", "baseline ms", "current ms", "delta"
         ));
         for s in &self.stages {
-            out.push_str(&format!(
-                "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}\n",
-                s.name,
-                s.baseline_ms,
-                s.current_ms,
-                s.ratio * 100.0,
-                if s.regressed { "REGRESSED" } else { "ok" }
-            ));
+            if s.informational {
+                out.push_str(&format!(
+                    "{:<12} {:>12} {:>12.1} {:>8}  new (info)\n",
+                    s.name, "-", s.current_ms, "-"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}\n",
+                    s.name,
+                    s.baseline_ms,
+                    s.current_ms,
+                    s.ratio * 100.0,
+                    if s.regressed { "REGRESSED" } else { "ok" }
+                ));
+            }
         }
         let verdict = if self.regressed() { "FAIL" } else { "PASS" };
         out.push_str(&format!(
@@ -205,12 +217,21 @@ pub fn compare(
     for (name, cur_ms) in &cur.stages {
         let Some((_, base_ms)) = base.stages.iter().find(|(n, _)| n == name) else {
             // A stage the baseline predates (new instrumentation) has
-            // nothing to regress against; skip rather than fail.
+            // nothing to regress against; report it as informational
+            // rather than failing (or silently dropping it).
+            stages.push(StageDelta {
+                name: name.clone(),
+                baseline_ms: f64::NAN,
+                current_ms: *cur_ms,
+                ratio: 0.0,
+                regressed: false,
+                informational: true,
+            });
             continue;
         };
         stages.push(delta(name, *base_ms, *cur_ms, config.tolerance, config));
     }
-    if stages.is_empty() {
+    if stages.iter().all(|s| s.informational) {
         return Err("no stage names in common between baseline and candidate".to_string());
     }
     stages.push(delta(
@@ -247,6 +268,7 @@ fn delta(
         current_ms,
         ratio,
         regressed,
+        informational: false,
     }
 }
 
@@ -330,7 +352,7 @@ mod tests {
     }
 
     #[test]
-    fn new_stages_absent_from_baseline_are_skipped() {
+    fn new_stages_absent_from_baseline_are_informational() {
         let base = report(1.0, 1000.0, 2000.0, 3000.0);
         let cur = Json::parse(
             r#"{
@@ -344,7 +366,31 @@ mod tests {
         )
         .unwrap();
         let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
-        assert!(r.stages.iter().all(|s| s.name != "brand_new"));
+        // The new stage shows up, marked informational, and cannot fail
+        // the gate no matter how slow it is.
+        let row = r.stages.iter().find(|s| s.name == "brand_new").unwrap();
+        assert!(row.informational);
+        assert!(!row.regressed);
+        assert!(row.baseline_ms.is_nan());
+        assert_eq!(row.current_ms, 9999.0);
         assert!(!r.regressed());
+        let text = r.render_text(&RegressConfig::default());
+        assert!(text.contains("new (info)"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
+    }
+
+    #[test]
+    fn all_informational_is_a_clean_error() {
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = Json::parse(
+            r#"{
+              "config": {"scale": 1.0, "seed": 42},
+              "stages": {"brand_new": {"ms": 9.0, "peak_rss_kb": 1}},
+              "total_ms": 9.0
+            }"#,
+        )
+        .unwrap();
+        let err = compare(&base, &cur, &RegressConfig::default()).unwrap_err();
+        assert!(err.contains("no stage names in common"), "{err}");
     }
 }

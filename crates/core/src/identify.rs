@@ -5,15 +5,23 @@
 //! compiled expressions (from `fw-cloud::formats`, engine from
 //! `fw-pattern`) scan every fqdn in the store; matches are aggregated per
 //! function with the §3.2 key metrics.
+//!
+//! Since DESIGN.md §14 the implementation is a delta-driven state
+//! machine, [`IdentifyEngine`]: the streaming daemon feeds it raw
+//! [`PdnsRow`]s batch by batch and consumes [`VerdictChange`] deltas,
+//! while the batch sweeps ([`identify_functions`],
+//! [`identify_from_aggregates`]) are thin wrappers that load the same
+//! engine from pre-computed aggregates — so a daemon's final state is
+//! provably identical to a batch run over the same rows.
 
 use fw_analysis::par::{default_workers, par_map_named};
 use fw_cloud::formats::{all_formats, format_for, identify};
-use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
-use fw_types::{Fqdn, ProviderId};
+use fw_dns::pdns::{FqdnAggregate, PdnsBackend, PdnsRow};
+use fw_types::{DayStamp, Fqdn, ProviderId, Rdata};
 use std::collections::HashMap;
 
 /// One identified serverless function domain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdentifiedFunction {
     pub fqdn: Fqdn,
     pub provider: ProviderId,
@@ -26,7 +34,7 @@ pub struct IdentifiedFunction {
 }
 
 /// Identification summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdentificationReport {
     pub functions: Vec<IdentifiedFunction>,
     /// fqdns in the store that matched no provider expression.
@@ -70,6 +78,358 @@ impl IdentificationReport {
     }
 }
 
+/// One delta emitted by [`IdentifyEngine::apply_rows`].
+///
+/// A fqdn's classification is a pure function of its name, so it is
+/// decided once — on the batch that first mentions it — and never
+/// revised: `Identified`/`Unmatched` each fire at most once per fqdn.
+/// `Evidence` fires once per batch for every identified function the
+/// batch touched, carrying the function's *cumulative* §3.2 metrics so
+/// downstream scorers can re-score candidates as evidence accrues.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerdictChange {
+    Identified {
+        fqdn: Fqdn,
+        provider: ProviderId,
+        region: Option<String>,
+    },
+    Unmatched {
+        fqdn: Fqdn,
+    },
+    Evidence {
+        fqdn: Fqdn,
+        provider: ProviderId,
+        total_requests: u64,
+        days_count: u32,
+        first_seen: DayStamp,
+        last_seen: DayStamp,
+    },
+}
+
+/// Classification verdict for one fqdn — the per-fqdn CPU cost (regex
+/// match + region extraction), shared by the streaming and batch paths.
+fn classify(fqdn: &Fqdn) -> Option<(ProviderId, Option<String>)> {
+    identify(fqdn).map(|provider| (provider, format_for(provider).region_of(fqdn)))
+}
+
+/// Classification fans out to worker threads only above this many new
+/// fqdns per batch; tiny streaming batches run inline. Purely a
+/// scheduling choice — `par_map_named` is order-identical to serial, so
+/// results never depend on it.
+const PAR_CLASSIFY_MIN: usize = 64;
+
+/// Cumulative per-function aggregate state. On the row-fed path `days`
+/// holds the sorted distinct observation days; on the aggregate-fed
+/// path (batch wrappers) the day set is already collapsed into
+/// `days_count` and `days` stays empty — an engine is fed by one path
+/// or the other, never both.
+#[derive(Debug, Clone)]
+struct FnState {
+    fqdn: Fqdn,
+    provider: ProviderId,
+    region: Option<String>,
+    first: DayStamp,
+    last: DayStamp,
+    days: Vec<DayStamp>,
+    days_count: u32,
+    total: u64,
+    /// `(rdata, total requests)`, sorted by rdata — the same order both
+    /// store backends produce, so reports compare byte-identically.
+    rdata: Vec<(Rdata, u64)>,
+}
+
+impl FnState {
+    fn new(fqdn: Fqdn, provider: ProviderId, region: Option<String>) -> Self {
+        FnState {
+            fqdn,
+            provider,
+            region,
+            first: DayStamp(i64::MAX),
+            last: DayStamp(i64::MIN),
+            days: Vec::new(),
+            days_count: 0,
+            total: 0,
+            rdata: Vec::new(),
+        }
+    }
+
+    fn from_aggregate(agg: FqdnAggregate, provider: ProviderId, region: Option<String>) -> Self {
+        FnState {
+            fqdn: agg.fqdn,
+            provider,
+            region,
+            first: agg.first_seen_all,
+            last: agg.last_seen_all,
+            days: Vec::new(),
+            days_count: agg.days_count,
+            total: agg.total_request_cnt,
+            rdata: agg.rdata_dist,
+        }
+    }
+
+    /// Fold one row in. Every update is commutative and associative
+    /// over rows (min, max, set-insert, sum), so any arrival order of
+    /// the same multiset of rows produces the same state.
+    fn absorb_row(&mut self, row: &PdnsRow) {
+        self.first = self.first.min(row.day);
+        self.last = self.last.max(row.day);
+        if let Err(pos) = self.days.binary_search(&row.day) {
+            self.days.insert(pos, row.day);
+            self.days_count = self.days.len() as u32;
+        }
+        self.total += row.cnt;
+        match self.rdata.binary_search_by(|(r, _)| r.cmp(&row.rdata)) {
+            Ok(pos) => self.rdata[pos].1 += row.cnt,
+            Err(pos) => self.rdata.insert(pos, (row.rdata.clone(), row.cnt)),
+        }
+    }
+
+    fn aggregate(&self) -> FqdnAggregate {
+        FqdnAggregate {
+            fqdn: self.fqdn.clone(),
+            first_seen_all: self.first,
+            last_seen_all: self.last,
+            days_count: self.days_count,
+            total_request_cnt: self.total,
+            rdata_dist: self.rdata.clone(),
+        }
+    }
+
+    fn into_identified(self) -> IdentifiedFunction {
+        IdentifiedFunction {
+            agg: FqdnAggregate {
+                fqdn: self.fqdn.clone(),
+                first_seen_all: self.first,
+                last_seen_all: self.last,
+                days_count: self.days_count,
+                total_request_cnt: self.total,
+                rdata_dist: self.rdata,
+            },
+            fqdn: self.fqdn,
+            provider: self.provider,
+            region: self.region,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Class {
+    Function(u32),
+    Noise,
+}
+
+/// Incremental identification state machine (DESIGN.md §14).
+///
+/// Feed it rows with [`apply_rows`](Self::apply_rows) (streaming) or
+/// whole aggregates with [`absorb_aggregates`](Self::absorb_aggregates)
+/// (batch wrappers); materialize an [`IdentificationReport`] at any
+/// point. Both paths share the classifier and the report shape, and
+/// every aggregate update commutes over rows, so final state depends
+/// only on the multiset of rows seen — not batching, ordering, or
+/// worker count.
+#[derive(Debug)]
+pub struct IdentifyEngine {
+    workers: usize,
+    class: HashMap<Fqdn, Class>,
+    states: Vec<FnState>,
+    unmatched: u64,
+    total_requests: u64,
+}
+
+impl IdentifyEngine {
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    pub fn with_workers(workers: usize) -> Self {
+        IdentifyEngine {
+            workers: workers.max(1),
+            class: HashMap::new(),
+            states: Vec::new(),
+            unmatched: 0,
+            total_requests: 0,
+        }
+    }
+
+    /// Fold one batch of rows into the engine and return the verdict
+    /// deltas, deterministically ordered: `Identified`/`Unmatched` for
+    /// first-seen fqdns sorted by fqdn, then one `Evidence` per touched
+    /// identified function, sorted by fqdn. Row order *within* the
+    /// batch never affects the deltas or the final state.
+    pub fn apply_rows(&mut self, rows: &[PdnsRow]) -> Vec<VerdictChange> {
+        // New fqdns this batch, sorted so verdict deltas (and state
+        // indices) are independent of row order.
+        let mut fresh: Vec<&Fqdn> = rows
+            .iter()
+            .map(|r| &r.fqdn)
+            .filter(|f| !self.class.contains_key(*f))
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+
+        let verdicts: Vec<Option<(ProviderId, Option<String>)>> =
+            if fresh.len() >= PAR_CLASSIFY_MIN && self.workers > 1 {
+                par_map_named(&fresh, self.workers, "identify/verdicts", |_, f| {
+                    classify(f)
+                })
+            } else {
+                fresh.iter().map(|f| classify(f)).collect()
+            };
+
+        let mut changes = Vec::new();
+        for (fqdn, verdict) in fresh.into_iter().zip(verdicts) {
+            match verdict {
+                Some((provider, region)) => {
+                    let idx = self.states.len() as u32;
+                    self.states
+                        .push(FnState::new(fqdn.clone(), provider, region.clone()));
+                    self.class.insert(fqdn.clone(), Class::Function(idx));
+                    changes.push(VerdictChange::Identified {
+                        fqdn: fqdn.clone(),
+                        provider,
+                        region,
+                    });
+                }
+                None => {
+                    self.class.insert(fqdn.clone(), Class::Noise);
+                    self.unmatched += 1;
+                    changes.push(VerdictChange::Unmatched { fqdn: fqdn.clone() });
+                }
+            }
+        }
+
+        let mut touched: Vec<u32> = Vec::new();
+        for row in rows {
+            if let Some(Class::Function(idx)) = self.class.get(&row.fqdn) {
+                self.states[*idx as usize].absorb_row(row);
+                self.total_requests += row.cnt;
+                touched.push(*idx);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        // Indices are engine-lifetime insertion order; deltas sort by
+        // fqdn so consumers see a batching-independent order.
+        touched.sort_by(|a, b| {
+            self.states[*a as usize]
+                .fqdn
+                .cmp(&self.states[*b as usize].fqdn)
+        });
+        for idx in touched {
+            let st = &self.states[idx as usize];
+            changes.push(VerdictChange::Evidence {
+                fqdn: st.fqdn.clone(),
+                provider: st.provider,
+                total_requests: st.total,
+                days_count: st.days_count,
+                first_seen: st.first,
+                last_seen: st.last,
+            });
+        }
+        changes
+    }
+
+    /// Load pre-computed per-fqdn aggregates — the batch fast path.
+    /// Classification runs data-parallel over the whole set; no deltas
+    /// are emitted (the batch wrappers go straight to the report).
+    pub fn absorb_aggregates(&mut self, aggs: Vec<FqdnAggregate>) {
+        let verdicts: Vec<Option<(ProviderId, Option<String>)>> =
+            par_map_named(&aggs, self.workers, "identify/verdicts", |_, agg| {
+                classify(&agg.fqdn)
+            });
+        for (agg, verdict) in aggs.into_iter().zip(verdicts) {
+            match verdict {
+                Some((provider, region)) => {
+                    let idx = self.states.len() as u32;
+                    self.total_requests += agg.total_request_cnt;
+                    self.class.insert(agg.fqdn.clone(), Class::Function(idx));
+                    self.states
+                        .push(FnState::from_aggregate(agg, provider, region));
+                }
+                None => {
+                    self.class.insert(agg.fqdn.clone(), Class::Noise);
+                    self.unmatched += 1;
+                }
+            }
+        }
+    }
+
+    /// Provider of an already-identified fqdn (`None` for noise or
+    /// never-seen fqdns). O(1); the daemon uses this to route usage
+    /// rows without waiting on the delta stream.
+    pub fn provider_of(&self, fqdn: &Fqdn) -> Option<ProviderId> {
+        match self.class.get(fqdn) {
+            Some(Class::Function(idx)) => Some(self.states[*idx as usize].provider),
+            _ => None,
+        }
+    }
+
+    /// Current §3.2 aggregate of an identified fqdn.
+    pub fn aggregate_of(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        match self.class.get(fqdn) {
+            Some(Class::Function(idx)) => Some(self.states[*idx as usize].aggregate()),
+            _ => None,
+        }
+    }
+
+    /// Identified functions so far.
+    pub fn function_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Distinct non-matching fqdns so far.
+    pub fn unmatched_count(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Total requests across identified functions so far.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Materialize the batch-shaped report without consuming the
+    /// engine (functions sorted by fqdn, same as the sweep output).
+    pub fn report(&self) -> IdentificationReport {
+        self.clone_report(self.states.iter().map(|st| st.clone().into_identified()))
+    }
+
+    /// Consume the engine into its final report.
+    pub fn into_report(self) -> IdentificationReport {
+        let unmatched = self.unmatched;
+        let total_requests = self.total_requests;
+        let mut functions: Vec<IdentifiedFunction> = self
+            .states
+            .into_iter()
+            .map(FnState::into_identified)
+            .collect();
+        functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        IdentificationReport {
+            functions,
+            unmatched,
+            total_requests,
+        }
+    }
+
+    fn clone_report(
+        &self,
+        functions: impl Iterator<Item = IdentifiedFunction>,
+    ) -> IdentificationReport {
+        let mut functions: Vec<IdentifiedFunction> = functions.collect();
+        functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        IdentificationReport {
+            functions,
+            unmatched: self.unmatched,
+            total_requests: self.total_requests,
+        }
+    }
+}
+
+impl Default for IdentifyEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Scan a PDNS backend and identify all serverless function domains.
 pub fn identify_functions<B: PdnsBackend + ?Sized>(pdns: &B) -> IdentificationReport {
     identify_functions_with(pdns, default_workers())
@@ -87,41 +447,14 @@ pub fn identify_functions_with<B: PdnsBackend + ?Sized>(
 
 /// Identify functions from pre-computed per-fqdn aggregates — the
 /// columnar fast path. `fw_store::stream_snapshot_aggregates` feeds this
-/// directly from snapshot segments without building store tables.
+/// directly from snapshot segments without building store tables. A
+/// thin wrapper over [`IdentifyEngine`]: loads the aggregates into a
+/// fresh engine and materializes its report (functions sorted by fqdn;
+/// aggregates pass through verbatim).
 pub fn identify_from_aggregates(aggs: Vec<FqdnAggregate>, workers: usize) -> IdentificationReport {
-    // Classification (regex match + region extraction) is the per-fqdn
-    // CPU cost; run it data-parallel, then zip the verdicts back onto
-    // the owned aggregates.
-    let verdicts: Vec<Option<(ProviderId, Option<String>)>> =
-        par_map_named(&aggs, workers, "identify/verdicts", |_, agg| {
-            identify(&agg.fqdn)
-                .map(|provider| (provider, format_for(provider).region_of(&agg.fqdn)))
-        });
-    let mut functions = Vec::with_capacity(aggs.len());
-    let mut unmatched = 0u64;
-    let mut total_requests = 0u64;
-    for (agg, verdict) in aggs.into_iter().zip(verdicts) {
-        match verdict {
-            Some((provider, region)) => {
-                total_requests += agg.total_request_cnt;
-                functions.push(IdentifiedFunction {
-                    fqdn: agg.fqdn.clone(),
-                    provider,
-                    region,
-                    agg,
-                });
-            }
-            None => unmatched += 1,
-        }
-    }
-    // Deterministic order for downstream consumers (aggregates arrive
-    // sorted from both backends, but don't rely on it).
-    functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
-    IdentificationReport {
-        functions,
-        unmatched,
-        total_requests,
-    }
+    let mut engine = IdentifyEngine::with_workers(workers);
+    engine.absorb_aggregates(aggs);
+    engine.into_report()
 }
 
 /// Ablation (DESIGN.md §5.4): identification precision of suffix-only
@@ -245,6 +578,116 @@ mod tests {
                 assert_eq!(a.agg, b.agg);
             }
         }
+    }
+
+    fn rows_of(s: &PdnsStore) -> Vec<PdnsRow> {
+        let mut rows = Vec::new();
+        s.for_each_row(|fqdn, _rtype, rdata, day, cnt| {
+            rows.push(PdnsRow {
+                fqdn: fqdn.clone(),
+                rdata: rdata.clone(),
+                day,
+                cnt,
+            });
+        });
+        rows.sort_by(|a, b| (a.day, &a.fqdn).cmp(&(b.day, &b.fqdn)));
+        rows
+    }
+
+    #[test]
+    fn engine_rows_match_batch_sweep() {
+        let mut s = store_with(&[
+            ("1300000001-abcde12345-ap-guangzhou.scf.tencentcs.com", 10),
+            ("myfn-a1b2c3d4e5-uc.a.run.app", 7),
+            ("x2h5k7m9p1q3.lambda-url.us-east-1.on.aws", 3),
+            ("www.example.com", 100),
+        ]);
+        // Second day + second rdata for one function so day/rdata sets
+        // actually accumulate across batches.
+        let g2 = Fqdn::parse("myfn-a1b2c3d4e5-uc.a.run.app").unwrap();
+        s.observe_count(
+            &g2,
+            &Rdata::V4(Ipv4Addr::new(203, 0, 113, 9)),
+            DayStamp(19_101),
+            5,
+        );
+        let batch_report = identify_functions_with(&s, 1);
+
+        let rows = rows_of(&s);
+        // One batch, and row-by-row batches, must both converge on the
+        // batch sweep's exact report.
+        for batch_size in [rows.len(), 1] {
+            let mut engine = IdentifyEngine::with_workers(1);
+            for chunk in rows.chunks(batch_size.max(1)) {
+                engine.apply_rows(chunk);
+            }
+            let streamed = engine.into_report();
+            assert_eq!(streamed.unmatched, batch_report.unmatched);
+            assert_eq!(streamed.total_requests, batch_report.total_requests);
+            assert_eq!(streamed.functions.len(), batch_report.functions.len());
+            for (a, b) in streamed.functions.iter().zip(&batch_report.functions) {
+                assert_eq!(a.fqdn, b.fqdn);
+                assert_eq!(a.provider, b.provider);
+                assert_eq!(a.region, b.region);
+                assert_eq!(a.agg, b.agg);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_deltas_fire_once_and_in_fqdn_order() {
+        let s = store_with(&[
+            ("myfn-a1b2c3d4e5-uc.a.run.app", 7),
+            ("x2h5k7m9p1q3.lambda-url.us-east-1.on.aws", 3),
+            ("www.example.com", 100),
+        ]);
+        let rows = rows_of(&s);
+        let mut engine = IdentifyEngine::with_workers(1);
+        let first = engine.apply_rows(&rows);
+        // 2 Identified + 1 Unmatched + 2 Evidence, fqdn-sorted within
+        // each group.
+        let identified: Vec<_> = first
+            .iter()
+            .filter_map(|c| match c {
+                VerdictChange::Identified { fqdn, .. } => Some(fqdn.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(identified.len(), 2);
+        assert!(identified[0] < identified[1]);
+        assert_eq!(
+            first
+                .iter()
+                .filter(|c| matches!(c, VerdictChange::Unmatched { .. }))
+                .count(),
+            1
+        );
+        let evidence: Vec<_> = first
+            .iter()
+            .filter_map(|c| match c {
+                VerdictChange::Evidence { fqdn, .. } => Some(fqdn.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evidence, identified);
+
+        // Replaying the same fqdns: no new verdicts, only evidence.
+        let again = engine.apply_rows(&rows);
+        assert!(again
+            .iter()
+            .all(|c| matches!(c, VerdictChange::Evidence { .. })));
+        let ev = again
+            .iter()
+            .find_map(|c| match c {
+                VerdictChange::Evidence {
+                    fqdn,
+                    total_requests,
+                    ..
+                } if fqdn.as_str().ends_with("a.run.app") => Some(*total_requests),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ev, 14, "evidence carries cumulative totals");
     }
 
     #[test]

@@ -28,5 +28,8 @@ pub mod report;
 pub mod status;
 pub mod usage;
 
-pub use identify::{identify_functions, IdentificationReport, IdentifiedFunction};
+pub use identify::{
+    identify_functions, IdentificationReport, IdentifiedFunction, IdentifyEngine, VerdictChange,
+};
 pub use pipeline::{FullReport, Pipeline, PipelineConfig};
+pub use usage::UsageState;

@@ -1,10 +1,19 @@
 //! Usage-status analyses (§4): trends, ingress, invocation patterns.
+//!
+//! Since DESIGN.md §14 the per-row accumulation lives in
+//! [`UsageState`], a delta-driven state machine shared by the streaming
+//! daemon (one `apply` per routed row) and the batch sweeps (each
+//! worker builds a partial state over its function chunk, partials
+//! merge commutatively). Both paths finish through the same
+//! materializers, so their outputs are identical for the same rows.
 
 use crate::identify::{IdentificationReport, IdentifiedFunction};
 use fw_analysis::par::{default_workers, par_map_named};
 use fw_analysis::stats;
 use fw_dns::pdns::PdnsBackend;
-use fw_types::{MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START};
+use fw_types::{
+    DayStamp, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START,
+};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -19,7 +28,7 @@ fn function_chunks(n: usize, workers: usize) -> Vec<Range<usize>> {
 }
 
 /// Figure 3/4 series: per-month values for one provider (or the total).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonthlySeries {
     pub months: Vec<MonthStamp>,
     /// provider → per-month value; `None` key handled via [`MonthlySeries::total`].
@@ -61,6 +70,195 @@ fn window_months() -> Vec<MonthStamp> {
         .collect()
 }
 
+/// Incremental usage accumulator (DESIGN.md §14): per-provider monthly
+/// request sums (Figure 4) and per-provider/rtype rdata distributions
+/// (Table 2), folded in one row at a time.
+///
+/// All updates are commutative sums, so states built from any
+/// partition and ordering of the same rows [`merge`](Self::merge) to
+/// the same result — the property the batch wrappers (per-worker
+/// partial states) and the streaming daemon (one long-lived state)
+/// both lean on. Tracking is opt-in per table so the batch sweeps
+/// don't pay for `rdata.text()` keys they won't read.
+#[derive(Debug, Clone)]
+pub struct UsageState {
+    track_monthly: bool,
+    track_ingress: bool,
+    n_months: usize,
+    monthly: HashMap<ProviderId, Vec<u64>>,
+    /// provider → rtype slot `(A, CNAME, AAAA)` → rdata text → requests.
+    ingress: HashMap<ProviderId, [HashMap<String, u64>; 3]>,
+}
+
+impl UsageState {
+    /// Track both tables (the streaming daemon's configuration).
+    pub fn new() -> Self {
+        Self::tracking(true, true)
+    }
+
+    /// Track only the monthly request series.
+    pub fn monthly_only() -> Self {
+        Self::tracking(true, false)
+    }
+
+    /// Track only the ingress rdata distributions.
+    pub fn ingress_only() -> Self {
+        Self::tracking(false, true)
+    }
+
+    fn tracking(monthly: bool, ingress: bool) -> Self {
+        UsageState {
+            track_monthly: monthly,
+            track_ingress: ingress,
+            n_months: window_months().len(),
+            monthly: HashMap::new(),
+            ingress: HashMap::new(),
+        }
+    }
+
+    /// Fold in one row of an *identified* function (routing rows by
+    /// verdict is the caller's job; classification is per-fqdn pure, so
+    /// streaming and batch route identically).
+    pub fn apply(
+        &mut self,
+        provider: ProviderId,
+        rtype: RecordType,
+        rdata: &Rdata,
+        day: DayStamp,
+        cnt: u64,
+    ) {
+        if self.track_monthly {
+            if let Some(idx) = month_index_of(day) {
+                self.monthly
+                    .entry(provider)
+                    .or_insert_with(|| vec![0; self.n_months])[idx] += cnt;
+            }
+        }
+        if self.track_ingress {
+            let slot = match rtype {
+                RecordType::A => 0,
+                RecordType::Cname => 1,
+                RecordType::Aaaa => 2,
+            };
+            *self.ingress.entry(provider).or_default()[slot]
+                .entry(rdata.text())
+                .or_insert(0) += cnt;
+        }
+    }
+
+    /// Ensure the provider has an (possibly empty) ingress entry — the
+    /// row-scan formulation produced one for every provider with an
+    /// identified function, even a function with no stored rows.
+    fn touch_ingress(&mut self, provider: ProviderId) {
+        if self.track_ingress {
+            self.ingress.entry(provider).or_default();
+        }
+    }
+
+    /// Merge a partial state in (commutative, associative).
+    pub fn merge(&mut self, other: UsageState) {
+        for (provider, series) in other.monthly {
+            match self.monthly.entry(provider) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(series);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (acc, v) in e.get_mut().iter_mut().zip(series) {
+                        *acc += v;
+                    }
+                }
+            }
+        }
+        for (provider, maps) in other.ingress {
+            let acc = self.ingress.entry(provider).or_default();
+            for (slot, map) in maps.into_iter().enumerate() {
+                for (text, cnt) in map {
+                    *acc[slot].entry(text).or_insert(0) += cnt;
+                }
+            }
+        }
+    }
+
+    /// Materialize the Figure 4 monthly series.
+    pub fn monthly_series(&self) -> MonthlySeries {
+        let mut per_provider = self.monthly.clone();
+        // The row-scan formulation only created a provider entry when a
+        // row fell inside the measurement window; keep that contract.
+        per_provider.retain(|_, series| series.iter().any(|v| *v > 0));
+        MonthlySeries {
+            months: window_months(),
+            per_provider,
+        }
+    }
+
+    /// Materialize the Table 2 rows against an identification report
+    /// (domain/request/region columns come from the report; the rdata
+    /// distribution columns from this state).
+    pub fn ingress_rows(&self, report: &IdentificationReport) -> Vec<IngressRow> {
+        let mut rows = Vec::new();
+        let domains = report.domains_per_provider();
+        let requests = report.requests_per_provider();
+        for provider in ProviderId::ALL {
+            let Some(maps) = self.ingress.get(&provider) else {
+                continue;
+            };
+            let regions: u64 = {
+                let mut set: Vec<&str> = report
+                    .functions
+                    .iter()
+                    .filter(|f| f.provider == provider)
+                    .filter_map(|f| f.region.as_deref())
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                set.len() as u64
+            };
+            let totals: Vec<u64> = maps.iter().map(|m| m.values().sum::<u64>()).collect();
+            let grand: u64 = totals.iter().sum();
+            let share = |slot: usize| {
+                if grand == 0 {
+                    0.0
+                } else {
+                    totals[slot] as f64 / grand as f64
+                }
+            };
+            let per_slot = |slot: usize| -> (u64, f64, f64) {
+                // Sorted so the f64 reductions below are a pure function
+                // of the count multiset — the HashMap's iteration order
+                // (which differs between incremental and swept states)
+                // must not leak into the table through float rounding.
+                let mut counts: Vec<u64> = maps[slot].values().copied().collect();
+                counts.sort_unstable();
+                (
+                    counts.len() as u64,
+                    stats::top_k_share(&counts, 10),
+                    stats::entropy_bits(&counts),
+                )
+            };
+            let (c0, t0, e0) = per_slot(0);
+            let (c1, t1, e1) = per_slot(1);
+            let (c2, t2, e2) = per_slot(2);
+            rows.push(IngressRow {
+                provider,
+                domains: domains.get(&provider).copied().unwrap_or(0),
+                total_requests: requests.get(&provider).copied().unwrap_or(0),
+                regions,
+                rtype_share: (share(0), share(1), share(2)),
+                rdata_cnt: (c0, c1, c2),
+                top10: (t0, t1, t2),
+                entropy_bits: (e0, e1, e2),
+            });
+        }
+        rows
+    }
+}
+
+impl Default for UsageState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Figure 3: newly-observed function fqdns per month (by
 /// `first_seen_all`).
 pub fn monthly_new_fqdns(report: &IdentificationReport) -> MonthlySeries {
@@ -97,48 +295,25 @@ pub fn monthly_requests_with<B: PdnsBackend + ?Sized>(
     pdns: &B,
     workers: usize,
 ) -> MonthlySeries {
-    let months = window_months();
-    let n_months = months.len();
     let chunks = function_chunks(report.functions.len(), workers);
-    let parts: Vec<HashMap<ProviderId, Vec<u64>>> =
-        par_map_named(&chunks, workers, "usage/monthly", |_, range| {
-            let mut part: HashMap<ProviderId, Vec<u64>> = HashMap::new();
-            for f in &report.functions[range.clone()] {
-                let series = part.entry(f.provider).or_insert_with(|| vec![0; n_months]);
-                pdns.for_each_record_of(&f.fqdn, &mut |_rtype, _rdata, pdate, cnt| {
-                    if let Some(idx) = month_index_of(pdate) {
-                        series[idx] += cnt;
-                    }
-                });
-            }
-            part
-        });
-    let mut per_provider: HashMap<ProviderId, Vec<u64>> = HashMap::new();
-    for part in parts {
-        for (provider, series) in part {
-            match per_provider.entry(provider) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(series);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (acc, v) in e.get_mut().iter_mut().zip(series) {
-                        *acc += v;
-                    }
-                }
-            }
+    let parts: Vec<UsageState> = par_map_named(&chunks, workers, "usage/monthly", |_, range| {
+        let mut part = UsageState::monthly_only();
+        for f in &report.functions[range.clone()] {
+            pdns.for_each_record_of(&f.fqdn, &mut |rtype, rdata, pdate, cnt| {
+                part.apply(f.provider, rtype, rdata, pdate, cnt);
+            });
         }
+        part
+    });
+    let mut state = UsageState::monthly_only();
+    for part in parts {
+        state.merge(part);
     }
-    // The row-scan formulation only created a provider entry when a row
-    // fell inside the measurement window; keep that contract.
-    per_provider.retain(|_, series| series.iter().any(|v| *v > 0));
-    MonthlySeries {
-        months,
-        per_provider,
-    }
+    state.monthly_series()
 }
 
 /// Table 2 row computed from the measured data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IngressRow {
     pub provider: ProviderId,
     pub domains: u64,
@@ -173,90 +348,26 @@ pub fn ingress_table_with<B: PdnsBackend + ?Sized>(
     pdns: &B,
     workers: usize,
 ) -> Vec<IngressRow> {
-    // provider → rtype → rdata text → requests.
     let chunks = function_chunks(report.functions.len(), workers);
-    let parts: Vec<HashMap<ProviderId, [HashMap<String, u64>; 3]>> =
-        par_map_named(&chunks, workers, "usage/ingress", |_, range| {
-            let mut part: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
-            for f in &report.functions[range.clone()] {
-                let maps = part.entry(f.provider).or_default();
-                pdns.for_each_record_of(&f.fqdn, &mut |rtype, rdata, _pdate, cnt| {
-                    let slot = match rtype {
-                        RecordType::A => 0,
-                        RecordType::Cname => 1,
-                        RecordType::Aaaa => 2,
-                    };
-                    *maps[slot].entry(rdata.text()).or_insert(0) += cnt;
-                });
-            }
-            part
-        });
-    let mut dist: HashMap<ProviderId, [HashMap<String, u64>; 3]> = HashMap::new();
-    for part in parts {
-        for (provider, maps) in part {
-            let acc = dist.entry(provider).or_default();
-            for (slot, map) in maps.into_iter().enumerate() {
-                for (text, cnt) in map {
-                    *acc[slot].entry(text).or_insert(0) += cnt;
-                }
-            }
+    let parts: Vec<UsageState> = par_map_named(&chunks, workers, "usage/ingress", |_, range| {
+        let mut part = UsageState::ingress_only();
+        for f in &report.functions[range.clone()] {
+            part.touch_ingress(f.provider);
+            pdns.for_each_record_of(&f.fqdn, &mut |rtype, rdata, pdate, cnt| {
+                part.apply(f.provider, rtype, rdata, pdate, cnt);
+            });
         }
+        part
+    });
+    let mut state = UsageState::ingress_only();
+    for part in parts {
+        state.merge(part);
     }
-
-    let mut rows = Vec::new();
-    let domains = report.domains_per_provider();
-    let requests = report.requests_per_provider();
-    for provider in ProviderId::ALL {
-        let Some(maps) = dist.get(&provider) else {
-            continue;
-        };
-        let regions: u64 = {
-            let mut set: Vec<&str> = report
-                .functions
-                .iter()
-                .filter(|f| f.provider == provider)
-                .filter_map(|f| f.region.as_deref())
-                .collect();
-            set.sort_unstable();
-            set.dedup();
-            set.len() as u64
-        };
-        let totals: Vec<u64> = maps.iter().map(|m| m.values().sum::<u64>()).collect();
-        let grand: u64 = totals.iter().sum();
-        let share = |slot: usize| {
-            if grand == 0 {
-                0.0
-            } else {
-                totals[slot] as f64 / grand as f64
-            }
-        };
-        let per_slot = |slot: usize| -> (u64, f64, f64) {
-            let counts: Vec<u64> = maps[slot].values().copied().collect();
-            (
-                counts.len() as u64,
-                stats::top_k_share(&counts, 10),
-                stats::entropy_bits(&counts),
-            )
-        };
-        let (c0, t0, e0) = per_slot(0);
-        let (c1, t1, e1) = per_slot(1);
-        let (c2, t2, e2) = per_slot(2);
-        rows.push(IngressRow {
-            provider,
-            domains: domains.get(&provider).copied().unwrap_or(0),
-            total_requests: requests.get(&provider).copied().unwrap_or(0),
-            regions,
-            rtype_share: (share(0), share(1), share(2)),
-            rdata_cnt: (c0, c1, c2),
-            top10: (t0, t1, t2),
-            entropy_bits: (e0, e1, e2),
-        });
-    }
-    rows
+    state.ingress_rows(report)
 }
 
 /// Figure 5 + §4.3 statistics over function-identifiable providers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationReport {
     pub functions: u64,
     /// Fraction with fewer than 5 total requests.

@@ -30,6 +30,21 @@ pub struct PdnsRecord {
     pub pdate: DayStamp,
 }
 
+/// One streamed daily observation — the wire-level unit the sensing
+/// daemon (`fw-stream`) ingests and the delta-driven identify/usage
+/// updaters in `fw-core` consume. Unlike [`PdnsRecord`] it carries no
+/// derived first/last-seen state: it is a raw `(fqdn, rdata, day, cnt)`
+/// fact, and replaying any permutation of the same multiset of rows
+/// into a [`PdnsBackend`] (or the incremental engines) yields the same
+/// aggregates. The record type is derivable via `rdata.rtype()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdnsRow {
+    pub fqdn: Fqdn,
+    pub rdata: Rdata,
+    pub day: DayStamp,
+    pub cnt: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct DailyRow {
     pdate: DayStamp,

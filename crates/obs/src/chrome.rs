@@ -83,8 +83,8 @@ pub fn to_chrome_json(dump: &TraceDump) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json::Json;
     use crate::trace::{TraceEvent, ARG_NONE};
+    use crate::Json;
 
     fn sample_dump() -> TraceDump {
         let mk = |kind, span_id, parent_id, tid, name_id, arg, wall_ns| TraceEvent {

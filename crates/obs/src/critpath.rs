@@ -304,7 +304,7 @@ mod tests {
         let text = rep.render_text();
         assert!(text.contains("critical path of root"));
         assert!(text.contains("100.00%"), "exact attribution: {text}");
-        let j = crate::json::Json::parse(&rep.render_json()).expect("valid JSON");
+        let j = crate::Json::parse(&rep.render_json()).expect("valid JSON");
         assert_eq!(j.get("total_ns").and_then(|v| v.as_u64()), Some(100));
         assert_eq!(j.get("attributed_ns").and_then(|v| v.as_u64()), Some(100));
         assert_eq!(

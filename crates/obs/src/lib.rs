@@ -32,7 +32,6 @@ mod chrome;
 mod critpath;
 mod flame;
 mod forest;
-mod json;
 mod metric;
 mod registry;
 mod report;
@@ -43,7 +42,10 @@ pub use chrome::to_chrome_json;
 pub use critpath::{critical_path, CritEntry, CritReport};
 pub use flame::to_folded_stacks;
 pub use forest::{build_forest, validate_forest, Forest, SpanNode};
-pub use json::Json;
+// The JSON value type lives in `fw-types` (shared with the bench gate
+// and the streaming daemon's checkpoint format); re-exported here for
+// the trace/report consumers that predate the move.
+pub use fw_types::Json;
 pub use metric::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, NUM_BUCKETS};
 pub use registry::Registry;
 pub use report::{artifact_paths, write_trace_reports, TraceReportPaths};

@@ -221,30 +221,46 @@ impl Registry {
 }
 
 /// Minimal JSON string quoting; metric names are ASCII by convention
-/// but escape defensively anyway. Shared with the trace exporters.
+/// but escape defensively anyway. Shared with the trace exporters;
+/// the implementation lives in `fw-types` alongside the parser so
+/// every hand-rolled writer in the workspace escapes identically.
 pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    fw_types::json::escape(s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Json;
+
+    #[test]
+    fn parses_registry_export() {
+        let r = Registry::new();
+        r.counter("fw.test.a\"quote").add(3);
+        r.gauge("g").set(-7);
+        r.histogram("h").record(100);
+        r.record_stage("root/child", 12345, 6);
+        let v = Json::parse(&r.render_json()).expect("registry JSON parses");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("fw.test.a\"quote"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("g"))
+                .and_then(Json::as_f64),
+            Some(-7.0)
+        );
+        assert_eq!(
+            v.get("stages")
+                .and_then(|s| s.get("root/child"))
+                .and_then(|s| s.get("wall_ns"))
+                .and_then(Json::as_u64),
+            Some(12345)
+        );
+    }
 
     #[test]
     fn handles_are_shared_per_name() {

@@ -93,7 +93,7 @@ mod tests {
         let paths = write_trace_reports(&d, &trace_path).unwrap();
         assert!(paths.chrome.ends_with("run.chrome.json"));
         let chrome = std::fs::read_to_string(&paths.chrome).unwrap();
-        assert!(crate::json::Json::parse(&chrome).is_ok());
+        assert!(crate::Json::parse(&chrome).is_ok());
         let folded = std::fs::read_to_string(&paths.folded).unwrap();
         assert!(folded.contains("root;a "));
         let crit = paths.crit.expect("critical path computed");

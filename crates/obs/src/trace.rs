@@ -579,7 +579,7 @@ impl TraceDump {
     /// Parse a JSONL dump written by [`TraceDump::to_jsonl`]. Names are
     /// re-interned into a dump-local table.
     pub fn from_jsonl(text: &str) -> Result<TraceDump, String> {
-        use crate::json::Json;
+        use crate::Json;
         let mut dump = TraceDump::default();
         let mut name_ids: HashMap<String, u32> = HashMap::new();
         for (lineno, line) in text.lines().enumerate() {

@@ -1,0 +1,455 @@
+//! Streaming gate: replay a generated world through the sensing daemon
+//! in virtual time, prove the end state equals a batch run, and emit
+//! detection-latency benchmarks to `BENCH_stream.json` (DESIGN.md §14;
+//! CI runs this at scale 0.1).
+//!
+//! ```text
+//! fw_stream_gate [--scale <f64>] [--seed <u64>] [--batches-per-day <n>]
+//!                [--workers <n>] [--out <path>] [--metrics]
+//!                [--trace] [--trace-out <path>]
+//! ```
+//!
+//! Defaults: scale 0.1, seed 42, one batch per virtual day, workers 0
+//! (one per core), JSON to `BENCH_stream.json`.
+//!
+//! Stages:
+//!
+//! 1. **generate** — the PDNS-only world (same flavor the usage
+//!    figures consume).
+//! 2. **prepare** — flatten the store into time-ordered rows and cut
+//!    them into watermarked batches.
+//! 3. **stream** — replay every batch over `SimNet` into a
+//!    [`StreamDaemon`] in accelerated virtual time; wall time here
+//!    yields the sustained rows/s figure.
+//! 4. **verify** — recompute everything with the batch pipeline and
+//!    diff field-for-field against the daemon's incremental state
+//!    ([`fw_stream::check_equivalence`]). Any divergence exits
+//!    non-zero, so CI enforces the streaming ↔ batch contract on every
+//!    run, not just in unit tests.
+//!
+//! Detection latency is scored against the world's ground truth: for
+//! each abuse family, the virtual days from a function's first row to
+//! the batch that flagged it, reported as p50/p99 plus coverage
+//! (families whose campaigns never cross the candidate gate show up as
+//! `detected < total`, not as silent omissions). The `detect_p50` /
+//! `detect_p99` pseudo-stages carry those latencies (in virtual
+//! milliseconds — fully deterministic for a given scale/seed) through
+//! the `history` array, so `bench_regress` gates on detection-latency
+//! regressions exactly like wall-time regressions.
+
+use fw_stream::{
+    check_equivalence, collect_rows, day_batches, replay_in_memory, Detection, StreamConfig, DAY_US,
+};
+use fw_types::{Fqdn, Json};
+use fw_workload::{AbuseCase, World, WorldConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn arg_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+/// Peak resident set (VmHWM) in KiB; `None` off Linux or if unreadable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Stage {
+    name: &'static str,
+    ms: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// How many runs the report's `history` array retains (newest last).
+const HISTORY_CAP: usize = 50;
+
+/// Previous runs recorded in an existing report at `out`, rendered as
+/// compact JSON objects ready to splice into the rewritten file.
+fn prior_history(out: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(out) else {
+        return Vec::new();
+    };
+    let Ok(old) = Json::parse(&text) else {
+        eprintln!(
+            "[history] existing {} is not valid JSON; starting a fresh history",
+            out.display()
+        );
+        return Vec::new();
+    };
+    match old.get("history").and_then(Json::as_arr) {
+        Some(entries) => entries.iter().map(Json::render).collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Detection-latency stats for one abuse family.
+struct FamilyStats {
+    case: AbuseCase,
+    total: usize,
+    detected: usize,
+    p50_days: f64,
+    p99_days: f64,
+}
+
+/// Join the scorer's detections against the world's abuse ground truth.
+fn family_table(world: &World, detections: &[Detection]) -> Vec<FamilyStats> {
+    let flagged: HashMap<&Fqdn, &Detection> = detections.iter().map(|d| (&d.fqdn, d)).collect();
+    let mut latencies: HashMap<AbuseCase, Vec<f64>> = HashMap::new();
+    let mut totals: HashMap<AbuseCase, usize> = HashMap::new();
+    for f in world.abuse_functions() {
+        let case = f
+            .truth
+            .abuse_case()
+            .expect("abuse_functions filters on Abuse");
+        *totals.entry(case).or_insert(0) += 1;
+        if let Some(d) = flagged.get(&f.fqdn) {
+            latencies
+                .entry(case)
+                .or_default()
+                .push(d.latency_us() as f64 / DAY_US as f64);
+        }
+    }
+    AbuseCase::ALL
+        .iter()
+        .map(|&case| {
+            let mut lats = latencies.remove(&case).unwrap_or_default();
+            lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            FamilyStats {
+                case,
+                total: totals.get(&case).copied().unwrap_or(0),
+                detected: lats.len(),
+                p50_days: percentile(&lats, 50.0),
+                p99_days: percentile(&lats, 99.0),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut seed = 42u64;
+    let mut batches_per_day = 1u32;
+    let mut workers = 0usize;
+    let mut out = PathBuf::from("BENCH_stream.json");
+    let mut trace_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = arg_num(&mut args, "--scale"),
+            "--seed" => seed = arg_num(&mut args, "--seed"),
+            "--batches-per-day" => batches_per_day = arg_num(&mut args, "--batches-per-day"),
+            "--workers" => workers = arg_num(&mut args, "--workers"),
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--metrics" => fw_obs::set_enabled(true),
+            "--trace" => fw_obs::set_trace_enabled(true),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: fw_stream_gate [--scale <f64>] [--seed <u64>] [--batches-per-day <n>] [--workers <n>] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if batches_per_day == 0 {
+        die("--batches-per-day must be >= 1");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = if workers == 0 { cores } else { workers };
+
+    let gate_span = fw_obs::span("gate/stream");
+    let mut stages: Vec<Stage> = Vec::new();
+    let total_start = Instant::now();
+
+    // 1. Generate the world the daemon will sense.
+    eprintln!("[generate] scale {scale} seed {seed}");
+    let t = Instant::now();
+    let world = {
+        let _s = fw_obs::span("gate/generate");
+        World::generate(WorldConfig::usage(seed, scale))
+    };
+    stages.push(Stage {
+        name: "generate",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[generate] {:.1} ms: {} functions, {} fqdns, {} rows",
+        stages[0].ms,
+        world.functions.len(),
+        world.pdns.fqdn_count(),
+        world.pdns.record_count()
+    );
+
+    // 2. Flatten into time-ordered rows and cut watermarked batches.
+    let t = Instant::now();
+    let batches = {
+        let _s = fw_obs::span("gate/prepare");
+        day_batches(&collect_rows(&world.pdns), batches_per_day)
+    };
+    let row_count: u64 = batches.iter().map(|b| b.rows.len() as u64).sum();
+    stages.push(Stage {
+        name: "prepare",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[prepare] {:.1} ms: {} batches ({batches_per_day}/day), {row_count} rows",
+        stages[1].ms,
+        batches.len()
+    );
+
+    // 3. Replay through the daemon in virtual time.
+    let config = StreamConfig {
+        workers,
+        batches_per_day,
+        ..StreamConfig::default()
+    };
+    let t = Instant::now();
+    let result = replay_in_memory(batches, &config, seed);
+    let stream_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rows_per_sec = row_count as f64 / (stream_ms / 1e3);
+    stages.push(Stage {
+        name: "stream",
+        ms: stream_ms,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    let cp = result.final_state.checkpoint;
+    let virtual_days = result.virtual_us as f64 / DAY_US as f64;
+    eprintln!(
+        "[stream] {stream_ms:.1} ms wall for {virtual_days:.0} virtual days: {} batches, {row_count} rows ({rows_per_sec:.0} rows/s), {} identified, {} candidates",
+        cp.batches, cp.identified, cp.candidates
+    );
+
+    // 4. Verify streaming ↔ batch equivalence — the CI diff.
+    let t = Instant::now();
+    {
+        let _s = fw_obs::span("gate/verify");
+        if let Err(e) = check_equivalence(&result.final_state, &world.pdns, workers) {
+            die(&format!("streaming/batch equivalence FAILED: {e}"));
+        }
+    }
+    stages.push(Stage {
+        name: "verify",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[verify] {:.1} ms: daemon end state == batch pipeline ({} functions, {} unmatched)",
+        stages[3].ms,
+        result.final_state.report.functions.len(),
+        result.final_state.report.unmatched
+    );
+
+    // Detection latency vs ground truth, overall and per abuse family.
+    let families = family_table(&world, &result.final_state.detections);
+    let mut all_lats: Vec<f64> = world
+        .abuse_functions()
+        .filter_map(|f| {
+            result
+                .final_state
+                .detections
+                .iter()
+                .find(|d| d.fqdn == f.fqdn)
+                .map(|d| d.latency_us() as f64 / DAY_US as f64)
+        })
+        .collect();
+    all_lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let abuse_total: usize = families.iter().map(|f| f.total).sum();
+    let abuse_detected = all_lats.len();
+    let detect_p50_days = percentile(&all_lats, 50.0);
+    let detect_p99_days = percentile(&all_lats, 99.0);
+    eprintln!(
+        "[detect] {abuse_detected}/{abuse_total} abuse functions flagged; latency p50 {detect_p50_days:.1} d, p99 {detect_p99_days:.1} d (virtual)"
+    );
+    for f in &families {
+        if f.detected > 0 {
+            eprintln!(
+                "[detect]   {:<24} {}/{} p50 {:.1} d p99 {:.1} d",
+                f.case.label(),
+                f.detected,
+                f.total,
+                f.p50_days,
+                f.p99_days
+            );
+        } else {
+            eprintln!(
+                "[detect]   {:<24} 0/{} (coverage gap: below candidate gate)",
+                f.case.label(),
+                f.total
+            );
+        }
+    }
+
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_kb();
+
+    drop(gate_span);
+    let tracing = fw_obs::trace_enabled();
+    let trace_path = trace_out.unwrap_or_else(|| {
+        let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        out.with_file_name(format!("{stem}.trace.jsonl"))
+    });
+    let dump = if tracing {
+        Some(fw_obs::drain_trace())
+    } else {
+        None
+    };
+
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let rss_json = |kb: Option<u64>| kb.map_or("null".to_string(), |kb| kb.to_string());
+    let num_or_null = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    // Detection latencies restated in *virtual milliseconds* so they
+    // ride the history's `*_ms` convention and bench_regress gates on
+    // them like any stage wall time. Deterministic per (scale, seed).
+    let detect_p50_ms = detect_p50_days * 86_400_000.0;
+    let detect_p99_ms = detect_p99_days * 86_400_000.0;
+
+    let mut entry = format!(
+        "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"seed\": {seed}, \"workers\": {workers}, \"batches_per_day\": {batches_per_day}, \"total_ms\": {total_ms:.3}"
+    );
+    for s in &stages {
+        entry.push_str(&format!(", \"{}_ms\": {:.3}", s.name, s.ms));
+    }
+    entry.push_str(&format!(
+        ", \"detect_p50_ms\": {}, \"detect_p99_ms\": {}",
+        num_or_null(detect_p50_ms),
+        num_or_null(detect_p99_ms)
+    ));
+    entry.push_str(&format!(
+        ", \"rows\": {row_count}, \"stream_rows_per_sec\": {rows_per_sec:.0}, \"peak_rss_kb\": {}}}",
+        rss_json(rss)
+    ));
+    let mut history = prior_history(&out);
+    history.push(entry);
+    if history.len() > HISTORY_CAP {
+        let drop_n = history.len() - HISTORY_CAP;
+        history.drain(..drop_n);
+    }
+
+    // Hand-rolled JSON, same layout conventions as BENCH_pipeline.json.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"scale\": {scale}, \"seed\": {seed}, \"workers\": {workers}, \"batches_per_day\": {batches_per_day}}},\n"
+    ));
+    json.push_str("  \"stages\": {\n");
+    for s in stages.iter() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"ms\": {:.3}, \"peak_rss_kb\": {}}},\n",
+            s.name,
+            s.ms,
+            rss_json(s.peak_rss_kb)
+        ));
+    }
+    // Virtual-time pseudo-stages: deterministic detection latencies in
+    // the same {"ms": ...} shape so bench_regress sees them as stages.
+    json.push_str(&format!(
+        "    \"detect_p50\": {{\"ms\": {}, \"peak_rss_kb\": null}},\n",
+        num_or_null(detect_p50_ms)
+    ));
+    json.push_str(&format!(
+        "    \"detect_p99\": {{\"ms\": {}, \"peak_rss_kb\": null}}\n",
+        num_or_null(detect_p99_ms)
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+    json.push_str(&format!("  \"rows\": {row_count},\n"));
+    json.push_str(&format!("  \"virtual_days\": {virtual_days:.3},\n"));
+    json.push_str(&format!("  \"wire_bytes\": {},\n", result.wire_bytes));
+    json.push_str(&format!("  \"stream_rows_per_sec\": {rows_per_sec:.0},\n"));
+    json.push_str(&format!(
+        "  \"checkpoint\": {},\n",
+        result.final_state.checkpoint.to_json().render()
+    ));
+    json.push_str(&format!(
+        "  \"abuse\": {{\"total\": {abuse_total}, \"detected\": {abuse_detected}, \"p50_days\": {}, \"p99_days\": {}}},\n",
+        num_or_null(detect_p50_days),
+        num_or_null(detect_p99_days)
+    ));
+    json.push_str("  \"families\": [\n");
+    for (i, f) in families.iter().enumerate() {
+        let comma = if i + 1 == families.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"family\": {}, \"total\": {}, \"detected\": {}, \"p50_days\": {}, \"p99_days\": {}}}{comma}\n",
+            fw_types::Json::Str(f.case.label().to_string()).render(),
+            f.total,
+            f.detected,
+            num_or_null(f.p50_days),
+            num_or_null(f.p99_days)
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"peak_rss_kb\": {},\n", rss_json(rss)));
+    json.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 == history.len() { "" } else { "," };
+        json.push_str(&format!("    {entry}{comma}\n"));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+
+    println!(
+        "stream gate: scale {scale} seed {seed} total {total_ms:.0} ms (generate {:.0} / prepare {:.0} / stream {:.0} / verify {:.0}); {rows_per_sec:.0} rows/s, detect p50 {detect_p50_days:.1} d; report -> {}",
+        stages[0].ms, stages[1].ms, stages[2].ms, stages[3].ms, out.display()
+    );
+
+    if let Some(dump) = &dump {
+        if let Err(e) = std::fs::write(&trace_path, dump.to_jsonl()) {
+            die(&format!("cannot write {}: {e}", trace_path.display()));
+        }
+        eprintln!(
+            "[trace] {} events ({} dropped) -> {}",
+            dump.events.len(),
+            dump.dropped,
+            trace_path.display()
+        );
+        match fw_obs::write_trace_reports(dump, &trace_path) {
+            Ok(paths) => {
+                eprintln!("[trace] chrome trace  -> {}", paths.chrome.display());
+                eprintln!("[trace] folded stacks -> {}", paths.folded.display());
+                eprintln!("[trace] critical path -> {}", paths.critpath_txt.display());
+            }
+            Err(e) => eprintln!("[trace] cannot write trace reports: {e}"),
+        }
+    }
+    if fw_obs::enabled() {
+        eprint!("{}", fw_obs::registry().render_text());
+    }
+}

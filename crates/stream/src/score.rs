@@ -1,0 +1,213 @@
+//! Abuse-candidate re-scoring over the verdict delta stream.
+//!
+//! The batch pipeline scans for abuse once, after the fact; the daemon
+//! instead keeps a candidate set current, re-scoring each identified
+//! function every time a batch brings new evidence. The gate here is
+//! deliberately the cheap front-of-funnel from the paper's abuse
+//! analysis (§5): campaigns that matter run *sustained* — multiple
+//! active days — or *hot* — request bursts well beyond the §4.3 "most
+//! functions see < 5 requests" baseline. A function crossing either
+//! threshold becomes a candidate for the full content-side abuse scan;
+//! what this module measures is the *detection latency*: the virtual
+//! time between the first row that mentions a function and the batch
+//! whose cumulative evidence first crosses the gate. Families the gate
+//! never catches (e.g. 1–2-day dynamic redirects that stay under both
+//! thresholds) are reported as coverage gaps, not silently dropped.
+
+use fw_core::VerdictChange;
+use fw_types::{Fqdn, ProviderId};
+use std::collections::{HashMap, HashSet};
+
+/// Candidate gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreConfig {
+    /// Flag once a function has been active on at least this many
+    /// distinct days…
+    pub min_active_days: u32,
+    /// …or has accumulated at least this many requests (the §4.3
+    /// "> 100 requests" tail the paper calls out as the active
+    /// minority).
+    pub burst_requests: u64,
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        ScoreConfig {
+            min_active_days: 3,
+            burst_requests: 100,
+        }
+    }
+}
+
+/// One function crossing the candidate gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    pub fqdn: Fqdn,
+    pub provider: ProviderId,
+    /// Virtual time the stream first mentioned the function.
+    pub first_seen_us: u64,
+    /// Virtual time of the batch whose evidence crossed the gate.
+    pub flagged_us: u64,
+}
+
+impl Detection {
+    /// Detection latency in virtual microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.flagged_us.saturating_sub(self.first_seen_us)
+    }
+}
+
+/// Incremental candidate scorer consuming [`VerdictChange`] deltas.
+/// Scope matches the paper's probing scope: only function-identifiable
+/// providers (a candidate must be attributable to one function).
+#[derive(Debug, Default)]
+pub struct CandidateScorer {
+    config: ScoreConfig,
+    first_seen_us: HashMap<Fqdn, u64>,
+    flagged: HashSet<Fqdn>,
+    detections: Vec<Detection>,
+}
+
+impl CandidateScorer {
+    pub fn new(config: ScoreConfig) -> Self {
+        CandidateScorer {
+            config,
+            first_seen_us: HashMap::new(),
+            flagged: HashSet::new(),
+            detections: Vec::new(),
+        }
+    }
+
+    /// Fold in one batch's deltas, stamped with the batch's virtual
+    /// arrival time. Returns how many functions were newly flagged.
+    pub fn observe(&mut self, changes: &[VerdictChange], now_us: u64) -> u64 {
+        let mut newly = 0;
+        for change in changes {
+            match change {
+                VerdictChange::Identified { fqdn, provider, .. } => {
+                    if provider.function_identifiable() {
+                        self.first_seen_us.entry(fqdn.clone()).or_insert(now_us);
+                    }
+                }
+                VerdictChange::Evidence {
+                    fqdn,
+                    provider,
+                    total_requests,
+                    days_count,
+                    ..
+                } => {
+                    if !provider.function_identifiable() || self.flagged.contains(fqdn) {
+                        continue;
+                    }
+                    if *days_count >= self.config.min_active_days
+                        || *total_requests >= self.config.burst_requests
+                    {
+                        let first = self.first_seen_us.get(fqdn).copied().unwrap_or(now_us);
+                        self.flagged.insert(fqdn.clone());
+                        self.detections.push(Detection {
+                            fqdn: fqdn.clone(),
+                            provider: *provider,
+                            first_seen_us: first,
+                            flagged_us: now_us,
+                        });
+                        newly += 1;
+                    }
+                }
+                VerdictChange::Unmatched { .. } => {}
+            }
+        }
+        newly
+    }
+
+    /// Functions flagged so far, in flag order.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    pub fn candidate_count(&self) -> u64 {
+        self.detections.len() as u64
+    }
+
+    pub fn into_detections(self) -> Vec<Detection> {
+        self.detections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fqdn(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    fn evidence(f: &Fqdn, provider: ProviderId, total: u64, days: u32) -> VerdictChange {
+        VerdictChange::Evidence {
+            fqdn: f.clone(),
+            provider,
+            total_requests: total,
+            days_count: days,
+            first_seen: fw_types::DayStamp(19_100),
+            last_seen: fw_types::DayStamp(19_100 + days as i64),
+        }
+    }
+
+    #[test]
+    fn flags_once_on_threshold_with_latency() {
+        let f = fqdn("x2h5k7m9p1q3.lambda-url.us-east-1.on.aws");
+        let mut scorer = CandidateScorer::new(ScoreConfig::default());
+        let identified = VerdictChange::Identified {
+            fqdn: f.clone(),
+            provider: ProviderId::Aws,
+            region: None,
+        };
+        assert_eq!(
+            scorer.observe(&[identified, evidence(&f, ProviderId::Aws, 5, 1)], 1_000),
+            0
+        );
+        // Crosses the day threshold two batches later.
+        assert_eq!(
+            scorer.observe(&[evidence(&f, ProviderId::Aws, 20, 3)], 5_000),
+            1
+        );
+        // Never re-flagged.
+        assert_eq!(
+            scorer.observe(&[evidence(&f, ProviderId::Aws, 900, 9)], 9_000),
+            0
+        );
+        let d = &scorer.detections()[0];
+        assert_eq!(d.first_seen_us, 1_000);
+        assert_eq!(d.flagged_us, 5_000);
+        assert_eq!(d.latency_us(), 4_000);
+    }
+
+    #[test]
+    fn burst_gate_and_scope() {
+        let aws = fqdn("abc111.lambda-url.us-east-1.on.aws");
+        let goog = fqdn("us-central1-proj.cloudfunctions.net");
+        let mut scorer = CandidateScorer::new(ScoreConfig::default());
+        // Burst on day one flags immediately.
+        assert_eq!(
+            scorer.observe(
+                &[
+                    VerdictChange::Identified {
+                        fqdn: aws.clone(),
+                        provider: ProviderId::Aws,
+                        region: None,
+                    },
+                    evidence(&aws, ProviderId::Aws, 500, 1)
+                ],
+                42
+            ),
+            1
+        );
+        assert_eq!(scorer.detections()[0].latency_us(), 0);
+        // Non-function-identifiable providers are out of scope even
+        // with overwhelming evidence.
+        assert_eq!(
+            scorer.observe(&[evidence(&goog, ProviderId::Google, 1_000_000, 700)], 99),
+            0
+        );
+        assert_eq!(scorer.candidate_count(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Streaming ↔ batch end-state equivalence (the tentpole contract).
+//!
+//! The daemon fed day-by-day deltas must finish in *exactly* the state
+//! a batch pipeline computes from the same snapshot — across source
+//! granularities (1 batch/day, 6-hourly, hourly), worker counts, and
+//! backing stores. The fast matrix runs at scale 0.01 under plain
+//! `cargo test`; the scale-0.1 matrix is `#[ignore]`d and run by CI in
+//! release mode (`cargo test --release -p fw-stream -- --ignored`).
+
+use fw_dns::pdns::PdnsStore;
+use fw_store::{DiskStore, StoreConfig};
+use fw_stream::{
+    check_equivalence, collect_rows, day_batches, replay, DaemonFinal, StreamConfig, StreamDaemon,
+};
+use fw_workload::{World, WorldConfig};
+
+fn usage_world(scale: f64) -> World {
+    World::generate(WorldConfig::usage(42, scale))
+}
+
+fn stream_config(batches_per_day: u32, workers: usize) -> StreamConfig {
+    StreamConfig {
+        workers,
+        batches_per_day,
+        ..StreamConfig::default()
+    }
+}
+
+/// Drive the daemon directly (no simulated network) — the apply path
+/// is what equivalence is about; `replay` layers virtual time on top.
+fn daemon_run(world: &World, batches_per_day: u32, workers: usize) -> DaemonFinal<PdnsStore> {
+    let batches = day_batches(&collect_rows(&world.pdns), batches_per_day);
+    let mut daemon = StreamDaemon::new(&stream_config(batches_per_day, workers));
+    for b in &batches {
+        daemon.apply_batch(b.watermark_day, &b.rows, b.offset_us);
+    }
+    daemon.finish()
+}
+
+fn check_matrix(scale: f64) {
+    let world = usage_world(scale);
+    for batches_per_day in [1u32, 4, 24] {
+        for workers in [1usize, 8] {
+            let fin = daemon_run(&world, batches_per_day, workers);
+            check_equivalence(&fin, &world.pdns, workers).unwrap_or_else(|e| {
+                panic!("scale {scale} bpd {batches_per_day} workers {workers}: {e}")
+            });
+        }
+    }
+}
+
+#[test]
+fn daemon_matches_batch_at_scale_001_all_granularities_and_workers() {
+    check_matrix(0.01);
+}
+
+#[test]
+#[ignore = "scale-0.1 matrix; run in release via CI (cargo test --release -- --ignored)"]
+fn daemon_matches_batch_at_scale_01_all_granularities_and_workers() {
+    check_matrix(0.1);
+}
+
+/// The full wire path — frames over a simulated network in virtual
+/// time — must land in the same end state as the direct apply loop.
+#[test]
+fn replay_over_simnet_matches_batch() {
+    let world = usage_world(0.01);
+    let batches = day_batches(&collect_rows(&world.pdns), 1);
+    let n_batches = batches.len() as u64;
+    let result = replay(batches, &stream_config(1, 2), PdnsStore::new(), 7);
+    assert_eq!(result.final_state.checkpoint.batches, n_batches);
+    assert!(result.virtual_us > 0);
+    check_equivalence(&result.final_state, &world.pdns, 2).unwrap();
+}
+
+/// Equivalence is backend-agnostic: a daemon absorbing into the
+/// persistent `fw-store` engine finishes in the same state too.
+#[test]
+fn daemon_over_disk_store_matches_batch() {
+    let world = usage_world(0.01);
+    let dir = std::env::temp_dir().join(format!("fw-stream-equiv-{}", std::process::id()));
+    let disk = DiskStore::create(&dir, StoreConfig::default()).unwrap();
+    let batches = day_batches(&collect_rows(&world.pdns), 4);
+    let mut daemon = StreamDaemon::with_store(&stream_config(4, 2), disk);
+    for b in &batches {
+        daemon.apply_batch(b.watermark_day, &b.rows, b.offset_us);
+    }
+    let fin = daemon.finish();
+    let outcome = check_equivalence(&fin, &world.pdns, 2);
+    drop(fin);
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome.unwrap();
+}

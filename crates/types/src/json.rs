@@ -1,11 +1,14 @@
-//! A minimal JSON value parser.
+//! A minimal JSON value parser and renderer.
 //!
-//! The workspace writes all its JSON by hand (registry export, bench
-//! reports, trace dumps) but until this module nothing could *read* it
-//! back — the trace reporter and the bench regression gate both need
-//! to. This is a strict recursive-descent parser over the full JSON
-//! grammar, small enough to audit, with the handful of accessors the
-//! consumers use. No serde in the vendored dependency set.
+//! The workspace writes most of its JSON by hand (registry export,
+//! bench reports, trace dumps) but several consumers also need to
+//! *read* it back: the trace reporter, the bench regression gate, and
+//! the streaming daemon's checkpoint/status format. This is the one
+//! shared implementation — a strict recursive-descent parser over the
+//! full JSON grammar, small enough to audit, with the handful of
+//! accessors the consumers use. No serde in the vendored dependency
+//! set. `fw-obs` re-exports [`Json`] for compatibility with its
+//! pre-move consumers.
 
 /// A parsed JSON value. Object keys keep insertion order (duplicates:
 /// last one wins on [`Json::get`] lookups — matching serde_json).
@@ -91,7 +94,8 @@ impl Json {
 
     /// Compact serialization (no whitespace). Round-trips through
     /// [`Json::parse`]; the bench regression gate uses it to carry
-    /// history entries from an old report into a rewritten one.
+    /// history entries from an old report into a rewritten one, and
+    /// the streaming daemon uses it for checkpoint/status documents.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out);
@@ -111,7 +115,7 @@ impl Json {
                     out.push_str(&format!("{n}"));
                 }
             }
-            Json::Str(s) => out.push_str(&crate::registry::json_str(s)),
+            Json::Str(s) => out.push_str(&escape(s)),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, v) in items.iter().enumerate() {
@@ -128,7 +132,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push_str(&crate::registry::json_str(k));
+                    out.push_str(&escape(k));
                     out.push(':');
                     v.render_into(out);
                 }
@@ -136,6 +140,30 @@ impl Json {
             }
         }
     }
+}
+
+/// Quote and escape a string as a JSON string literal (including the
+/// surrounding double quotes). The shared primitive behind every
+/// hand-rolled JSON writer in the workspace.
+pub fn escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 struct Parser<'a> {
@@ -372,35 +400,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_registry_export() {
-        let r = crate::Registry::new();
-        r.counter("fw.test.a\"quote").add(3);
-        r.gauge("g").set(-7);
-        r.histogram("h").record(100);
-        r.record_stage("root/child", 12345, 6);
-        let v = Json::parse(&r.render_json()).expect("registry JSON parses");
-        assert_eq!(
-            v.get("counters")
-                .and_then(|c| c.get("fw.test.a\"quote"))
-                .and_then(Json::as_u64),
-            Some(3)
-        );
-        assert_eq!(
-            v.get("gauges")
-                .and_then(|g| g.get("g"))
-                .and_then(Json::as_f64),
-            Some(-7.0)
-        );
-        assert_eq!(
-            v.get("stages")
-                .and_then(|s| s.get("root/child"))
-                .and_then(|s| s.get("wall_ns"))
-                .and_then(Json::as_u64),
-            Some(12345)
-        );
-    }
-
-    #[test]
     fn scalars_and_nesting() {
         let v =
             Json::parse(r#"{"a": [1, 2.5, -3e2, true, false, null, "x\nA😀"], "b": {}}"#).unwrap();
@@ -445,5 +444,19 @@ mod tests {
         assert_eq!(Json::parse(&rendered).unwrap(), v);
         // Integers stay integers across the cycle.
         assert!(rendered.contains("[1,2.5,-300,"), "got {rendered}");
+    }
+
+    #[test]
+    fn escape_quotes_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("n\nr\rt\t"), "\"n\\nr\\rt\\t\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        // Escaped output parses back to the original string.
+        let tricky = "q\"uote\\slash\nline\u{7}bell😀";
+        assert_eq!(
+            Json::parse(&escape(tricky)).unwrap(),
+            Json::Str(tricky.to_string())
+        );
     }
 }

@@ -13,6 +13,7 @@ pub mod day;
 pub mod domain;
 pub mod error;
 pub mod fnv;
+pub mod json;
 pub mod memmem;
 pub mod provider;
 pub mod record;
@@ -20,5 +21,6 @@ pub mod record;
 pub use day::{DayStamp, MonthStamp, MEASUREMENT_END, MEASUREMENT_START};
 pub use domain::Fqdn;
 pub use error::{FwError, FwResult};
+pub use json::Json;
 pub use provider::ProviderId;
 pub use record::{Rdata, RecordType};
