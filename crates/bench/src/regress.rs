@@ -95,6 +95,11 @@ impl RegressReport {
                     "{:<12} {:>12} {:>12.1} {:>8}  new (info)\n",
                     s.name, "-", s.current_ms, "-"
                 ));
+            } else if s.current_ms.is_nan() {
+                out.push_str(&format!(
+                    "{:<12} {:>12.1} {:>12} {:>8}  MISSING\n",
+                    s.name, s.baseline_ms, "-", "-"
+                ));
             } else {
                 out.push_str(&format!(
                     "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}\n",
@@ -234,6 +239,23 @@ pub fn compare(
     if stages.iter().all(|s| s.informational) {
         return Err("no stage names in common between baseline and candidate".to_string());
     }
+    // The reverse direction is a failure, not a footnote: a stage the
+    // baseline has but the candidate dropped usually means the gate
+    // binary lost instrumentation (or a stage was renamed) and the
+    // numbers it used to guard are now ungated. Surface it as a
+    // regressed row so CI goes red until the baseline is re-committed.
+    for (name, base_ms) in &base.stages {
+        if !cur.stages.iter().any(|(n, _)| n == name) {
+            stages.push(StageDelta {
+                name: name.clone(),
+                baseline_ms: *base_ms,
+                current_ms: f64::NAN,
+                ratio: 0.0,
+                regressed: true,
+                informational: false,
+            });
+        }
+    }
     stages.push(delta(
         "total",
         base.total_ms,
@@ -359,6 +381,7 @@ mod tests {
               "config": {"scale": 1.0, "seed": 42},
               "stages": {
                 "generate": {"ms": 1000.0, "peak_rss_kb": 1},
+                "ingest": {"ms": 2000.0, "peak_rss_kb": 1},
                 "brand_new": {"ms": 9999.0, "peak_rss_kb": 1}
               },
               "total_ms": 3000.0
@@ -377,6 +400,31 @@ mod tests {
         let text = r.render_text(&RegressConfig::default());
         assert!(text.contains("new (info)"), "{text}");
         assert!(text.contains("PASS"), "{text}");
+    }
+
+    #[test]
+    fn stage_missing_from_candidate_fails_the_gate() {
+        // The baseline has generate + ingest; the candidate lost ingest
+        // (dropped instrumentation). That must fail, not pass silently.
+        let base = report(1.0, 1000.0, 2000.0, 3000.0);
+        let cur = Json::parse(
+            r#"{
+              "config": {"scale": 1.0, "seed": 42},
+              "stages": {"generate": {"ms": 1000.0, "peak_rss_kb": 1}},
+              "total_ms": 3000.0
+            }"#,
+        )
+        .unwrap();
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        let row = r.stages.iter().find(|s| s.name == "ingest").unwrap();
+        assert!(row.regressed);
+        assert!(!row.informational);
+        assert_eq!(row.baseline_ms, 2000.0);
+        assert!(row.current_ms.is_nan());
+        assert!(r.regressed());
+        let text = r.render_text(&RegressConfig::default());
+        assert!(text.contains("MISSING"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
     }
 
     #[test]

@@ -76,6 +76,17 @@ impl IdentificationReport {
             .map(|f| f.fqdn.clone())
             .collect()
     }
+
+    /// Point lookup by fqdn. `functions` is sorted by fqdn (both
+    /// [`IdentifyEngine::report`] and the batch sweep guarantee it), so
+    /// the serving read path can binary-search instead of scanning.
+    pub fn find(&self, fqdn: &Fqdn) -> Option<&IdentifiedFunction> {
+        debug_assert!(self.functions.windows(2).all(|w| w[0].fqdn <= w[1].fqdn));
+        self.functions
+            .binary_search_by(|f| f.fqdn.cmp(fqdn))
+            .ok()
+            .map(|i| &self.functions[i])
+    }
 }
 
 /// One delta emitted by [`IdentifyEngine::apply_rows`].

@@ -173,7 +173,6 @@ impl SimNet {
     /// matter how its workers interleave — as long as each flow's own
     /// connects stay ordered (the prober probes one domain sequentially).
     pub fn connect_for(&self, addr: SocketAddr, flow: &str) -> io::Result<Box<dyn Connection>> {
-        let faults = *self.inner.faults.read();
         let key = fnv64(flow.as_bytes()) ^ fnv64(addr.to_string().as_bytes());
         let ordinal = {
             let mut seq = self.inner.flow_seq.lock();
@@ -182,7 +181,29 @@ impl SimNet {
             *slot += 1;
             o
         };
-        let conn_seed = mix(self.inner.seed ^ key ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.connect_seeded(
+            addr,
+            mix(self.inner.seed ^ key ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        )
+    }
+
+    /// [`SimNet::connect_for`] for callers that already have a unique
+    /// numeric flow identity (e.g. a load-harness client id) and open
+    /// **one** connection per flow. Skips the per-flow ordinal table and
+    /// the string hashing entirely — with millions of one-shot clients
+    /// the ordinal map would only grow without ever disambiguating
+    /// anything — while keeping fault draws deterministic per
+    /// `(net seed, flow_id)`.
+    pub fn connect_flow_id(
+        &self,
+        addr: SocketAddr,
+        flow_id: u64,
+    ) -> io::Result<Box<dyn Connection>> {
+        self.connect_seeded(addr, mix(self.inner.seed ^ mix(flow_id)))
+    }
+
+    fn connect_seeded(&self, addr: SocketAddr, conn_seed: u64) -> io::Result<Box<dyn Connection>> {
+        let faults = *self.inner.faults.read();
         let mut rng = SmallRng::seed_from_u64(conn_seed);
         if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
             self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,94 @@
+//! Microbenchmarks for the serving hot path: cache-hit replay vs
+//! cold compute per endpoint class, and raw sharded-cache churn.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fw_dns::pdns::PdnsStore;
+use fw_http::types::Request;
+use fw_serve::{CacheConfig, ServeApi, ServeState};
+use fw_types::{DayStamp, Fqdn, Rdata};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const FQDN: &str = "a1b2c3d4e5f6.lambda-url.us-east-1.on.aws";
+
+/// A small store with a few identifiable functions plus noise.
+fn api() -> ServeApi<PdnsStore> {
+    let mut store = PdnsStore::new();
+    for i in 0..32 {
+        let f = Fqdn::parse(&format!("f{i:011x}.lambda-url.us-east-1.on.aws")).unwrap();
+        let ip = Rdata::V4(Ipv4Addr::new(203, 0, 113, (i % 250) as u8 + 1));
+        for d in 0..5 {
+            store.observe_count(&f, &ip, DayStamp(19_100 + d), 20 + i as u64);
+        }
+    }
+    let f = Fqdn::parse(FQDN).unwrap();
+    let ip = Rdata::V4(Ipv4Addr::new(203, 0, 113, 251));
+    for d in [19_100, 19_101, 19_102] {
+        store.observe_count(&f, &ip, DayStamp(d), 40);
+    }
+    let noise = Fqdn::parse("www.example.com").unwrap();
+    store.observe_count(&noise, &ip, DayStamp(19_100), 5);
+    ServeApi::new(ServeState::build(store, 1), CacheConfig::default())
+}
+
+fn bench_handle(c: &mut Criterion) {
+    let api = api();
+    let verdict = Request::get(&format!("/v1/verdict/{FQDN}"), "api.sim");
+    let usage = Request::get(&format!("/v1/usage/{FQDN}"), "api.sim");
+    let figures = Request::get("/v1/figures/ingress", "api.sim");
+
+    let mut g = c.benchmark_group("serve_handle");
+    g.throughput(Throughput::Elements(1));
+    // Warm the cache, then measure the pure hit path.
+    api.handle(&verdict);
+    g.bench_function("verdict_hit", |b| {
+        b.iter(|| black_box(api.handle(black_box(&verdict))))
+    });
+    g.bench_function("figures_hit", |b| {
+        api.handle(&figures);
+        b.iter(|| black_box(api.handle(black_box(&figures))))
+    });
+    // Cold compute: a fresh API per batch so every handle is a miss.
+    g.bench_function("usage_miss", |b| {
+        b.iter_batched(
+            api_fresh,
+            |fresh| black_box(fresh.handle(black_box(&usage))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn api_fresh() -> ServeApi<PdnsStore> {
+    api()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cache = fw_serve::ShardedCache::new(CacheConfig {
+        shards: 16,
+        capacity: 1024,
+    });
+    let body = Arc::new(fw_serve::cache::CachedResponse {
+        status: 200,
+        body: vec![b'x'; 256],
+    });
+    let keys: Vec<String> = (0..2048).map(|i| format!("/v1/verdict/key-{i}")).collect();
+    for k in &keys {
+        cache.put(k, Arc::clone(&body));
+    }
+    let mut g = c.benchmark_group("serve_cache");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    g.bench_function("get_put_churn", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            if cache.get(&keys[i]).is_none() {
+                cache.put(&keys[i], Arc::clone(&body));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_handle, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Request routing over `fw-http`, fronted by the sharded LRU cache.
+//!
+//! Routing is a static match over the first path segments — no
+//! allocation on the hot path until a cache miss forces a compute.
+//! Every response except `/v1/status` is cacheable: bodies are pure
+//! functions of the frozen [`ServeState`], so a cached byte stream is
+//! always identical to a recomputed one (the load harness digests
+//! responses to prove it). `/v1/status` stays uncached because it
+//! reports the live cache counters themselves.
+//!
+//! Instrumentation: one latency histogram per endpoint
+//! (`fw.serve.latency_us.<endpoint>`), `fw.serve.requests` /
+//! `fw.serve.responses.<class>` counters, and a trace span per request
+//! when the trace layer is armed.
+
+use crate::cache::{CacheConfig, CacheStats, CachedResponse, ShardedCache};
+use crate::state::ServeState;
+use fw_dns::pdns::PdnsBackend;
+use fw_http::parse::Limits;
+use fw_http::server::serve_connection;
+use fw_http::types::{Method, Request, Response};
+use fw_net::SimNet;
+use fw_obs::{counter_inc, Histogram};
+use fw_types::Json;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Route classes, used for per-endpoint latency attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Status,
+    Verdict,
+    Usage,
+    Abuse,
+    Candidates,
+    Figures,
+    NotFound,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Status,
+        Endpoint::Verdict,
+        Endpoint::Usage,
+        Endpoint::Abuse,
+        Endpoint::Candidates,
+        Endpoint::Figures,
+        Endpoint::NotFound,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Status => "status",
+            Endpoint::Verdict => "verdict",
+            Endpoint::Usage => "usage",
+            Endpoint::Abuse => "abuse",
+            Endpoint::Candidates => "candidates",
+            Endpoint::Figures => "figures",
+            Endpoint::NotFound => "not_found",
+        }
+    }
+}
+
+/// The API: frozen state + response cache + instrumentation handles.
+pub struct ServeApi<B: PdnsBackend> {
+    state: ServeState<B>,
+    cache: ShardedCache,
+    latency: Vec<Arc<Histogram>>,
+    seq: AtomicU64,
+}
+
+impl<B: PdnsBackend> ServeApi<B> {
+    pub fn new(state: ServeState<B>, cache: CacheConfig) -> ServeApi<B> {
+        let latency = Endpoint::ALL
+            .iter()
+            .map(|ep| fw_obs::registry().histogram(&format!("fw.serve.latency_us.{}", ep.label())))
+            .collect();
+        ServeApi {
+            state,
+            cache: ShardedCache::new(cache),
+            latency,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub fn state(&self) -> &ServeState<B> {
+        &self.state
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serve one request. The returned response is fully rendered; the
+    /// caller (usually [`serve_connection`]) owns framing.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t = Instant::now();
+        let _span = fw_obs::trace_span_arg("serve/req", self.seq.fetch_add(1, Ordering::Relaxed));
+        counter_inc!("fw.serve.requests");
+        let (ep, resp) = self.route(req);
+        if fw_obs::enabled() {
+            self.latency[ep as usize].record(t.elapsed().as_micros() as u64);
+            match resp.status {
+                200..=299 => counter_inc!("fw.serve.responses.ok"),
+                400..=499 => counter_inc!("fw.serve.responses.client_error"),
+                _ => counter_inc!("fw.serve.responses.other"),
+            }
+        }
+        resp
+    }
+
+    fn route(&self, req: &Request) -> (Endpoint, Response) {
+        if req.method != Method::Get {
+            return (
+                Endpoint::NotFound,
+                Response::json(405, "{\"error\": \"GET only\"}"),
+            );
+        }
+        let path = req.path();
+        let mut segs = path.trim_start_matches('/').splitn(4, '/');
+        match (segs.next(), segs.next(), segs.next(), segs.next()) {
+            (Some("v1"), Some("status"), None, None) => (Endpoint::Status, self.status()),
+            (Some("v1"), Some("verdict"), Some(fqdn), None) => (
+                Endpoint::Verdict,
+                self.cached(&req.target, |s| s.verdict_body(fqdn)),
+            ),
+            (Some("v1"), Some("usage"), Some(fqdn), None) => (
+                Endpoint::Usage,
+                self.cached(&req.target, |s| s.usage_body(fqdn)),
+            ),
+            (Some("v1"), Some("abuse"), Some(fqdn), None) => (
+                Endpoint::Abuse,
+                self.cached(&req.target, |s| s.abuse_body(fqdn)),
+            ),
+            (Some("v1"), Some("candidates"), None, None) => {
+                let (offset, limit) = paging(req.query());
+                (
+                    Endpoint::Candidates,
+                    self.cached(&req.target, |s| s.candidates_body(offset, limit)),
+                )
+            }
+            (Some("v1"), Some("figures"), Some(name), None) => (
+                Endpoint::Figures,
+                self.cached(&req.target, |s| s.figure_body(name)),
+            ),
+            _ => (
+                Endpoint::NotFound,
+                Response::json(404, "{\"error\": \"no such endpoint\"}"),
+            ),
+        }
+    }
+
+    fn status(&self) -> Response {
+        let cache = self.cache.stats();
+        let mut doc = match self.state.status_json() {
+            Json::Obj(fields) => fields,
+            other => vec![("state".to_string(), other)],
+        };
+        doc.push((
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("hits".to_string(), Json::Num(cache.hits as f64)),
+                ("misses".to_string(), Json::Num(cache.misses as f64)),
+                ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                ("entries".to_string(), Json::Num(cache.entries as f64)),
+            ]),
+        ));
+        Response::json(200, &Json::Obj(doc).render())
+    }
+
+    /// Cache-through: key on the full request target, compute on miss.
+    fn cached(
+        &self,
+        target: &str,
+        compute: impl FnOnce(&ServeState<B>) -> (u16, String),
+    ) -> Response {
+        if let Some(hit) = self.cache.get(target) {
+            return Response::with_body(hit.status, "application/json", hit.body.clone());
+        }
+        let (status, body) = compute(&self.state);
+        let body = body.into_bytes();
+        self.cache.put(
+            target,
+            Arc::new(CachedResponse {
+                status,
+                body: body.clone(),
+            }),
+        );
+        Response::with_body(status, "application/json", body)
+    }
+
+    /// Register this API as a SimNet listener: each accepted connection
+    /// runs the standard keep-alive serve loop on its handler thread.
+    pub fn serve_on(self: &Arc<Self>, net: &SimNet, addr: SocketAddr)
+    where
+        B: Send + Sync + 'static,
+    {
+        let api = Arc::clone(self);
+        net.listen_fn(addr, move |mut conn| {
+            let _ = conn.set_read_timeout(None);
+            let api = Arc::clone(&api);
+            serve_connection(&mut *conn, &Limits::default(), &move |req: &Request| {
+                api.handle(req)
+            });
+        });
+    }
+}
+
+/// Parse `offset=&limit=` out of a query string (defaults 0 / 50).
+fn paging(query: Option<&str>) -> (usize, usize) {
+    let (mut offset, mut limit) = (0usize, 50usize);
+    for pair in query.unwrap_or("").split('&') {
+        match pair.split_once('=') {
+            Some(("offset", v)) => offset = v.parse().unwrap_or(0),
+            Some(("limit", v)) => limit = v.parse().unwrap_or(50),
+            _ => {}
+        }
+    }
+    (offset, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_dns::pdns::PdnsStore;
+    use fw_types::{DayStamp, Fqdn, Rdata};
+    use std::net::Ipv4Addr;
+
+    fn api() -> ServeApi<PdnsStore> {
+        let mut store = PdnsStore::new();
+        let f = Fqdn::parse("a1b2c3d4e5f6.lambda-url.us-east-1.on.aws").unwrap();
+        let ip = Rdata::V4(Ipv4Addr::new(203, 0, 113, 9));
+        for d in [19_100, 19_101, 19_102] {
+            store.observe_count(&f, &ip, DayStamp(d), 40);
+        }
+        ServeApi::new(ServeState::build(store, 1), CacheConfig::default())
+    }
+
+    #[test]
+    fn routes_resolve_and_missing_paths_404() {
+        let api = api();
+        let ok = |target: &str| {
+            let resp = api.handle(&Request::get(target, "api.sim"));
+            assert_eq!(resp.status, 200, "{target}");
+            Json::parse(&resp.body_text()).expect("json body");
+        };
+        ok("/v1/status");
+        ok("/v1/verdict/a1b2c3d4e5f6.lambda-url.us-east-1.on.aws");
+        ok("/v1/usage/a1b2c3d4e5f6.lambda-url.us-east-1.on.aws");
+        ok("/v1/abuse/a1b2c3d4e5f6.lambda-url.us-east-1.on.aws");
+        ok("/v1/candidates?offset=0&limit=5");
+        ok("/v1/figures/ingress");
+        for target in ["/", "/v2/status", "/v1/nope", "/v1/status/extra"] {
+            let resp = api.handle(&Request::get(target, "api.sim"));
+            assert_eq!(resp.status, 404, "{target}");
+        }
+        let mut post = Request::get("/v1/status", "api.sim");
+        post.method = Method::Post;
+        assert_eq!(api.handle(&post).status, 405);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_with_identical_bytes() {
+        let api = api();
+        let target = "/v1/usage/a1b2c3d4e5f6.lambda-url.us-east-1.on.aws";
+        let a = api.handle(&Request::get(target, "api.sim"));
+        let stats = api.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let b = api.handle(&Request::get(target, "api.sim"));
+        assert_eq!(api.cache_stats().hits, 1);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.status, b.status);
+    }
+
+    #[test]
+    fn status_reports_live_cache_counters() {
+        let api = api();
+        api.handle(&Request::get("/v1/figures/invocation", "api.sim"));
+        api.handle(&Request::get("/v1/figures/invocation", "api.sim"));
+        let resp = api.handle(&Request::get("/v1/status", "api.sim"));
+        let doc = Json::parse(&resp.body_text()).unwrap();
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    }
+}

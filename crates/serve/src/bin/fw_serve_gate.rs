@@ -1,0 +1,394 @@
+//! Serving gate: build the query API over a generated world, drive it
+//! with the SimNet load harness, and emit latency/throughput benchmarks
+//! to `BENCH_serve.json` (DESIGN.md §15; CI runs this at 100k clients
+//! and the committed baseline carries a 1M-client run).
+//!
+//! ```text
+//! fw_serve_gate [--clients <n>] [--rpc-max <n>] [--workers <n>]
+//!               [--seed <u64>] [--world-scale <f64>] [--window-s <n>]
+//!               [--cache-capacity <n>] [--out <path>] [--metrics]
+//!               [--trace] [--trace-out <path>]
+//! ```
+//!
+//! Defaults: 100k clients, bursts of 1..=3 requests, workers 0 (one per
+//! core), seed 42, world scale 0.1, a one-hour virtual arrival window,
+//! JSON to `BENCH_serve.json`.
+//!
+//! Stages:
+//!
+//! 1. **generate** — the PDNS-only world whose store the API serves.
+//! 2. **build** — freeze the store into a [`ServeState`] (identify +
+//!    usage + candidate replay, figure documents pre-rendered).
+//! 3. **serve** — the load run: every client connects once over SimNet,
+//!    issues its keep-alive burst, and digests the response bytes. Wall
+//!    time here yields the sustained qps figure.
+//!
+//! The `p50_us` / `p99_us` pseudo-stages carry per-request wall
+//! latencies (in **microseconds**, riding the `{"ms": ...}` stage
+//! shape) through the `history` array, so `bench_regress` gates
+//! serving-latency regressions exactly like wall-time regressions. The
+//! run digest is printed and recorded: two same-seed runs must match it
+//! byte-for-byte, which CI checks by diffing the deterministic fields
+//! of two back-to-back runs.
+
+use fw_serve::{CacheConfig, Endpoint, LoadConfig, LoadPlan, ServeApi, ServeState};
+use fw_types::Json;
+use fw_workload::{World, WorldConfig};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn arg_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+/// Peak resident set (VmHWM) in KiB; `None` off Linux or if unreadable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Stage {
+    name: &'static str,
+    ms: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// How many runs the report's `history` array retains (newest last).
+const HISTORY_CAP: usize = 50;
+
+/// Previous runs recorded in an existing report at `out`, rendered as
+/// compact JSON objects ready to splice into the rewritten file.
+fn prior_history(out: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(out) else {
+        return Vec::new();
+    };
+    let Ok(old) = Json::parse(&text) else {
+        eprintln!(
+            "[history] existing {} is not valid JSON; starting a fresh history",
+            out.display()
+        );
+        return Vec::new();
+    };
+    match old.get("history").and_then(Json::as_arr) {
+        Some(entries) => entries.iter().map(Json::render).collect(),
+        None => Vec::new(),
+    }
+}
+
+const ADDR: &str = "10.99.0.1:8080";
+
+fn main() {
+    let mut clients = 100_000u64;
+    let mut rpc_max = 3u32;
+    let mut workers = 0usize;
+    let mut seed = 42u64;
+    let mut world_scale = 0.1f64;
+    let mut window_s = 3600u64;
+    let mut cache_capacity = 32_768usize;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut trace_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => clients = arg_num(&mut args, "--clients"),
+            "--rpc-max" => rpc_max = arg_num(&mut args, "--rpc-max"),
+            "--workers" => workers = arg_num(&mut args, "--workers"),
+            "--seed" => seed = arg_num(&mut args, "--seed"),
+            "--world-scale" => world_scale = arg_num(&mut args, "--world-scale"),
+            "--window-s" => window_s = arg_num(&mut args, "--window-s"),
+            "--cache-capacity" => cache_capacity = arg_num(&mut args, "--cache-capacity"),
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--metrics" => fw_obs::set_enabled(true),
+            "--trace" => fw_obs::set_trace_enabled(true),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: fw_serve_gate [--clients <n>] [--rpc-max <n>] [--workers <n>] [--seed <u64>] [--world-scale <f64>] [--window-s <n>] [--cache-capacity <n>] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if clients == 0 {
+        die("--clients must be >= 1");
+    }
+    if rpc_max == 0 {
+        die("--rpc-max must be >= 1");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = if workers == 0 { cores } else { workers };
+    // The report's headline scale: fraction of the paper-scale
+    // million-client run, so `bench_regress --scale` matching works the
+    // same way it does for the pipeline gate.
+    let scale = clients as f64 / 1e6;
+
+    let gate_span = fw_obs::span("gate/serve");
+    let mut stages: Vec<Stage> = Vec::new();
+    let total_start = Instant::now();
+
+    // 1. Generate the world whose store the API will serve.
+    eprintln!("[generate] world scale {world_scale} seed {seed}");
+    let t = Instant::now();
+    let world = {
+        let _s = fw_obs::span("gate/generate");
+        World::generate(WorldConfig::usage(seed, world_scale))
+    };
+    stages.push(Stage {
+        name: "generate",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[generate] {:.1} ms: {} fqdns, {} rows",
+        stages[0].ms,
+        world.pdns.fqdn_count(),
+        world.pdns.record_count()
+    );
+
+    // 2. Freeze the store into the queryable snapshot.
+    let t = Instant::now();
+    let state = {
+        let _s = fw_obs::span("gate/build");
+        ServeState::build(world.pdns, workers)
+    };
+    stages.push(Stage {
+        name: "build",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[build] {:.1} ms: {} functions, {} candidates",
+        stages[1].ms,
+        state.report().functions.len(),
+        state.candidate_count()
+    );
+
+    // 3. The load run, on a fresh SimNet so virtual time starts at 0.
+    let plan = LoadPlan {
+        function_fqdns: Arc::new(state.function_fqdns()),
+    };
+    let net = fw_net::SimNet::new(seed);
+    let addr: SocketAddr = ADDR.parse().expect("static addr");
+    let api = Arc::new(ServeApi::new(
+        state,
+        CacheConfig {
+            capacity: cache_capacity,
+            ..CacheConfig::default()
+        },
+    ));
+    api.serve_on(&net, addr);
+    let config = LoadConfig {
+        clients,
+        max_requests_per_client: rpc_max,
+        workers,
+        seed,
+        window: Duration::from_secs(window_s),
+        ..LoadConfig::default()
+    };
+    let t = Instant::now();
+    let report = fw_serve::load::run_load(&net, addr, &config, &plan);
+    let serve_ms = t.elapsed().as_secs_f64() * 1e3;
+    stages.push(Stage {
+        name: "serve",
+        ms: serve_ms,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    let cache = api.cache_stats();
+    let p50_us = report.latency_percentile_us(50.0);
+    let p99_us = report.latency_percentile_us(99.0);
+    let qps = report.qps();
+    eprintln!(
+        "[serve] {serve_ms:.1} ms wall for {} requests from {} clients ({qps:.0} qps sustained, {:.0} qps offered over {:.0} virtual s)",
+        report.requests,
+        report.clients,
+        report.offered_qps(),
+        report.virtual_us as f64 / 1e6
+    );
+    eprintln!(
+        "[serve] latency p50 {p50_us:.0} us p99 {p99_us:.0} us; cache hit rate {:.3} ({} hits / {} misses / {} evictions)",
+        cache.hit_rate(),
+        cache.hits,
+        cache.misses,
+        cache.evictions
+    );
+    eprintln!("[serve] digest {:016x}", report.digest);
+
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_kb();
+
+    drop(gate_span);
+    let tracing = fw_obs::trace_enabled();
+    let trace_path = trace_out.unwrap_or_else(|| {
+        let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        out.with_file_name(format!("{stem}.trace.jsonl"))
+    });
+    let dump = if tracing {
+        Some(fw_obs::drain_trace())
+    } else {
+        None
+    };
+
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let rss_json = |kb: Option<u64>| kb.map_or("null".to_string(), |kb| kb.to_string());
+    let num_or_null = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+
+    let mut entry = format!(
+        "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"rpc_max\": {rpc_max}, \"total_ms\": {total_ms:.3}"
+    );
+    for s in &stages {
+        entry.push_str(&format!(", \"{}_ms\": {:.3}", s.name, s.ms));
+    }
+    entry.push_str(&format!(
+        ", \"p50_us_ms\": {}, \"p99_us_ms\": {}",
+        num_or_null(p50_us),
+        num_or_null(p99_us)
+    ));
+    entry.push_str(&format!(
+        ", \"requests\": {}, \"qps\": {qps:.0}, \"hit_rate\": {:.4}, \"peak_rss_kb\": {}}}",
+        report.requests,
+        cache.hit_rate(),
+        rss_json(rss)
+    ));
+    let mut history = prior_history(&out);
+    history.push(entry);
+    if history.len() > HISTORY_CAP {
+        let drop_n = history.len() - HISTORY_CAP;
+        history.drain(..drop_n);
+    }
+
+    // Hand-rolled JSON, same layout conventions as BENCH_stream.json.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"rpc_max\": {rpc_max}, \"world_scale\": {world_scale}, \"window_s\": {window_s}, \"cache_capacity\": {cache_capacity}}},\n"
+    ));
+    json.push_str("  \"stages\": {\n");
+    for s in stages.iter() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"ms\": {:.3}, \"peak_rss_kb\": {}}},\n",
+            s.name,
+            s.ms,
+            rss_json(s.peak_rss_kb)
+        ));
+    }
+    // Latency pseudo-stages: per-request wall percentiles in
+    // MICROSECONDS riding the {"ms": ...} stage shape, so bench_regress
+    // gates them with meaningful magnitudes against --abs-slack-ms.
+    json.push_str(&format!(
+        "    \"p50_us\": {{\"ms\": {}, \"peak_rss_kb\": null}},\n",
+        num_or_null(p50_us)
+    ));
+    json.push_str(&format!(
+        "    \"p99_us\": {{\"ms\": {}, \"peak_rss_kb\": null}}\n",
+        num_or_null(p99_us)
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+    json.push_str(&format!("  \"requests\": {},\n", report.requests));
+    json.push_str(&format!("  \"clients\": {},\n", report.clients));
+    json.push_str(&format!("  \"qps\": {qps:.0},\n"));
+    json.push_str(&format!(
+        "  \"offered_qps\": {:.0},\n",
+        report.offered_qps()
+    ));
+    json.push_str(&format!("  \"virtual_us\": {},\n", report.virtual_us));
+    json.push_str(&format!("  \"digest\": \"{:016x}\",\n", report.digest));
+    json.push_str(&format!(
+        "  \"response_bytes\": {},\n",
+        report.response_bytes
+    ));
+    json.push_str(&format!(
+        "  \"status\": {{\"ok\": {}, \"not_found\": {}, \"other\": {}}},\n",
+        report.status_ok, report.status_not_found, report.status_other
+    ));
+    json.push_str("  \"endpoints\": {");
+    for (i, ep) in Endpoint::ALL.iter().enumerate() {
+        let comma = if i + 1 == Endpoint::ALL.len() {
+            ""
+        } else {
+            ", "
+        };
+        json.push_str(&format!(
+            "\"{}\": {}{comma}",
+            ep.label(),
+            report.endpoint_counts[i]
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        cache.hit_rate()
+    ));
+    json.push_str(&format!("  \"peak_rss_kb\": {},\n", rss_json(rss)));
+    json.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 == history.len() { "" } else { "," };
+        json.push_str(&format!("    {entry}{comma}\n"));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+
+    println!(
+        "serve gate: {clients} clients seed {seed} total {total_ms:.0} ms (generate {:.0} / build {:.0} / serve {:.0}); {qps:.0} qps, p50 {p50_us:.0} us, p99 {p99_us:.0} us, hit rate {:.3}, digest {:016x}; report -> {}",
+        stages[0].ms,
+        stages[1].ms,
+        stages[2].ms,
+        cache.hit_rate(),
+        report.digest,
+        out.display()
+    );
+
+    if let Some(dump) = &dump {
+        if let Err(e) = std::fs::write(&trace_path, dump.to_jsonl()) {
+            die(&format!("cannot write {}: {e}", trace_path.display()));
+        }
+        eprintln!(
+            "[trace] {} events ({} dropped) -> {}",
+            dump.events.len(),
+            dump.dropped,
+            trace_path.display()
+        );
+        match fw_obs::write_trace_reports(dump, &trace_path) {
+            Ok(paths) => {
+                eprintln!("[trace] chrome trace  -> {}", paths.chrome.display());
+                eprintln!("[trace] folded stacks -> {}", paths.folded.display());
+                eprintln!("[trace] critical path -> {}", paths.critpath_txt.display());
+            }
+            Err(e) => eprintln!("[trace] cannot write trace reports: {e}"),
+        }
+    }
+    if fw_obs::enabled() {
+        eprint!("{}", fw_obs::registry().render_text());
+    }
+}

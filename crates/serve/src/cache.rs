@@ -1,0 +1,304 @@
+//! Sharded in-memory LRU response cache.
+//!
+//! Same spreading scheme as the PR-4 resolver cache: the request target
+//! FNV-hashes to one of a fixed set of shards, each an independently
+//! locked true-LRU map (hash map into a slab-backed doubly linked
+//! recency list — O(1) get/put/evict, no scan on eviction). Entries are
+//! whole pre-rendered responses behind an `Arc`, so a hit clones a
+//! pointer, not a body.
+//!
+//! Counters: `fw.serve.cache.{hit,miss,evict}` mirror the cache's own
+//! atomic stats into the telemetry registry when metrics are enabled.
+
+use fw_obs::counter_inc;
+use fw_types::fnv::fnv1a;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cached response: everything the router needs to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+/// Cache sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Shard count (locking granularity). The resolver uses 16; the
+    /// serve cache defaults the same.
+    pub shards: usize,
+    /// Total entry capacity, split evenly across shards (each shard
+    /// holds at least one entry).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            capacity: 32_768,
+        }
+    }
+}
+
+/// Monotonic counters, readable without locking any shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: String,
+    value: Arc<CachedResponse>,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: map + slab-backed recency list (head = most recent).
+struct LruShard {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> LruShard {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.nodes[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<CachedResponse>> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.nodes[idx].value))
+    }
+
+    /// Insert or refresh; returns whether an entry was evicted.
+    fn put(&mut self, key: &str, value: Arc<CachedResponse>) -> bool {
+        if let Some(&idx) = self.map.get(key) {
+            self.nodes[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = std::mem::take(&mut self.nodes[lru].key);
+            self.map.remove(&old);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let node = Node {
+            key: key.to_string(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key.to_string(), idx);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// FNV-addressed sharded LRU over pre-rendered responses.
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    pub fn new(config: CacheConfig) -> ShardedCache {
+        let shards = config.shards.max(1);
+        let per_shard = (config.capacity / shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<LruShard> {
+        &self.shards[(fnv1a(key.as_bytes()) as usize) % self.shards.len()]
+    }
+
+    pub fn get(&self, key: &str) -> Option<Arc<CachedResponse>> {
+        let found = self.shard_of(key).lock().get(key);
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                counter_inc!("fw.serve.cache.hit");
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                counter_inc!("fw.serve.cache.miss");
+            }
+        }
+        found
+    }
+
+    pub fn put(&self, key: &str, value: Arc<CachedResponse>) {
+        if self.shard_of(key).lock().put(key, value) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            counter_inc!("fw.serve.cache.evict");
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(n: u16) -> Arc<CachedResponse> {
+        Arc::new(CachedResponse {
+            status: 200,
+            body: n.to_be_bytes().to_vec(),
+        })
+    }
+
+    fn single_shard(capacity: usize) -> ShardedCache {
+        ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity,
+        })
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_stats() {
+        let c = single_shard(4);
+        assert!(c.get("a").is_none());
+        c.put("a", resp(1));
+        assert_eq!(c.get("a").unwrap().body, 1u16.to_be_bytes());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let c = single_shard(2);
+        c.put("a", resp(1));
+        c.put("b", resp(2));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(c.get("a").is_some());
+        c.put("c", resp(3));
+        assert!(c.get("b").is_none(), "LRU entry should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn refresh_does_not_evict() {
+        let c = single_shard(2);
+        c.put("a", resp(1));
+        c.put("b", resp(2));
+        c.put("a", resp(9));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a").unwrap().body, 9u16.to_be_bytes());
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let c = ShardedCache::new(CacheConfig {
+            shards: 8,
+            capacity: 64,
+        });
+        for i in 0..64 {
+            c.put(&format!("key-{i}"), resp(i as u16));
+        }
+        for i in 0..64 {
+            // Per-shard capacity is 8 and FNV does not spread 64 keys
+            // perfectly evenly, so some keys may have been evicted — but
+            // every surviving key must return its own value.
+            if let Some(v) = c.get(&format!("key-{i}")) {
+                assert_eq!(v.body, (i as u16).to_be_bytes());
+            }
+        }
+        assert!(c.stats().entries <= 64);
+    }
+}

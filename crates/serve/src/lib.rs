@@ -1,0 +1,32 @@
+//! The serving layer (DESIGN.md §15): an HTTP/1.1 query API over any
+//! [`fw_dns::pdns::PdnsBackend`], pointed *inward* at the measurement
+//! state the pipeline produces.
+//!
+//! The pipeline's batch binaries answer one question per run; this
+//! crate turns the same state into an always-up read path:
+//!
+//! * [`state::ServeState`] — the queryable snapshot, built by replaying
+//!   the store's rows through the exact incremental components the
+//!   sensing daemon uses (`IdentifyEngine`, `UsageState`,
+//!   `CandidateScorer`), plus the pre-rendered figure documents;
+//! * [`api::ServeApi`] — request routing over `fw-http`, fronted by a
+//!   sharded in-memory LRU ([`cache::ShardedCache`]) keyed on the
+//!   request target, with per-endpoint latency histograms and trace
+//!   spans;
+//! * [`load`] — a SimNet load harness driving millions of keep-alive
+//!   virtual clients with deterministic per-client RNG streams, so a
+//!   whole load run is byte-reproducible (every client's response byte
+//!   stream is FNV-digested and the digests combine commutatively).
+//!
+//! `fw_serve_gate` ties the three together into the CI serving gate
+//! (`BENCH_serve.json`).
+
+pub mod api;
+pub mod cache;
+pub mod load;
+pub mod state;
+
+pub use api::{Endpoint, ServeApi};
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use load::{LoadConfig, LoadPlan, LoadReport, MixWeights};
+pub use state::ServeState;

@@ -1,0 +1,132 @@
+//! Property tests: a single-shard [`ShardedCache`] behaves exactly like
+//! a reference model (HashMap + recency list) under arbitrary get/put
+//! interleavings — same hit/miss answers, same evictions, same
+//! surviving keys.
+
+use fw_serve::cache::{CacheConfig, CachedResponse, ShardedCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u8),
+    Put(u8, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..24).prop_map(Op::Get),
+        ((0u8..24), any::<u16>()).prop_map(|(k, v)| Op::Put(k, v)),
+    ]
+}
+
+/// Reference LRU: value map + recency vector (front = most recent).
+struct ModelLru {
+    map: HashMap<u8, u16>,
+    recency: Vec<u8>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> ModelLru {
+        ModelLru {
+            map: HashMap::new(),
+            recency: Vec::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, k: u8) {
+        self.recency.retain(|&x| x != k);
+        self.recency.insert(0, k);
+    }
+
+    fn get(&mut self, k: u8) -> Option<u16> {
+        let v = self.map.get(&k).copied()?;
+        self.touch(k);
+        Some(v)
+    }
+
+    fn put(&mut self, k: u8, v: u16) {
+        if self.map.insert(k, v).is_some() {
+            self.touch(k);
+            return;
+        }
+        if self.map.len() > self.capacity {
+            let lru = self.recency.pop().expect("map larger than capacity");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+        self.touch(k);
+    }
+}
+
+fn resp(v: u16) -> Arc<CachedResponse> {
+    Arc::new(CachedResponse {
+        status: 200,
+        body: v.to_be_bytes().to_vec(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_shard_matches_reference_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let cache = ShardedCache::new(CacheConfig { shards: 1, capacity });
+        let mut model = ModelLru::new(capacity);
+        for op in &ops {
+            match *op {
+                Op::Get(k) => {
+                    let got = cache.get(&k.to_string()).map(|r| {
+                        u16::from_be_bytes([r.body[0], r.body[1]])
+                    });
+                    prop_assert_eq!(got, model.get(k), "get({}) diverged", k);
+                }
+                Op::Put(k, v) => {
+                    cache.put(&k.to_string(), resp(v));
+                    model.put(k, v);
+                }
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, model.evictions, "eviction counts diverged");
+        prop_assert_eq!(stats.entries as usize, model.map.len(), "entry counts diverged");
+        // Every key the model retains must still be readable with the
+        // model's value; every key it dropped must miss.
+        for k in 0u8..24 {
+            let got = cache.get(&k.to_string()).map(|r| {
+                u16::from_be_bytes([r.body[0], r.body[1]])
+            });
+            prop_assert_eq!(got, model.map.get(&k).copied(), "final state diverged at {}", k);
+        }
+    }
+
+    #[test]
+    fn multi_shard_never_loses_a_hot_key(
+        shards in 1usize..8,
+        keys in proptest::collection::vec("[a-z]{1,12}", 1..32),
+    ) {
+        // With capacity >= distinct keys, nothing is ever evicted no
+        // matter how keys spread across shards.
+        let cache = ShardedCache::new(CacheConfig { shards, capacity: keys.len() * shards });
+        for (i, k) in keys.iter().enumerate() {
+            cache.put(k, resp(i as u16));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            // Later duplicate puts overwrite earlier ones.
+            let last = keys.iter().rposition(|x| x == k).unwrap_or(i);
+            prop_assert_eq!(
+                cache.get(k).map(|r| u16::from_be_bytes([r.body[0], r.body[1]])),
+                Some(last as u16)
+            );
+        }
+        prop_assert_eq!(cache.stats().evictions, 0);
+    }
+}
