@@ -1,10 +1,13 @@
-//! End-to-end data-plane gate: generate → ingest → identify → usage at
-//! full scale, timing every stage and emitting a machine-readable
-//! `BENCH_pipeline.json` (DESIGN.md §12; CI runs this at scale 0.1).
+//! End-to-end data-plane gate, fused by default: generate→ingest run as
+//! one overlapped phase streaming rows straight into the store, then
+//! seal+identify+usage overlapped per shard (DESIGN.md §16). Timing of
+//! every stage lands in a machine-readable `BENCH_pipeline.json`
+//! (DESIGN.md §12; CI runs this at scale 0.1).
 //!
 //! ```text
 //! pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>]
 //!               [--ingest-workers <n>] [--workers <n>] [--shards <n>]
+//!               [--staged] [--sample <f64>]
 //!               [--store <dir>] [--keep-store] [--out <path>] [--metrics]
 //!               [--trace] [--trace-out <path>]
 //! ```
@@ -12,6 +15,14 @@
 //! Defaults: scale 1.0, seed 42, every worker count 0 (one per core),
 //! 16 store shards, a temp store directory (removed on exit unless
 //! `--keep-store`), JSON to `BENCH_pipeline.json`.
+//!
+//! `--staged` runs the legacy four-wall pipeline (generate → ingest →
+//! identify → usage, each serial). Both modes print the same
+//! `pipeline identity:` line — the commutative `rows_fnv` content hash
+//! of the stored rows plus a digest of every figure the run produced —
+//! so CI can diff one line to prove the fused pipeline is a pure
+//! performance change. `--sample <rate>` switches the usage sweep to
+//! the deterministic hash-sampled estimator (error bounds printed).
 //!
 //! With `--trace` (or `FW_TRACE=1`), the run records causal span events
 //! (DESIGN.md §13), dumps them next to the report as
@@ -21,19 +32,19 @@
 //! them in-process if the binary is not installed alongside).
 //!
 //! The JSON report carries per-stage wall time and peak RSS, per-shard
-//! ingest accounting, and a rolling `history` array (one entry per
-//! run, newest last) that `bench_regress` uses as its baseline series.
-//!
-//! Unlike the figure binaries this runs the *disk* path end to end —
-//! the analyses read the freshly ingested snapshot back through the
-//! streaming segment scan, not the in-memory store — so the timings
-//! cover the whole data plane the paper's measurement would exercise.
+//! ingest accounting (including flush p99), and a rolling `history`
+//! array (one entry per run, newest last) that `bench_regress` uses as
+//! its baseline series. In fused mode `ingest_rows_per_sec` is derived
+//! from the *overlapped* ingest wall (pipeline start → last shard
+//! sealed) — the serial-stage formula has no meaning when ingest hides
+//! inside generation.
 
+use fw_bench::fused::{figures_digest, run_fused, FusedOptions};
 use fw_core::identify::identify_from_aggregates;
-use fw_core::usage::{ingress_table_with, monthly_requests_with};
+use fw_core::usage::{ingress_table_with, monthly_requests_with, usage_sampled, SampledUsage};
 use fw_obs::Json;
-use fw_store::{stream_snapshot_aggregates, DiskStore};
-use fw_workload::{save_pdns_parallel, World, WorldConfig};
+use fw_store::{stream_snapshot_aggregates, DiskStore, ShardIngestStats};
+use fw_workload::{pdns_content_hash, save_pdns_parallel, SnapshotMeta, World, WorldConfig};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -62,6 +73,21 @@ struct Stage {
     /// monotonic, so this reads as "the run had peaked at N KiB by the
     /// time this stage finished", not a per-stage delta.
     peak_rss_kb: Option<u64>,
+}
+
+/// Everything either pipeline mode hands to the shared report emitter.
+struct Outcome {
+    stages: Vec<Stage>,
+    shard_stats: Vec<ShardIngestStats>,
+    rows: usize,
+    fqdns: usize,
+    functions: usize,
+    identified: usize,
+    rows_fnv: u64,
+    figures_fnv: u64,
+    rows_per_sec: f64,
+    /// Fused only: pipeline start → last shard sealed.
+    ingest_wall_ms: Option<f64>,
 }
 
 /// How many runs the report's `history` array retains (newest last).
@@ -115,6 +141,217 @@ fn emit_trace_reports(dump: &fw_obs::TraceDump, trace_path: &Path) {
     }
 }
 
+fn print_sample_summary(s: &SampledUsage) {
+    eprintln!(
+        "[sample] rate {}: {}/{} functions (factor {:.3}); est total {} vs exact {} (rel err {:.2}%, a-priori ±1\u{3c3} {:.2}%)",
+        s.rate,
+        s.sampled_functions,
+        s.total_functions,
+        s.scale_factor,
+        s.est_total_requests,
+        s.exact_total_requests,
+        s.rel_err_total * 100.0,
+        s.rel_std_err * 100.0
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_staged_mode(
+    scale: f64,
+    seed: u64,
+    gen_workers: usize,
+    ingest_workers: usize,
+    workers: usize,
+    shards: usize,
+    sample: Option<f64>,
+    store: &Path,
+    cores: usize,
+) -> Outcome {
+    let mut stages: Vec<Stage> = Vec::new();
+
+    // 1. Generate the world (PDNS-only flavor; the usage figures' feed).
+    eprintln!("[generate] scale {scale} seed {seed} gen_workers {gen_workers} (0 = {cores} cores)");
+    let t = Instant::now();
+    let world = {
+        let _s = fw_obs::span("gate/generate");
+        let mut config = WorldConfig::usage(seed, scale);
+        config.gen_workers = gen_workers;
+        World::generate(config)
+    };
+    stages.push(Stage {
+        name: "generate",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    let rows_fnv = pdns_content_hash(&world.pdns);
+    eprintln!(
+        "[generate] {:.1} ms: {} functions, {} fqdns, {} rows",
+        stages[0].ms,
+        world.functions.len(),
+        world.pdns.fqdn_count(),
+        world.pdns.record_count()
+    );
+
+    // 2. Ingest into the on-disk store (parallel producers).
+    eprintln!(
+        "[ingest] {ingest_workers} producers, {shards} shards -> {}",
+        store.display()
+    );
+    let t = Instant::now();
+    let stats = {
+        let _s = fw_obs::span("gate/ingest");
+        save_pdns_parallel(&world.pdns, store, shards, ingest_workers)
+            .unwrap_or_else(|e| die(&format!("ingest failed: {e}")))
+    };
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rows_per_sec = stats.rows as f64 / (ingest_ms / 1e3);
+    stages.push(Stage {
+        name: "ingest",
+        ms: ingest_ms,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[ingest] {ingest_ms:.1} ms: {} rows ({rows_per_sec:.0} rows/s)",
+        stats.rows
+    );
+
+    // 3. Identify, reading the snapshot back via the streaming scan.
+    let t = Instant::now();
+    let report = {
+        let _s = fw_obs::span("gate/identify");
+        let aggs = stream_snapshot_aggregates(store, workers)
+            .unwrap_or_else(|e| die(&format!("snapshot scan failed: {e}")));
+        identify_from_aggregates(aggs, workers)
+    };
+    stages.push(Stage {
+        name: "identify",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[identify] {:.1} ms: {} functions identified, {} unmatched",
+        stages[2].ms,
+        report.functions.len(),
+        report.unmatched
+    );
+
+    // 4. Usage sweeps (Figure 3 series + Table 2) against the disk store.
+    let t = Instant::now();
+    let (monthly, ingress, sampled) = {
+        let _s = fw_obs::span("gate/usage");
+        let disk = DiskStore::open_read_only(store)
+            .unwrap_or_else(|e| die(&format!("cannot reopen store: {e}")));
+        match sample {
+            None => {
+                let series = monthly_requests_with(&report, &disk, workers);
+                let ingress = ingress_table_with(&report, &disk, workers);
+                (series, ingress, None)
+            }
+            Some(rate) => {
+                let s = usage_sampled(&report, &disk, workers, rate);
+                (s.monthly.clone(), s.ingress.clone(), Some(s))
+            }
+        }
+    };
+    stages.push(Stage {
+        name: "usage",
+        ms: t.elapsed().as_secs_f64() * 1e3,
+        peak_rss_kb: peak_rss_kb(),
+    });
+    eprintln!(
+        "[usage] {:.1} ms: {} months, {} ingress rows",
+        stages[3].ms,
+        monthly.months.len(),
+        ingress.len()
+    );
+    if let Some(s) = &sampled {
+        print_sample_summary(s);
+    }
+
+    Outcome {
+        figures_fnv: figures_digest(&report, &monthly, &ingress),
+        stages,
+        shard_stats: stats.shards,
+        rows: stats.rows,
+        fqdns: stats.fqdns,
+        functions: world.functions.len(),
+        identified: report.functions.len(),
+        rows_fnv,
+        rows_per_sec,
+        ingest_wall_ms: None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fused_mode(
+    scale: f64,
+    seed: u64,
+    gen_workers: usize,
+    workers: usize,
+    shards: usize,
+    sample: Option<f64>,
+    store: &Path,
+    cores: usize,
+) -> Outcome {
+    eprintln!(
+        "[generate_ingest] scale {scale} seed {seed} gen_workers {gen_workers} (0 = {cores} cores), {shards} shards -> {}",
+        store.display()
+    );
+    let mut config = WorldConfig::usage(seed, scale);
+    config.gen_workers = gen_workers;
+    let opts = FusedOptions {
+        shards,
+        workers,
+        sample,
+    };
+    let run =
+        run_fused(config, store, &opts).unwrap_or_else(|e| die(&format!("fused run failed: {e}")));
+    let rows_per_sec = run.rows as f64 / (run.ingest_wall_ms / 1e3);
+    eprintln!(
+        "[generate_ingest] {:.1} ms: {} functions, {} fqdns, {} rows streamed into the store",
+        run.generate_ingest_ms,
+        run.world.functions.len(),
+        run.fqdns,
+        run.rows
+    );
+    eprintln!(
+        "[seal_analyze] {:.1} ms ({workers} workers): {} identified, {} unmatched, {} months, {} ingress rows; ingest wall {:.1} ms ({rows_per_sec:.0} rows/s)",
+        run.seal_analyze_ms,
+        run.report.functions.len(),
+        run.report.unmatched,
+        run.monthly.months.len(),
+        run.ingress.len(),
+        run.ingest_wall_ms
+    );
+    if let Some(s) = &run.sampled {
+        print_sample_summary(s);
+    }
+
+    Outcome {
+        figures_fnv: figures_digest(&run.report, &run.monthly, &run.ingress),
+        stages: vec![
+            Stage {
+                name: "generate_ingest",
+                ms: run.generate_ingest_ms,
+                peak_rss_kb: run.generate_ingest_rss_kb,
+            },
+            Stage {
+                name: "seal_analyze",
+                ms: run.seal_analyze_ms,
+                peak_rss_kb: peak_rss_kb(),
+            },
+        ],
+        shard_stats: run.shard_stats,
+        rows: run.rows,
+        fqdns: run.fqdns,
+        functions: run.world.functions.len(),
+        identified: run.report.functions.len(),
+        rows_fnv: run.rows_fnv,
+        rows_per_sec,
+        ingest_wall_ms: Some(run.ingest_wall_ms),
+    }
+}
+
 fn main() {
     let mut scale = 1.0f64;
     let mut seed = 42u64;
@@ -122,6 +359,8 @@ fn main() {
     let mut ingest_workers = 0usize;
     let mut workers = 0usize;
     let mut shards = 16usize;
+    let mut staged = false;
+    let mut sample: Option<f64> = None;
     let mut store_dir: Option<PathBuf> = None;
     let mut keep_store = false;
     let mut out = PathBuf::from("BENCH_pipeline.json");
@@ -135,6 +374,8 @@ fn main() {
             "--ingest-workers" => ingest_workers = arg_num(&mut args, "--ingest-workers"),
             "--workers" => workers = arg_num(&mut args, "--workers"),
             "--shards" => shards = arg_num(&mut args, "--shards"),
+            "--staged" => staged = true,
+            "--sample" => sample = Some(arg_num(&mut args, "--sample")),
             "--store" => {
                 store_dir = Some(PathBuf::from(
                     args.next().unwrap_or_else(|| die("--store needs a path")),
@@ -154,11 +395,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>] [--ingest-workers <n>] [--workers <n>] [--shards <n>] [--store <dir>] [--keep-store] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
+                    "usage: pipeline_gate [--scale <f64>] [--seed <u64>] [--gen-workers <n>] [--ingest-workers <n>] [--workers <n>] [--shards <n>] [--staged] [--sample <f64>] [--store <dir>] [--keep-store] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(rate) = sample {
+        if rate.is_nan() || rate <= 0.0 {
+            die("--sample needs a rate in (0, 1]");
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -173,96 +419,46 @@ fn main() {
     });
 
     let gate_span = fw_obs::span("gate/pipeline");
-    let mut stages: Vec<Stage> = Vec::new();
     let total_start = Instant::now();
-
-    // 1. Generate the world (PDNS-only flavor; the usage figures' feed).
-    eprintln!("[generate] scale {scale} seed {seed} gen_workers {gen_workers} (0 = {cores} cores)");
-    let t = Instant::now();
-    let world = {
-        let _s = fw_obs::span("gate/generate");
-        let mut config = WorldConfig::usage(seed, scale);
-        config.gen_workers = gen_workers;
-        World::generate(config)
+    let outcome = if staged {
+        run_staged_mode(
+            scale,
+            seed,
+            gen_workers,
+            ingest_workers,
+            workers,
+            shards,
+            sample,
+            &store,
+            cores,
+        )
+    } else {
+        run_fused_mode(
+            scale,
+            seed,
+            gen_workers,
+            workers,
+            shards,
+            sample,
+            &store,
+            cores,
+        )
     };
-    stages.push(Stage {
-        name: "generate",
-        ms: t.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
-    });
-    let rows = world.pdns.record_count();
-    let fqdns = world.pdns.fqdn_count();
-    eprintln!(
-        "[generate] {:.1} ms: {} functions, {fqdns} fqdns, {rows} rows",
-        stages[0].ms,
-        world.functions.len()
-    );
-
-    // 2. Ingest into the on-disk store (parallel producers).
-    eprintln!(
-        "[ingest] {ingest_workers} producers, {shards} shards -> {}",
-        store.display()
-    );
-    let t = Instant::now();
-    let stats = {
-        let _s = fw_obs::span("gate/ingest");
-        save_pdns_parallel(&world.pdns, &store, shards, ingest_workers)
-            .unwrap_or_else(|e| die(&format!("ingest failed: {e}")))
-    };
-    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
-    let rows_per_sec = stats.rows as f64 / (ingest_ms / 1e3);
-    stages.push(Stage {
-        name: "ingest",
-        ms: ingest_ms,
-        peak_rss_kb: peak_rss_kb(),
-    });
-    eprintln!(
-        "[ingest] {ingest_ms:.1} ms: {} rows ({rows_per_sec:.0} rows/s)",
-        stats.rows
-    );
-
-    // 3. Identify, reading the snapshot back via the streaming scan.
-    let t = Instant::now();
-    let report = {
-        let _s = fw_obs::span("gate/identify");
-        let aggs = stream_snapshot_aggregates(&store, workers)
-            .unwrap_or_else(|e| die(&format!("snapshot scan failed: {e}")));
-        identify_from_aggregates(aggs, workers)
-    };
-    stages.push(Stage {
-        name: "identify",
-        ms: t.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
-    });
-    eprintln!(
-        "[identify] {:.1} ms: {} functions identified, {} unmatched",
-        stages[2].ms,
-        report.functions.len(),
-        report.unmatched
-    );
-
-    // 4. Usage sweeps (Figure 3 series + Table 2) against the disk store.
-    let t = Instant::now();
-    let (series_len, ingress_rows) = {
-        let _s = fw_obs::span("gate/usage");
-        let disk = DiskStore::open_read_only(&store)
-            .unwrap_or_else(|e| die(&format!("cannot reopen store: {e}")));
-        let series = monthly_requests_with(&report, &disk, workers);
-        let ingress = ingress_table_with(&report, &disk, workers);
-        (series.months.len(), ingress.len())
-    };
-    stages.push(Stage {
-        name: "usage",
-        ms: t.elapsed().as_secs_f64() * 1e3,
-        peak_rss_kb: peak_rss_kb(),
-    });
-    eprintln!(
-        "[usage] {:.1} ms: {series_len} months, {ingress_rows} ingress rows",
-        stages[3].ms
-    );
-
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let rss = peak_rss_kb();
+
+    // Manifest for kept stores, so figure binaries can `--snapshot` the
+    // gate's output and verify its content hash.
+    if let Err(e) = (SnapshotMeta {
+        seed,
+        scale,
+        live: false,
+        rows_fnv: outcome.rows_fnv,
+    })
+    .write(&store)
+    {
+        eprintln!("[meta] cannot write world.meta: {e}");
+    }
 
     // Close the root span before draining so its End event is in the
     // dump (the drain also flushes this thread's buffer).
@@ -284,16 +480,19 @@ fn main() {
     let rss_json = |kb: Option<u64>| kb.map_or("null".to_string(), |kb| kb.to_string());
 
     // This run's history entry: the per-stage walls and throughput that
-    // bench_regress compares, one compact object per run.
+    // bench_regress compares, one compact object per run. Every `_ms`
+    // key except `unix_ms`/`total_ms` reads as a stage name there, so
+    // the entry carries exactly the stage walls and nothing else.
     let mut entry = format!(
         "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"seed\": {seed}, \"workers\": {workers}, \"total_ms\": {total_ms:.3}"
     );
-    for s in &stages {
+    for s in &outcome.stages {
         entry.push_str(&format!(", \"{}_ms\": {:.3}", s.name, s.ms));
     }
     entry.push_str(&format!(
-        ", \"rows\": {}, \"ingest_rows_per_sec\": {rows_per_sec:.0}, \"peak_rss_kb\": {}}}",
-        stats.rows,
+        ", \"rows\": {}, \"ingest_rows_per_sec\": {:.0}, \"peak_rss_kb\": {}}}",
+        outcome.rows,
+        outcome.rows_per_sec,
         rss_json(rss)
     ));
     let mut history = prior_history(&out);
@@ -306,11 +505,16 @@ fn main() {
     // Hand-rolled JSON: flat, no escaping needed for the values we emit.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"scale\": {scale}, \"seed\": {seed}, \"gen_workers\": {gen_workers}, \"ingest_workers\": {ingest_workers}, \"workers\": {workers}, \"shards\": {shards}}},\n"
+        "  \"config\": {{\"scale\": {scale}, \"seed\": {seed}, \"mode\": \"{}\", \"gen_workers\": {gen_workers}, \"ingest_workers\": {ingest_workers}, \"workers\": {workers}, \"shards\": {shards}}},\n",
+        if staged { "staged" } else { "fused" }
     ));
     json.push_str("  \"stages\": {\n");
-    for (i, s) in stages.iter().enumerate() {
-        let comma = if i + 1 == stages.len() { "" } else { "," };
+    for (i, s) in outcome.stages.iter().enumerate() {
+        let comma = if i + 1 == outcome.stages.len() {
+            ""
+        } else {
+            ","
+        };
         json.push_str(&format!(
             "    \"{}\": {{\"ms\": {:.3}, \"peak_rss_kb\": {}}}{comma}\n",
             s.name,
@@ -320,26 +524,42 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str("  \"ingest_shards\": [\n");
-    for (i, sh) in stats.shards.iter().enumerate() {
-        let comma = if i + 1 == stats.shards.len() { "" } else { "," };
+    for (i, sh) in outcome.shard_stats.iter().enumerate() {
+        let comma = if i + 1 == outcome.shard_stats.len() {
+            ""
+        } else {
+            ","
+        };
         json.push_str(&format!(
-            "    {{\"shard\": {}, \"fqdns\": {}, \"rows\": {}, \"flushes\": {}, \"flush_ms\": {:.3}, \"bytes_written\": {}, \"segments\": {}}}{comma}\n",
+            "    {{\"shard\": {}, \"fqdns\": {}, \"rows\": {}, \"flushes\": {}, \"flush_ms\": {:.3}, \"flush_p99_ms\": {:.3}, \"bytes_written\": {}, \"segments\": {}}}{comma}\n",
             sh.shard,
             sh.fqdns,
             sh.rows,
             sh.flushes,
             sh.flush_ns as f64 / 1e6,
+            sh.flush_p99_ns as f64 / 1e6,
             sh.bytes_written,
             sh.segments
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
-    json.push_str(&format!("  \"rows\": {},\n", stats.rows));
-    json.push_str(&format!("  \"fqdns\": {},\n", stats.fqdns));
-    json.push_str(&format!("  \"functions\": {},\n", world.functions.len()));
-    json.push_str(&format!("  \"identified\": {},\n", report.functions.len()));
-    json.push_str(&format!("  \"ingest_rows_per_sec\": {rows_per_sec:.0},\n"));
+    if let Some(wall) = outcome.ingest_wall_ms {
+        json.push_str(&format!("  \"ingest_wall_ms\": {wall:.3},\n"));
+    }
+    json.push_str(&format!("  \"rows\": {},\n", outcome.rows));
+    json.push_str(&format!("  \"fqdns\": {},\n", outcome.fqdns));
+    json.push_str(&format!("  \"functions\": {},\n", outcome.functions));
+    json.push_str(&format!("  \"identified\": {},\n", outcome.identified));
+    json.push_str(&format!("  \"rows_fnv\": \"{:016x}\",\n", outcome.rows_fnv));
+    json.push_str(&format!(
+        "  \"figures_fnv\": \"{:016x}\",\n",
+        outcome.figures_fnv
+    ));
+    json.push_str(&format!(
+        "  \"ingest_rows_per_sec\": {:.0},\n",
+        outcome.rows_per_sec
+    ));
     json.push_str(&format!("  \"peak_rss_kb\": {},\n", rss_json(rss)));
     json.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
@@ -351,9 +571,22 @@ fn main() {
     std::fs::write(&out, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
 
+    // The identity line is mode-independent by construction: CI runs
+    // both modes and diffs this one line.
     println!(
-        "pipeline gate: scale {scale} seed {seed} total {total_ms:.0} ms (generate {:.0} / ingest {:.0} / identify {:.0} / usage {:.0}); report -> {}",
-        stages[0].ms, stages[1].ms, stages[2].ms, stages[3].ms, out.display()
+        "pipeline identity: scale {scale} seed {seed} rows {} rows_fnv={:016x} figures_fnv={:016x}",
+        outcome.rows, outcome.rows_fnv, outcome.figures_fnv
+    );
+    let stage_summary: Vec<String> = outcome
+        .stages
+        .iter()
+        .map(|s| format!("{} {:.0}", s.name, s.ms))
+        .collect();
+    println!(
+        "pipeline gate [{}]: scale {scale} seed {seed} total {total_ms:.0} ms ({}); report -> {}",
+        if staged { "staged" } else { "fused" },
+        stage_summary.join(" / "),
+        out.display()
     );
 
     if let Some(dump) = &dump {

@@ -1,0 +1,179 @@
+//! Throwaway stage decomposition for the fused pipeline (not wired
+//! into CI): times each component of generate_ingest and seal_analyze
+//! in isolation so single-core optimization targets the right code.
+//! Prints wall and process-CPU time per stage; CPU time is the stable
+//! signal on a contended single-core host.
+
+use fw_core::identify::{classify_fqdn, IdentifyEngine};
+use fw_core::usage::UsageState;
+use fw_store::{scan_shard_visit, DiskStore, StoreConfig};
+use fw_workload::{World, WorldConfig};
+use std::time::Instant;
+
+/// Cached classification for one fqdn run during a shard scan.
+type ClassifiedRun = Option<(
+    fw_types::Fqdn,
+    Option<(fw_types::ProviderId, Option<String>)>,
+)>;
+
+/// Process CPU milliseconds (utime + stime).
+fn cpu_ms() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // utime/stime are fields 14/15; the comm field may contain spaces,
+    // so index from after the closing paren.
+    let after = stat.rsplit_once(") ").map(|(_, a)| a).unwrap_or("");
+    let f: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = f.get(11).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let stime: f64 = f.get(12).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    (utime + stime) * 10.0
+}
+
+struct StageClock {
+    wall: Instant,
+    cpu: f64,
+}
+
+fn start() -> StageClock {
+    StageClock {
+        wall: Instant::now(),
+        cpu: cpu_ms(),
+    }
+}
+
+fn done(c: StageClock, name: &str, extra: &str) {
+    eprintln!(
+        "{name:<20}{:8.1} ms wall {:8.1} ms cpu  {extra}",
+        c.wall.elapsed().as_secs_f64() * 1e3,
+        cpu_ms() - c.cpu,
+    );
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let dir = std::env::temp_dir().join(format!("fw-prof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let c = start();
+    let store = DiskStore::create(&dir, StoreConfig::default()).unwrap();
+    let _world = World::generate_into(WorldConfig::usage(42, scale), &store);
+    done(c, "generate_into", "");
+
+    let c = start();
+    for shard in 0..store.shard_count() {
+        store.seal_shard(shard).unwrap();
+    }
+    done(c, "seal", "");
+
+    let c = start();
+    let mut aggs = 0usize;
+    for shard in 0..store.shard_count() {
+        scan_shard_visit(store.dir(), shard, &mut |_a| aggs += 1, None).unwrap();
+    }
+    done(c, "scan aggs only", &format!("({aggs} aggs)"));
+
+    let c = start();
+    let mut rows = 0usize;
+    for shard in 0..store.shard_count() {
+        scan_shard_visit(
+            store.dir(),
+            shard,
+            &mut |_a| {},
+            Some(&mut |_f, _r, _d, _c| rows += 1),
+        )
+        .unwrap();
+    }
+    done(c, "scan aggs+rows", &format!("({rows} rows)"));
+
+    let c = start();
+    let mut hits = 0usize;
+    for shard in 0..store.shard_count() {
+        scan_shard_visit(
+            store.dir(),
+            shard,
+            &mut |a| hits += classify_fqdn(&a.fqdn).is_some() as usize,
+            None,
+        )
+        .unwrap();
+    }
+    done(c, "scan + classify", &format!("({hits} hits)"));
+
+    let c = start();
+    let mut fnv = 0u64;
+    for shard in 0..store.shard_count() {
+        scan_shard_visit(
+            store.dir(),
+            shard,
+            &mut |_a| {},
+            Some(&mut |f, r, d, cnt| {
+                let mut k = fw_types::fnv::fnv1a(f.as_str().as_bytes());
+                k = fw_types::fnv::fold(k, r.rtype() as u64);
+                k = r.with_text(|t| fw_types::fnv::update(k, t.as_bytes()));
+                k = fw_types::fnv::fold(k, d.0 as u64);
+                fnv = fnv.wrapping_add(k.wrapping_mul(cnt));
+            }),
+        )
+        .unwrap();
+    }
+    done(c, "scan + rows_fnv", &format!("({fnv:016x})"));
+
+    let c = start();
+    let mut usage = UsageState::new();
+    for shard in 0..store.shard_count() {
+        let mut cur: ClassifiedRun = None;
+        scan_shard_visit(
+            store.dir(),
+            shard,
+            &mut |_a| {},
+            Some(&mut |f, r, d, cnt| {
+                if cur.as_ref().is_none_or(|(cf, _)| cf != f) {
+                    cur = Some((f.clone(), classify_fqdn(f)));
+                }
+                if let Some((_, Some((p, _)))) = &cur {
+                    usage.apply(*p, r.rtype(), r, d, cnt);
+                }
+            }),
+        )
+        .unwrap();
+    }
+    done(
+        c,
+        "scan + usage.apply",
+        &format!("({} months)", usage.monthly_series().months.len()),
+    );
+
+    let c = start();
+    let mut classified = Vec::new();
+    for shard in 0..store.shard_count() {
+        scan_shard_visit(
+            store.dir(),
+            shard,
+            &mut |a| {
+                let v = classify_fqdn(&a.fqdn);
+                classified.push((a, v));
+            },
+            None,
+        )
+        .unwrap();
+    }
+    done(c, "scan+classify+coll", "");
+
+    let c = start();
+    let mut engine = IdentifyEngine::batch(1);
+    for (a, v) in classified {
+        engine.absorb_classified(a, v);
+    }
+    done(c, "absorb alone", "");
+
+    let c = start();
+    let report = engine.into_report();
+    done(
+        c,
+        "into_report alone",
+        &format!("({} fns)", report.functions.len()),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

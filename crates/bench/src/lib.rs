@@ -24,6 +24,7 @@
 //!                   see DESIGN.md §10)
 //! ```
 
+pub mod fused;
 pub mod regress;
 
 use fw_core::abusescan::AbuseScanConfig;

@@ -14,7 +14,7 @@
 //! validation round ("refined the expressions until only valid cloud
 //! function domains were collected") would have caught.
 
-use fw_pattern::Pattern;
+use fw_pattern::{Captures, Pattern};
 use fw_types::{Fqdn, ProviderId};
 use std::sync::OnceLock;
 
@@ -63,8 +63,14 @@ impl UrlFormat {
 
     /// Extract the region code from a matching fqdn.
     pub fn region_of(&self, fqdn: &Fqdn) -> Option<String> {
-        let group = self.region_group?;
+        self.region_group?;
         let caps = self.pattern().captures(fqdn.as_str())?;
+        self.region_from(&caps)
+    }
+
+    /// Extract the region from an already-computed captures run.
+    fn region_from(&self, caps: &Captures) -> Option<String> {
+        let group = self.region_group?;
         match self.provider {
             // Google 1st gen splits the region across two groups:
             // `(us)-(central1)-(project)`.
@@ -246,6 +252,27 @@ pub fn identify(fqdn: &Fqdn) -> Option<ProviderId> {
         .filter(|f| f.provider.dns_identifiable())
         .find(|f| fqdn.has_suffix(suffix_hint(f.provider)) && f.matches(fqdn))
         .map(|f| f.provider)
+}
+
+/// Identify the provider *and* extract its region code in one pass.
+///
+/// Equivalent to `identify(fqdn)` followed by
+/// `format_for(provider).region_of(fqdn)`, but runs the pattern engine
+/// once instead of twice — this is the per-fqdn hot path when classifying
+/// PDNS-scale aggregate streams.
+pub fn identify_with_region(fqdn: &Fqdn) -> Option<(ProviderId, Option<String>)> {
+    for f in all_formats()
+        .iter()
+        .filter(|f| f.provider.dns_identifiable())
+    {
+        if !fqdn.has_suffix(suffix_hint(f.provider)) {
+            continue;
+        }
+        if let Some(caps) = f.pattern().captures(fqdn.as_str()) {
+            return Some((f.provider, f.region_from(&caps)));
+        }
+    }
+    None
 }
 
 /// Static suffix used as the pre-filter for [`identify`].

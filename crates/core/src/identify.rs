@@ -15,7 +15,7 @@
 //! provably identical to a batch run over the same rows.
 
 use fw_analysis::par::{default_workers, par_map_named};
-use fw_cloud::formats::{all_formats, format_for, identify};
+use fw_cloud::formats::{all_formats, identify, identify_with_region};
 use fw_dns::pdns::{FqdnAggregate, PdnsBackend, PdnsRow};
 use fw_types::{DayStamp, Fqdn, ProviderId, Rdata};
 use std::collections::HashMap;
@@ -117,10 +117,19 @@ pub enum VerdictChange {
     },
 }
 
-/// Classification verdict for one fqdn — the per-fqdn CPU cost (regex
-/// match + region extraction), shared by the streaming and batch paths.
+/// Classification verdict for one fqdn — the per-fqdn CPU cost, shared
+/// by the streaming and batch paths. A single pattern-engine run yields
+/// both the provider verdict and the region code.
 fn classify(fqdn: &Fqdn) -> Option<(ProviderId, Option<String>)> {
-    identify(fqdn).map(|provider| (provider, format_for(provider).region_of(fqdn)))
+    identify_with_region(fqdn)
+}
+
+/// Public form of the engine's classifier, for pipelines that classify
+/// an fqdn once at the scan site (e.g. the fused per-shard scan, which
+/// needs the provider while streaming rows) and then hand the verdict
+/// to [`IdentifyEngine::absorb_classified`] so it is not recomputed.
+pub fn classify_fqdn(fqdn: &Fqdn) -> Option<(ProviderId, Option<String>)> {
+    classify(fqdn)
 }
 
 /// Classification fans out to worker threads only above this many new
@@ -241,6 +250,11 @@ enum Class {
 #[derive(Debug)]
 pub struct IdentifyEngine {
     workers: usize,
+    /// Maintain the fqdn → verdict map. The streaming row path needs it
+    /// to route rows and dedupe verdicts; aggregate-fed batch engines
+    /// see each fqdn exactly once and skip it (one key clone + map
+    /// insert per fqdn, which dominates absorb cost at PDNS scale).
+    lookup: bool,
     class: HashMap<Fqdn, Class>,
     states: Vec<FnState>,
     unmatched: u64,
@@ -255,10 +269,23 @@ impl IdentifyEngine {
     pub fn with_workers(workers: usize) -> Self {
         IdentifyEngine {
             workers: workers.max(1),
+            lookup: true,
             class: HashMap::new(),
             states: Vec::new(),
             unmatched: 0,
             total_requests: 0,
+        }
+    }
+
+    /// Batch-mode engine for aggregate-fed pipelines: skips the
+    /// fqdn → verdict lookup map, so [`provider_of`](Self::provider_of)
+    /// and [`aggregate_of`](Self::aggregate_of) always return `None`
+    /// and [`apply_rows`](Self::apply_rows) must not be used. Reports
+    /// are identical to a tracking engine fed the same aggregates.
+    pub fn batch(workers: usize) -> Self {
+        IdentifyEngine {
+            lookup: false,
+            ..Self::with_workers(workers)
         }
     }
 
@@ -268,6 +295,10 @@ impl IdentifyEngine {
     /// identified function, sorted by fqdn. Row order *within* the
     /// batch never affects the deltas or the final state.
     pub fn apply_rows(&mut self, rows: &[PdnsRow]) -> Vec<VerdictChange> {
+        assert!(
+            self.lookup,
+            "apply_rows needs the verdict map; use a tracking engine, not IdentifyEngine::batch"
+        );
         // New fqdns this batch, sorted so verdict deltas (and state
         // indices) are independent of row order.
         let mut fresh: Vec<&Fqdn> = rows
@@ -349,18 +380,37 @@ impl IdentifyEngine {
                 classify(&agg.fqdn)
             });
         for (agg, verdict) in aggs.into_iter().zip(verdicts) {
-            match verdict {
-                Some((provider, region)) => {
-                    let idx = self.states.len() as u32;
-                    self.total_requests += agg.total_request_cnt;
+            self.absorb_classified(agg, verdict);
+        }
+    }
+
+    /// Absorb one aggregate whose verdict was already computed (via
+    /// [`classify_fqdn`]) at the scan site. The fused pipeline's entry
+    /// point: each shard worker classifies fqdns while streaming rows
+    /// and feeds `(aggregate, verdict)` pairs here, so classification
+    /// cost is paid exactly once. Final state is independent of the
+    /// order shards land in — `into_report` sorts by fqdn and the
+    /// unmatched/total counters are commutative sums.
+    pub fn absorb_classified(
+        &mut self,
+        agg: FqdnAggregate,
+        verdict: Option<(ProviderId, Option<String>)>,
+    ) {
+        match verdict {
+            Some((provider, region)) => {
+                let idx = self.states.len() as u32;
+                self.total_requests += agg.total_request_cnt;
+                if self.lookup {
                     self.class.insert(agg.fqdn.clone(), Class::Function(idx));
-                    self.states
-                        .push(FnState::from_aggregate(agg, provider, region));
                 }
-                None => {
+                self.states
+                    .push(FnState::from_aggregate(agg, provider, region));
+            }
+            None => {
+                if self.lookup {
                     self.class.insert(agg.fqdn.clone(), Class::Noise);
-                    self.unmatched += 1;
                 }
+                self.unmatched += 1;
             }
         }
     }
@@ -408,12 +458,48 @@ impl IdentifyEngine {
     pub fn into_report(self) -> IdentificationReport {
         let unmatched = self.unmatched;
         let total_requests = self.total_requests;
-        let mut functions: Vec<IdentifiedFunction> = self
-            .states
+        // Order indices, not states: each ~150-byte function record is
+        // then moved into place exactly once. Aggregate-fed engines see
+        // one fqdn-sorted run per scanned shard, so detecting the run
+        // boundaries and k-way merging costs O(n log k) comparisons
+        // instead of a full O(n log n) sort; a row-fed engine's states
+        // degrade to many short runs and the merge becomes the sort.
+        // Fqdns are unique keys, so no tie-breaking is ever needed.
+        let n = self.states.len();
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut run_start = 0;
+        for i in 1..=n {
+            if i == n || self.states[i].fqdn < self.states[i - 1].fqdn {
+                runs.push((run_start, i));
+                run_start = i;
+            }
+        }
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        if runs.len() <= 1 {
+            order.extend(0..n as u32);
+        } else {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut cursor: Vec<usize> = runs.iter().map(|&(s, _)| s).collect();
+            let mut heap: BinaryHeap<Reverse<(&Fqdn, usize)>> = runs
+                .iter()
+                .enumerate()
+                .map(|(r, &(s, _))| Reverse((&self.states[s].fqdn, r)))
+                .collect();
+            while let Some(Reverse((_, r))) = heap.pop() {
+                order.push(cursor[r] as u32);
+                cursor[r] += 1;
+                if cursor[r] < runs[r].1 {
+                    heap.push(Reverse((&self.states[cursor[r]].fqdn, r)));
+                }
+            }
+        }
+        let mut slots: Vec<Option<FnState>> = self.states.into_iter().map(Some).collect();
+        let functions: Vec<IdentifiedFunction> = order
             .into_iter()
+            .map(|i| slots[i as usize].take().expect("each index appears once"))
             .map(FnState::into_identified)
             .collect();
-        functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
         IdentificationReport {
             functions,
             unmatched,
@@ -426,7 +512,7 @@ impl IdentifyEngine {
         functions: impl Iterator<Item = IdentifiedFunction>,
     ) -> IdentificationReport {
         let mut functions: Vec<IdentifiedFunction> = functions.collect();
-        functions.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        functions.sort_unstable_by(|a, b| a.fqdn.cmp(&b.fqdn));
         IdentificationReport {
             functions,
             unmatched: self.unmatched,
@@ -463,7 +549,7 @@ pub fn identify_functions_with<B: PdnsBackend + ?Sized>(
 /// fresh engine and materializes its report (functions sorted by fqdn;
 /// aggregates pass through verbatim).
 pub fn identify_from_aggregates(aggs: Vec<FqdnAggregate>, workers: usize) -> IdentificationReport {
-    let mut engine = IdentifyEngine::with_workers(workers);
+    let mut engine = IdentifyEngine::batch(workers);
     engine.absorb_aggregates(aggs);
     engine.into_report()
 }

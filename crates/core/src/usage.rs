@@ -11,6 +11,7 @@ use crate::identify::{IdentificationReport, IdentifiedFunction};
 use fw_analysis::par::{default_workers, par_map_named};
 use fw_analysis::stats;
 use fw_dns::pdns::PdnsBackend;
+use fw_types::fnv::FnvBuildHasher;
 use fw_types::{
     DayStamp, MonthStamp, ProviderId, Rdata, RecordType, MEASUREMENT_END, MEASUREMENT_START,
 };
@@ -85,9 +86,9 @@ pub struct UsageState {
     track_monthly: bool,
     track_ingress: bool,
     n_months: usize,
-    monthly: HashMap<ProviderId, Vec<u64>>,
+    monthly: HashMap<ProviderId, Vec<u64>, FnvBuildHasher>,
     /// provider → rtype slot `(A, CNAME, AAAA)` → rdata text → requests.
-    ingress: HashMap<ProviderId, [HashMap<String, u64>; 3]>,
+    ingress: HashMap<ProviderId, [HashMap<String, u64, FnvBuildHasher>; 3], FnvBuildHasher>,
 }
 
 impl UsageState {
@@ -111,8 +112,8 @@ impl UsageState {
             track_monthly: monthly,
             track_ingress: ingress,
             n_months: window_months().len(),
-            monthly: HashMap::new(),
-            ingress: HashMap::new(),
+            monthly: HashMap::default(),
+            ingress: HashMap::default(),
         }
     }
 
@@ -140,9 +141,15 @@ impl UsageState {
                 RecordType::Cname => 1,
                 RecordType::Aaaa => 2,
             };
-            *self.ingress.entry(provider).or_default()[slot]
-                .entry(rdata.text())
-                .or_insert(0) += cnt;
+            let table = &mut self.ingress.entry(provider).or_default()[slot];
+            // Borrow the text for the (overwhelmingly common) repeat-key
+            // case; allocate the owned key only on first sight.
+            rdata.with_text(|text| match table.get_mut(text) {
+                Some(requests) => *requests += cnt,
+                None => {
+                    table.insert(text.to_string(), cnt);
+                }
+            });
         }
     }
 
@@ -181,10 +188,14 @@ impl UsageState {
 
     /// Materialize the Figure 4 monthly series.
     pub fn monthly_series(&self) -> MonthlySeries {
-        let mut per_provider = self.monthly.clone();
         // The row-scan formulation only created a provider entry when a
         // row fell inside the measurement window; keep that contract.
-        per_provider.retain(|_, series| series.iter().any(|v| *v > 0));
+        let per_provider: HashMap<ProviderId, Vec<u64>> = self
+            .monthly
+            .iter()
+            .filter(|(_, series)| series.iter().any(|v| *v > 0))
+            .map(|(p, series)| (*p, series.clone()))
+            .collect();
         MonthlySeries {
             months: window_months(),
             per_provider,
@@ -366,6 +377,141 @@ pub fn ingress_table_with<B: PdnsBackend + ?Sized>(
     state.ingress_rows(report)
 }
 
+/// Deterministic sample membership for the approximate usage sweep:
+/// an fqdn is in the sample iff its FNV-1a hash falls under the rate
+/// threshold. Hash-based (rather than RNG-based) selection makes the
+/// sample a pure function of the fqdn — identical across worker
+/// counts, runs, and machines.
+fn in_sample(fqdn: &fw_types::Fqdn, rate: f64) -> bool {
+    (fw_types::fnv::fnv1a(fqdn.as_str().as_bytes()) as f64) < rate * (u64::MAX as f64)
+}
+
+/// Output of the sampled usage sweep: scaled estimates plus the error
+/// accounting that makes the speed/accuracy trade explicit.
+#[derive(Debug, Clone)]
+pub struct SampledUsage {
+    /// Monthly request series, inverse-probability scaled (each cell
+    /// multiplied by `scale_factor` and rounded).
+    pub monthly: MonthlySeries,
+    /// Ingress table over the sampled functions. The concentration
+    /// metrics (rtype share, top-10, entropy) are scale-invariant;
+    /// `rdata_cnt` is the distinct count *observed in the sample* and
+    /// undercounts the full sweep — documented, not corrected.
+    pub ingress: Vec<IngressRow>,
+    /// Requested sampling rate.
+    pub rate: f64,
+    pub sampled_functions: u64,
+    pub total_functions: u64,
+    /// Self-normalized inverse-probability factor `N / n`.
+    pub scale_factor: f64,
+    /// Estimated grand request total (`scale_factor × sampled total`).
+    pub est_total_requests: u64,
+    /// Exact grand total, free from the report's aggregates — lets the
+    /// caller print the realized error next to the a-priori bound.
+    pub exact_total_requests: u64,
+    /// Realized relative error of `est_total_requests`.
+    pub rel_err_total: f64,
+    /// A-priori ±1σ relative error of the total estimator under
+    /// simple-random-sampling (finite population correction applied).
+    pub rel_std_err: f64,
+}
+
+/// Approximate usage sweep (`--sample`): visit only a deterministic
+/// hash-selected fraction of the identified functions, scale the
+/// additive counts back up, and report both the realized and the
+/// predicted error of the estimate. One pass computes both the monthly
+/// series and the ingress table. `rate >= 1` degenerates to the exact
+/// sweep (factor 1, zero error bound).
+pub fn usage_sampled<B: PdnsBackend + ?Sized>(
+    report: &IdentificationReport,
+    pdns: &B,
+    workers: usize,
+    rate: f64,
+) -> SampledUsage {
+    let total_functions = report.functions.len() as u64;
+    let exact_total_requests: u64 = report
+        .functions
+        .iter()
+        .map(|f| f.agg.total_request_cnt)
+        .sum();
+    let sampled: Vec<&IdentifiedFunction> = report
+        .functions
+        .iter()
+        .filter(|f| rate >= 1.0 || in_sample(&f.fqdn, rate))
+        .collect();
+    let n = sampled.len() as u64;
+    let scale_factor = if n == 0 {
+        0.0
+    } else {
+        total_functions as f64 / n as f64
+    };
+
+    let chunks = function_chunks(sampled.len(), workers);
+    let parts: Vec<UsageState> = par_map_named(&chunks, workers, "usage/sampled", |_, range| {
+        let mut part = UsageState::new();
+        for f in &sampled[range.clone()] {
+            part.touch_ingress(f.provider);
+            pdns.for_each_record_of(&f.fqdn, &mut |rtype, rdata, pdate, cnt| {
+                part.apply(f.provider, rtype, rdata, pdate, cnt);
+            });
+        }
+        part
+    });
+    let mut state = UsageState::new();
+    for part in parts {
+        state.merge(part);
+    }
+
+    let mut monthly = state.monthly_series();
+    if scale_factor != 1.0 {
+        for series in monthly.per_provider.values_mut() {
+            for v in series.iter_mut() {
+                *v = (*v as f64 * scale_factor).round() as u64;
+            }
+        }
+    }
+
+    // SRS total estimator: T̂ = N·ȳ over per-function request totals,
+    // Var(T̂) = N²(1 − n/N)s²/n.
+    let totals: Vec<f64> = sampled
+        .iter()
+        .map(|f| f.agg.total_request_cnt as f64)
+        .collect();
+    let est_total = if totals.is_empty() {
+        0.0
+    } else {
+        scale_factor * totals.iter().sum::<f64>()
+    };
+    let rel_std_err = if totals.len() < 2 || est_total == 0.0 || total_functions == 0 {
+        0.0
+    } else {
+        let n_f = totals.len() as f64;
+        let big_n = total_functions as f64;
+        let mean = totals.iter().sum::<f64>() / n_f;
+        let s2 = totals.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n_f - 1.0);
+        let var = big_n * big_n * (1.0 - n_f / big_n) * s2 / n_f;
+        var.sqrt() / est_total
+    };
+    let rel_err_total = if exact_total_requests == 0 {
+        0.0
+    } else {
+        (est_total - exact_total_requests as f64).abs() / exact_total_requests as f64
+    };
+
+    SampledUsage {
+        monthly,
+        ingress: state.ingress_rows(report),
+        rate,
+        sampled_functions: n,
+        total_functions,
+        scale_factor,
+        est_total_requests: est_total.round() as u64,
+        exact_total_requests,
+        rel_err_total,
+        rel_std_err,
+    }
+}
+
 /// Figure 5 + §4.3 statistics over function-identifiable providers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InvocationReport {
@@ -544,6 +690,44 @@ mod tests {
                 assert_eq!(a.rtype_share, b.rtype_share);
                 assert_eq!(a.top10, b.top10);
             }
+        }
+    }
+
+    #[test]
+    fn sampled_sweep_at_full_rate_is_exact() {
+        let s = store();
+        let report = identify_functions(&s);
+        let exact_months = monthly_requests(&report, &s);
+        let exact_table = ingress_table(&report, &s);
+        let sampled = usage_sampled(&report, &s, 4, 1.0);
+        assert_eq!(sampled.sampled_functions, sampled.total_functions);
+        assert_eq!(sampled.scale_factor, 1.0);
+        assert_eq!(sampled.monthly.per_provider, exact_months.per_provider);
+        assert_eq!(sampled.ingress, exact_table);
+        assert_eq!(sampled.est_total_requests, sampled.exact_total_requests);
+        assert_eq!(sampled.rel_err_total, 0.0);
+        assert_eq!(sampled.rel_std_err, 0.0);
+    }
+
+    #[test]
+    fn sampled_sweep_is_deterministic_and_bounded() {
+        let s = store();
+        let report = identify_functions(&s);
+        let a = usage_sampled(&report, &s, 1, 0.5);
+        let b = usage_sampled(&report, &s, 8, 0.5);
+        // Hash-threshold membership: identical at any worker count.
+        assert_eq!(a.sampled_functions, b.sampled_functions);
+        assert_eq!(a.monthly.per_provider, b.monthly.per_provider);
+        assert_eq!(a.est_total_requests, b.est_total_requests);
+        assert!(a.sampled_functions <= a.total_functions);
+        assert_eq!(a.exact_total_requests, 1123);
+        assert!(a.rel_std_err >= 0.0);
+        // Estimator self-consistency: monthly cells scale with the
+        // sample, so the scaled grand total matches the estimate.
+        if a.sampled_functions > 0 {
+            assert!(a.scale_factor >= 1.0);
+        } else {
+            assert_eq!(a.est_total_requests, 0);
         }
     }
 

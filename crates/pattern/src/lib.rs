@@ -76,7 +76,7 @@ impl Pattern {
     /// Does the pattern match anywhere in `input`?
     /// (Anchors inside the pattern still apply.)
     pub fn is_match(&self, input: &str) -> bool {
-        vm::search(&self.program, input.as_bytes()).is_some()
+        vm::is_match(&self.program, input.as_bytes())
     }
 
     /// Leftmost match with capture groups, or `None`.

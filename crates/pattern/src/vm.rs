@@ -4,44 +4,144 @@
 //! are kept in priority order (earlier = higher priority), which gives
 //! leftmost-first match semantics with greedy/lazy quantifier behaviour
 //! driven by `Split` operand order.
+//!
+//! Slot storage is generic so the hot paths stay allocation-free: plain
+//! membership tests run with no slot tracking at all, and capture runs over
+//! small programs (the Table 1 URL formats have ≤3 groups) use an inline
+//! fixed-size array instead of cloning a heap `Vec` on every thread add.
 
 use crate::compile::{Inst, Program};
 
 type Slots = Vec<Option<usize>>;
 
-struct ThreadList {
+/// Capture-slot storage strategy. All impls must behave identically for
+/// control flow; they only differ in what (if anything) they record.
+trait SlotTrack: Clone {
+    fn new(count: usize) -> Self;
+    fn get(&self, i: usize) -> Option<usize>;
+    fn set(&mut self, i: usize, v: Option<usize>);
+    fn into_vec(self, count: usize) -> Slots;
+}
+
+impl SlotTrack for Slots {
+    fn new(count: usize) -> Self {
+        vec![None; count]
+    }
+    fn get(&self, i: usize) -> Option<usize> {
+        self[i]
+    }
+    fn set(&mut self, i: usize, v: Option<usize>) {
+        self[i] = v;
+    }
+    fn into_vec(self, _count: usize) -> Slots {
+        self
+    }
+}
+
+/// Programs with at most this many slots (pattern groups ≤ 7) use the
+/// inline representation; larger ones fall back to the heap `Vec`.
+const INLINE_SLOTS: usize = 16;
+
+/// `u32::MAX` is the `None` sentinel, so inline tracking also requires the
+/// input to be shorter than `u32::MAX` bytes (checked at dispatch).
+#[derive(Clone, Copy)]
+struct InlineSlots {
+    buf: [u32; INLINE_SLOTS],
+}
+
+impl SlotTrack for InlineSlots {
+    fn new(_count: usize) -> Self {
+        InlineSlots {
+            buf: [u32::MAX; INLINE_SLOTS],
+        }
+    }
+    fn get(&self, i: usize) -> Option<usize> {
+        let v = self.buf[i];
+        if v == u32::MAX {
+            None
+        } else {
+            Some(v as usize)
+        }
+    }
+    fn set(&mut self, i: usize, v: Option<usize>) {
+        self.buf[i] = match v {
+            Some(p) => p as u32,
+            None => u32::MAX,
+        };
+    }
+    fn into_vec(self, count: usize) -> Slots {
+        (0..count).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Zero-cost tracker for pure membership tests (`is_match`).
+#[derive(Clone, Copy)]
+struct NoSlots;
+
+impl SlotTrack for NoSlots {
+    fn new(_count: usize) -> Self {
+        NoSlots
+    }
+    fn get(&self, _i: usize) -> Option<usize> {
+        None
+    }
+    fn set(&mut self, _i: usize, _v: Option<usize>) {}
+    fn into_vec(self, count: usize) -> Slots {
+        vec![None; count]
+    }
+}
+
+struct ThreadList<S> {
     /// `(pc, slots)` in priority order.
-    threads: Vec<(usize, Slots)>,
+    threads: Vec<(usize, S)>,
     /// Generation marker per pc to dedupe adds within one step.
     seen: Vec<u32>,
     gen: u32,
 }
 
-impl ThreadList {
-    fn new(len: usize) -> Self {
+impl<S: SlotTrack> ThreadList<S> {
+    fn new() -> Self {
         ThreadList {
             threads: Vec::new(),
             // `seen` starts at generation 0; the live generation starts at 1
             // so a fresh list has no instruction marked as seen.
-            seen: vec![0; len],
-            gen: 1,
+            seen: Vec::new(),
+            gen: 0,
         }
+    }
+
+    /// Ready the list for a fresh search over a program of `len`
+    /// instructions: grow `seen` if needed and bump the generation so
+    /// nothing reads as already-added. Buffers keep their capacity, so
+    /// a reused list does no per-search allocation.
+    fn prepare(&mut self, len: usize) {
+        if self.seen.len() < len {
+            self.seen.resize(len, 0);
+        }
+        self.clear();
     }
 
     fn clear(&mut self) {
         self.threads.clear();
-        self.gen += 1;
+        if self.gen == u32::MAX {
+            // Generation wrap: stale marks from 4 billion clears ago
+            // would read as current. Reset them (rare, amortized free).
+            self.seen.iter_mut().for_each(|g| *g = 0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
     }
 }
 
 /// Add a thread, following zero-width instructions.
-fn add_thread(
+fn add_thread<S: SlotTrack>(
     prog: &Program,
-    list: &mut ThreadList,
+    list: &mut ThreadList<S>,
     pc: usize,
     pos: usize,
     input_len: usize,
-    slots: &mut Slots,
+    slots: &mut S,
 ) {
     if list.seen[pc] == list.gen {
         return;
@@ -54,10 +154,10 @@ fn add_thread(
             add_thread(prog, list, *b, pos, input_len, slots);
         }
         Inst::Save(n) => {
-            let old = slots[*n];
-            slots[*n] = Some(pos);
+            let old = slots.get(*n);
+            slots.set(*n, Some(pos));
             add_thread(prog, list, pc + 1, pos, input_len, slots);
-            slots[*n] = old;
+            slots.set(*n, old);
         }
         Inst::AssertStart => {
             if pos == 0 {
@@ -78,12 +178,54 @@ pub fn search(prog: &Program, input: &[u8]) -> Option<Slots> {
     search_at(prog, input, 0)
 }
 
+// Per-thread scratch lists, reused across searches. Classification
+// calls `captures`/`is_match` millions of times on short inputs;
+// without reuse every call pays two `seen` allocations and the thread
+// vectors regrow from zero.
+thread_local! {
+    static INLINE_SCRATCH: std::cell::RefCell<(ThreadList<InlineSlots>, ThreadList<InlineSlots>)> =
+        std::cell::RefCell::new((ThreadList::new(), ThreadList::new()));
+    static NOSLOT_SCRATCH: std::cell::RefCell<(ThreadList<NoSlots>, ThreadList<NoSlots>)> =
+        std::cell::RefCell::new((ThreadList::new(), ThreadList::new()));
+}
+
 /// Search starting at byte offset `start`.
 pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
+    if prog.slot_count <= INLINE_SLOTS && input.len() < u32::MAX as usize {
+        INLINE_SCRATCH
+            .with(|s| {
+                let (clist, nlist) = &mut *s.borrow_mut();
+                search_impl::<InlineSlots>(prog, input, start, clist, nlist)
+            })
+            .map(|s| s.into_vec(prog.slot_count))
+    } else {
+        let (mut clist, mut nlist) = (ThreadList::new(), ThreadList::new());
+        search_impl::<Slots>(prog, input, start, &mut clist, &mut nlist)
+    }
+}
+
+/// Membership test without slot tracking: same thread scheduling, no
+/// captures, no allocation per thread add.
+pub fn is_match(prog: &Program, input: &[u8]) -> bool {
+    NOSLOT_SCRATCH
+        .with(|s| {
+            let (clist, nlist) = &mut *s.borrow_mut();
+            search_impl::<NoSlots>(prog, input, 0, clist, nlist)
+        })
+        .is_some()
+}
+
+fn search_impl<S: SlotTrack>(
+    prog: &Program,
+    input: &[u8],
+    start: usize,
+    clist: &mut ThreadList<S>,
+    nlist: &mut ThreadList<S>,
+) -> Option<S> {
     let n = prog.insts.len();
-    let mut clist = ThreadList::new(n);
-    let mut nlist = ThreadList::new(n);
-    let mut matched: Option<Slots> = None;
+    clist.prepare(n);
+    nlist.prepare(n);
+    let mut matched: Option<S> = None;
     let anchored = prog.anchored_start();
 
     // One iteration per input position, inclusive of the end-of-input step
@@ -93,8 +235,8 @@ pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
         // was already found (leftmost wins) or the pattern is start-anchored
         // and this is past the only legal start position.
         if matched.is_none() && (!anchored || pos == start) {
-            let mut slots: Slots = vec![None; prog.slot_count];
-            add_thread(prog, &mut clist, 0, pos, input.len(), &mut slots);
+            let mut slots = S::new(prog.slot_count);
+            add_thread(prog, clist, 0, pos, input.len(), &mut slots);
         }
         if clist.threads.is_empty() {
             if matched.is_some() || anchored {
@@ -105,19 +247,20 @@ pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
 
         let byte = input.get(pos).copied();
         nlist.clear();
-        let threads = std::mem::take(&mut clist.threads);
-        for (pc, slots) in threads {
+        // Drain (not take): the vector keeps its capacity for the next
+        // position, and a `Match` break drops the lower-priority tail.
+        for (pc, slots) in clist.threads.drain(..) {
             match &prog.insts[pc] {
                 Inst::Byte(b) => {
                     if byte == Some(*b) {
                         let mut s = slots;
-                        add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                        add_thread(prog, nlist, pc + 1, pos + 1, input.len(), &mut s);
                     }
                 }
                 Inst::Any => {
                     if matches!(byte, Some(b) if b != b'\n') {
                         let mut s = slots;
-                        add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                        add_thread(prog, nlist, pc + 1, pos + 1, input.len(), &mut s);
                     }
                 }
                 Inst::Class { items, negated } => {
@@ -125,7 +268,7 @@ pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
                         let inside = items.iter().any(|i| i.contains(b));
                         if inside != *negated {
                             let mut s = slots;
-                            add_thread(prog, &mut nlist, pc + 1, pos + 1, input.len(), &mut s);
+                            add_thread(prog, nlist, pc + 1, pos + 1, input.len(), &mut s);
                         }
                     }
                 }
@@ -142,7 +285,7 @@ pub fn search_at(prog: &Program, input: &[u8], start: usize) -> Option<Slots> {
                 _ => unreachable!("zero-width inst in thread list"),
             }
         }
-        std::mem::swap(&mut clist, &mut nlist);
+        std::mem::swap(clist, nlist);
     }
     matched
 }
@@ -185,5 +328,39 @@ mod tests {
         let hay = format!("{}{}", "x".repeat(10_000), "needle");
         let p = Pattern::compile("needle$").unwrap();
         assert_eq!(p.find(&hay), Some((10_000, 10_006)));
+    }
+
+    #[test]
+    fn is_match_agrees_with_search_across_shapes() {
+        // The slotless fast path must schedule threads identically to the
+        // capturing path; spot-check shapes that stress priority order.
+        let cases = [
+            ("^(a|ab)(c?)$", vec!["ac", "abc", "ab", "a", "abcc"]),
+            ("(x+)(y*)z", vec!["xyz", "xz", "yz", "xxyyz", ""]),
+            (
+                "^[a-z]{3}-[0-9]+$",
+                vec!["abc-123", "ab-1", "abc-", "abc-0"],
+            ),
+        ];
+        for (pat, inputs) in cases {
+            let p = Pattern::compile(pat).unwrap();
+            for input in inputs {
+                assert_eq!(
+                    p.is_match(input),
+                    p.captures(input).is_some(),
+                    "divergence for {pat:?} on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_groups_fall_back_to_heap_slots() {
+        // 8 groups → 18 slots, past the inline capacity.
+        let p = Pattern::compile("^(a)(b)(c)(d)(e)(f)(g)(h)$").unwrap();
+        let caps = p.captures("abcdefgh").unwrap();
+        for (i, s) in ["a", "b", "c", "d", "e", "f", "g", "h"].iter().enumerate() {
+            assert_eq!(caps.get(i + 1), Some(*s));
+        }
     }
 }

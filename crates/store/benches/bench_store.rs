@@ -152,10 +152,112 @@ fn bench_snapshot_save_load(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_varint_decode(c: &mut Criterion) {
+    // Mixed-width varints shaped like real segment columns: mostly 1-2
+    // byte counts/deltas with a long tail of wide values.
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    let mut values = Vec::with_capacity(100_000);
+    for _ in 0..100_000 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let width = state % 10;
+        values.push(if width < 6 {
+            state % 128
+        } else if width < 9 {
+            state % (1 << 14)
+        } else {
+            state % (1 << 40)
+        });
+    }
+    let mut encoded = Vec::new();
+    for v in &values {
+        fw_store::codec::put_uvarint(&mut encoded, *v);
+    }
+
+    let mut group = c.benchmark_group("varint_decode");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("scalar_100k", |b| {
+        b.iter(|| {
+            let mut r = fw_store::codec::Reader::new(&encoded);
+            let mut sum = 0u64;
+            for _ in 0..values.len() {
+                sum = sum.wrapping_add(r.uvarint().unwrap());
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("swar_100k", |b| {
+        b.iter(|| {
+            let mut r = fw_store::codec::Reader::new(&encoded);
+            let mut sum = 0u64;
+            for _ in 0..values.len() {
+                sum = sum.wrapping_add(r.uvarint_swar().unwrap());
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("swar_batch4_100k", |b| {
+        b.iter(|| {
+            let mut r = fw_store::codec::Reader::new(&encoded);
+            let mut sum = 0u64;
+            for _ in 0..values.len() / 4 {
+                for v in r.uvarint4().unwrap() {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmap_scan(c: &mut Criterion) {
+    // One compacted shard (single sorted segment), scanned through the
+    // mmap-backed visitor path the fused pipeline runs per shard.
+    let data = rows(50_000);
+    let dir = scratch("mmap-scan");
+    {
+        let store = DiskStore::create(
+            &dir,
+            StoreConfig {
+                shards: 1,
+                flush_rows: 0,
+            },
+        )
+        .unwrap();
+        for (f, r, d, cnt) in &data {
+            store.observe_count(f, r, *d, *cnt);
+        }
+        store.flush().unwrap();
+        store.compact().unwrap();
+    }
+    let mut group = c.benchmark_group("mmap_scan");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("scan_shard_visit_50k_rows", |b| {
+        b.iter(|| {
+            let mut aggs = 0usize;
+            let mut total = 0u64;
+            fw_store::scan_shard_visit(
+                &dir,
+                0,
+                &mut |_agg| aggs += 1,
+                Some(&mut |_f, _r, _d, cnt| total += cnt),
+            )
+            .unwrap();
+            black_box((aggs, total))
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 criterion_group!(
     benches,
     bench_ingest,
     bench_segment_codec,
-    bench_snapshot_save_load
+    bench_snapshot_save_load,
+    bench_varint_decode,
+    bench_mmap_scan
 );
 criterion_main!(benches);

@@ -86,6 +86,57 @@ impl<'a> Reader<'a> {
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
+    /// [`Reader::uvarint`] with a word-at-a-time (SWAR) fast path.
+    ///
+    /// Loads 8 bytes as one little-endian word and finds the varint
+    /// terminator from the continuation-bit mask, so varints up to 8
+    /// bytes (56 value bits — every row field the segment builder
+    /// emits at PDNS shapes) decode without a per-byte loop. Longer
+    /// varints and reads within 8 bytes of the buffer end fall back to
+    /// the scalar decoder, which also owns every error path — the two
+    /// decoders accept and reject exactly the same byte strings with
+    /// the same errors (proptest-enforced in `tests/proptest_store.rs`).
+    #[inline]
+    pub fn uvarint_swar(&mut self) -> Result<u64, StoreError> {
+        const CONT: u64 = 0x8080_8080_8080_8080;
+        const DATA: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+        if let Some(window) = self.buf.get(self.pos..self.pos + 8) {
+            let word = u64::from_le_bytes(window.try_into().expect("8 bytes"));
+            let non_cont = !word & CONT;
+            if non_cont != 0 {
+                let len = (non_cont.trailing_zeros() >> 3) as usize + 1;
+                // Truncate to the varint's own bytes (the tail of the
+                // word belongs to the next varint), drop continuation
+                // bits, then compact the eight 7-bit groups pairwise:
+                // 7+7 → 14-bit lanes, 14+14 → 28, 28+28 → 56.
+                let keep = if len == 8 {
+                    word
+                } else {
+                    word & ((1u64 << (8 * len)) - 1)
+                };
+                let x = keep & DATA;
+                let x = (x & 0x007F_007F_007F_007F) | ((x & 0x7F00_7F00_7F00_7F00) >> 1);
+                let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+                let x = (x & 0x0000_0000_0FFF_FFFF) | ((x & 0x0FFF_FFFF_0000_0000) >> 4);
+                self.pos += len;
+                return Ok(x);
+            }
+        }
+        self.uvarint()
+    }
+
+    /// Decode four consecutive uvarints — one delta-encoded segment row
+    /// — through the SWAR fast path.
+    #[inline]
+    pub fn uvarint4(&mut self) -> Result<[u64; 4], StoreError> {
+        Ok([
+            self.uvarint_swar()?,
+            self.uvarint_swar()?,
+            self.uvarint_swar()?,
+            self.uvarint_swar()?,
+        ])
+    }
+
     /// `uvarint` narrowed to `usize`-addressable lengths, guarded so a
     /// corrupted length can never trigger a huge allocation.
     pub fn read_len(&mut self, max: usize) -> Result<usize, StoreError> {

@@ -24,14 +24,15 @@
 //! `fw.store.flush_us` histogram) flows through `fw-obs` and is inert
 //! unless metrics are enabled.
 
-mod codec;
+pub mod codec;
 mod crc;
+mod mmap;
 mod scan;
 mod segment;
 mod store;
 
 pub use crc::crc32;
-pub use scan::stream_snapshot_aggregates;
+pub use scan::{scan_shard_visit, stream_snapshot_aggregates, RowVisitor};
 pub use segment::{decode_segment, read_segment, SegRow, SegmentBuilder, SegmentData};
 pub use store::{DiskStore, ShardIngestStats, SharedDiskStore};
 

@@ -20,13 +20,23 @@ use crate::segment::{next_row, parse_segment};
 use crate::store::{read_superblock, shard_segment_paths};
 use crate::StoreError;
 use fw_dns::pdns::{FqdnAggregate, PdnsBackend as _, PdnsStore};
-use fw_types::{DayStamp, Rdata};
+use fw_types::{DayStamp, Fqdn, Rdata};
 use std::path::Path;
+
+/// Per-row scan callback: `(fqdn, rdata, pdate, request_cnt)` with the
+/// dictionary entries already resolved.
+pub type RowVisitor<'v> = dyn FnMut(&Fqdn, &Rdata, DayStamp, u64) + 'v;
 
 /// Stream one segment's rows into per-fqdn aggregates, emitting each
 /// aggregate as its run ends. Emission order is the segment's fqdn
-/// dictionary order (lexicographic).
-fn scan_segment_into(bytes: &[u8], emit: &mut dyn FnMut(FqdnAggregate)) -> Result<(), StoreError> {
+/// dictionary order (lexicographic). With a row visitor attached, each
+/// row is emitted as it decodes, and every fqdn's aggregate fires after
+/// its last row and before the next fqdn's first row.
+fn scan_segment_into(
+    bytes: &[u8],
+    emit: &mut dyn FnMut(FqdnAggregate),
+    mut on_row: Option<&mut RowVisitor<'_>>,
+) -> Result<(), StoreError> {
     let (dicts, mut r) = parse_segment(bytes)?;
     // Per-run state. `dist` maps segment rdata index → count via linear
     // scan: a run's distinct rdatas are few even when the segment's
@@ -87,6 +97,14 @@ fn scan_segment_into(bytes: &[u8], emit: &mut dyn FnMut(FqdnAggregate)) -> Resul
             Some((_, cnt)) => *cnt += row.cnt,
             None => dist.push((row.rdata, row.cnt)),
         }
+        if let Some(visit) = on_row.as_deref_mut() {
+            visit(
+                &dicts.fqdns[row.fqdn as usize],
+                &dicts.rdatas[row.rdata as usize],
+                row.pdate,
+                row.cnt,
+            );
+        }
     }
     if !r.is_empty() {
         return Err(StoreError::Corrupt(
@@ -102,15 +120,36 @@ fn scan_segment_into(bytes: &[u8], emit: &mut dyn FnMut(FqdnAggregate)) -> Resul
 /// Aggregate one shard: streaming for the compacted single-segment
 /// case, `PdnsStore` replay for multi-segment shards.
 fn scan_shard(dir: &Path, shard: usize) -> Result<Vec<FqdnAggregate>, StoreError> {
+    let mut out = Vec::new();
+    scan_shard_visit(dir, shard, &mut |agg| out.push(agg), None)?;
+    Ok(out)
+}
+
+/// Stream one shard of a snapshot directory in a single pass, emitting
+/// both per-fqdn aggregates and individual rows.
+///
+/// Emission contract: each fqdn's rows arrive consecutively, and its
+/// aggregate fires after its last row and before the next fqdn's first
+/// row — so a caller can classify an fqdn once when its run starts and
+/// reuse the verdict for every row and the trailing aggregate. This is
+/// the per-shard feed for the fused pipeline, where identify and usage
+/// consume a shard as soon as it seals. The single-segment fast path
+/// decodes straight out of a read-only mmap; multi-segment shards fall
+/// back to an exact-merge replay with the same emission contract.
+pub fn scan_shard_visit(
+    dir: &Path,
+    shard: usize,
+    on_agg: &mut dyn FnMut(FqdnAggregate),
+    mut on_row: Option<&mut RowVisitor<'_>>,
+) -> Result<(), StoreError> {
     let _trace = fw_obs::trace_span_arg("store/scan_shard", shard as u64);
     let paths = shard_segment_paths(dir, shard)?;
-    let mut out = Vec::new();
     match paths.as_slice() {
         [] => {}
         [single] => {
-            let bytes = std::fs::read(single)?;
+            let bytes = crate::mmap::map_file(single)?;
             fw_obs::counter_inc!("fw.store.scan.segments_streamed");
-            scan_segment_into(&bytes, &mut |agg| out.push(agg)).map_err(|e| match e {
+            scan_segment_into(&bytes, on_agg, on_row).map_err(|e| match e {
                 StoreError::Corrupt(msg) => {
                     StoreError::Corrupt(format!("{}: {msg}", single.display()))
                 }
@@ -131,10 +170,17 @@ fn scan_shard(dir: &Path, shard: usize) -> Result<Vec<FqdnAggregate>, StoreError
                     );
                 }
             }
-            out = replay.all_aggregates();
+            for fqdn in replay.sorted_fqdns() {
+                if let Some(visit) = on_row.as_deref_mut() {
+                    replay.for_each_record_of(&fqdn, |_rtype, rdata, pdate, cnt| {
+                        visit(&fqdn, rdata, pdate, cnt);
+                    });
+                }
+                on_agg(replay.aggregate(&fqdn).expect("fqdn is in the replay"));
+            }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Aggregate a snapshot directory directly from its segments on up to
@@ -266,6 +312,99 @@ mod tests {
         let want = store.all_aggregates();
         let got = stream_snapshot_aggregates(&tmp.0, 4).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shard_visit_rows_and_aggregates_are_consistent() {
+        let tmp = TempDir::new("visit");
+        let store = DiskStore::create(&tmp.0, StoreConfig::default()).unwrap();
+        fill(&store);
+        store.compact().unwrap();
+        let want = store.all_aggregates();
+        let shard_count = store.shard_count();
+        drop(store);
+
+        // Rows for an fqdn must arrive consecutively, each aggregate
+        // right after its run, and totals must reconcile. Shared cells
+        // because both callbacks observe the run state.
+        use std::cell::{Cell, RefCell};
+        let mut aggs = Vec::new();
+        let row_total = Cell::new(0u64);
+        let run_total = Cell::new(0u64);
+        let cur: RefCell<Option<Fqdn>> = RefCell::new(None);
+        let seen_runs: RefCell<Vec<Fqdn>> = RefCell::new(Vec::new());
+        for shard in 0..shard_count {
+            scan_shard_visit(
+                &tmp.0,
+                shard,
+                &mut |agg: FqdnAggregate| {
+                    assert_eq!(
+                        cur.borrow().as_ref(),
+                        Some(&agg.fqdn),
+                        "aggregate closes its run"
+                    );
+                    assert_eq!(run_total.get(), agg.total_request_cnt);
+                    run_total.set(0);
+                    *cur.borrow_mut() = None;
+                    aggs.push(agg);
+                },
+                Some(&mut |fqdn, _rdata, _day, cnt| {
+                    if cur.borrow().as_ref() != Some(fqdn) {
+                        assert!(
+                            cur.borrow().is_none(),
+                            "previous run not closed by an aggregate"
+                        );
+                        assert!(
+                            !seen_runs.borrow().contains(fqdn),
+                            "fqdn runs must be contiguous"
+                        );
+                        seen_runs.borrow_mut().push(fqdn.clone());
+                        *cur.borrow_mut() = Some(fqdn.clone());
+                    }
+                    row_total.set(row_total.get() + cnt);
+                    run_total.set(run_total.get() + cnt);
+                }),
+            )
+            .unwrap();
+        }
+        aggs.sort_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        assert_eq!(aggs, want);
+        assert_eq!(
+            row_total.get(),
+            want.iter().map(|a| a.total_request_cnt).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn mmap_scan_rejects_bit_rot() {
+        let tmp = TempDir::new("bitrot");
+        let store = DiskStore::create(&tmp.0, StoreConfig::default()).unwrap();
+        fill(&store);
+        store.compact().unwrap();
+        drop(store);
+        assert!(stream_snapshot_aggregates(&tmp.0, 4).is_ok());
+
+        // Flip one byte in the middle of each shard's segment: the
+        // mmap-backed scan must reject every poisoned shard via CRC.
+        let mut flipped = 0;
+        for shard in 0..StoreConfig::default().shards {
+            for path in shard_segment_paths(&tmp.0, shard).unwrap() {
+                let mut bytes = std::fs::read(&path).unwrap();
+                if bytes.len() < 64 {
+                    continue;
+                }
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                std::fs::write(&path, &bytes).unwrap();
+                flipped += 1;
+                let err = scan_shard(&tmp.0, shard);
+                assert!(err.is_err(), "bit rot in {} must not scan", path.display());
+                bytes[mid] ^= 0x40;
+                std::fs::write(&path, &bytes).unwrap();
+            }
+        }
+        assert!(flipped > 0, "test must have poisoned at least one segment");
+        assert!(stream_snapshot_aggregates(&tmp.0, 4).is_ok());
     }
 
     #[test]

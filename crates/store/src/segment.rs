@@ -29,6 +29,7 @@
 use crate::codec::{put_ivarint, put_uvarint, Reader};
 use crate::crc::crc32;
 use crate::StoreError;
+use fw_types::fnv::FnvBuildHasher;
 use fw_types::{DayStamp, Fqdn, Rdata};
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -70,16 +71,49 @@ pub struct SegmentData {
 #[derive(Debug, Default)]
 pub struct SegmentBuilder {
     fqdns: Vec<Fqdn>,
-    fqdn_idx: HashMap<Fqdn, u32>,
+    fqdn_idx: HashMap<Fqdn, u32, FnvBuildHasher>,
     rdatas: Vec<Rdata>,
-    rdata_idx: HashMap<Rdata, u32>,
+    rdata_idx: HashMap<Rdata, u32, FnvBuildHasher>,
     /// `(fqdn_idx, pdate, rdata_idx, cnt)` in arrival order.
     rows: Vec<(u32, i64, u32, u64)>,
+    /// Dictionary index of the most recently pushed fqdn. Flush paths
+    /// push each fqdn's rows consecutively, so one string compare
+    /// usually replaces a hash lookup.
+    last_fqdn: Option<u32>,
 }
 
 impl SegmentBuilder {
     pub fn new() -> SegmentBuilder {
         SegmentBuilder::default()
+    }
+
+    /// Builder with pre-sized tables. Flush paths know exactly how many
+    /// dirty fqdns and pending rows they are about to push; sizing the
+    /// dictionary maps and the row vector up front keeps a large flush
+    /// from paying a rehash/regrow cascade at its tail.
+    pub fn with_capacity(fqdns: usize, rows: usize) -> SegmentBuilder {
+        SegmentBuilder {
+            fqdns: Vec::with_capacity(fqdns),
+            fqdn_idx: HashMap::with_capacity_and_hasher(fqdns, FnvBuildHasher::default()),
+            rdatas: Vec::new(),
+            rdata_idx: HashMap::default(),
+            rows: Vec::with_capacity(rows),
+            last_fqdn: None,
+        }
+    }
+
+    /// [`with_capacity`](Self::with_capacity) for callers feeding only
+    /// [`push_fqdn_rows`](Self::push_fqdn_rows): the fqdn dedupe map is
+    /// never consulted, so it stays unallocated.
+    pub fn for_distinct_fqdns(fqdns: usize, rows: usize) -> SegmentBuilder {
+        SegmentBuilder {
+            fqdns: Vec::with_capacity(fqdns),
+            fqdn_idx: HashMap::default(),
+            rdatas: Vec::new(),
+            rdata_idx: HashMap::default(),
+            rows: Vec::with_capacity(rows),
+            last_fqdn: None,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -94,15 +128,19 @@ impl SegmentBuilder {
         if cnt == 0 {
             return;
         }
-        let fi = match self.fqdn_idx.get(fqdn) {
-            Some(&i) => i,
-            None => {
-                let i = self.fqdns.len() as u32;
-                self.fqdns.push(fqdn.clone());
-                self.fqdn_idx.insert(fqdn.clone(), i);
-                i
-            }
+        let fi = match self.last_fqdn {
+            Some(i) if self.fqdns[i as usize] == *fqdn => i,
+            _ => match self.fqdn_idx.get(fqdn) {
+                Some(&i) => i,
+                None => {
+                    let i = self.fqdns.len() as u32;
+                    self.fqdns.push(fqdn.clone());
+                    self.fqdn_idx.insert(fqdn.clone(), i);
+                    i
+                }
+            },
         };
+        self.last_fqdn = Some(fi);
         let ri = match self.rdata_idx.get(rdata) {
             Some(&i) => i,
             None => {
@@ -115,6 +153,49 @@ impl SegmentBuilder {
         self.rows.push((fi, day.0, ri, cnt));
     }
 
+    /// Push every row of one fqdn, minting its dictionary entry without
+    /// consulting (or populating) the dedupe map — one key clone and
+    /// zero hashes instead of two clones plus a map insert. Caller
+    /// contract: each fqdn is passed at most once per builder (the seal
+    /// path walks the shard table, so keys are distinct); `push` may
+    /// still be mixed in for *other* fqdns.
+    pub fn push_fqdn_rows<'r>(
+        &mut self,
+        fqdn: &Fqdn,
+        rows: impl Iterator<Item = (&'r Rdata, DayStamp, u64)>,
+    ) {
+        let mut fi = None;
+        // Rows of one fqdn usually repeat one rdata across days; a
+        // last-rdata compare dodges the hash for that run.
+        let mut last_rdata: Option<u32> = None;
+        for (rdata, day, cnt) in rows {
+            if cnt == 0 {
+                continue;
+            }
+            let fi = *fi.get_or_insert_with(|| {
+                let i = self.fqdns.len() as u32;
+                self.fqdns.push(fqdn.clone());
+                i
+            });
+            let ri = match last_rdata {
+                Some(i) if self.rdatas[i as usize] == *rdata => i,
+                _ => match self.rdata_idx.get(rdata) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.rdatas.len() as u32;
+                        self.rdatas.push(rdata.clone());
+                        self.rdata_idx.insert(rdata.clone(), i);
+                        i
+                    }
+                },
+            };
+            last_rdata = Some(ri);
+            self.rows.push((fi, day.0, ri, cnt));
+        }
+        // Keep the consecutive-push cache honest for mixed callers.
+        self.last_fqdn = None;
+    }
+
     /// Sort, merge duplicate `(fqdn, pdate, rdata)` keys, and encode.
     /// Returns `None` for an empty builder (the store never writes empty
     /// segments).
@@ -125,8 +206,9 @@ impl SegmentBuilder {
 
         // Sort the fqdn dictionary so row order is lexicographic and the
         // per-row fqdn delta is non-negative.
+        // Unstable is safe: the dictionary holds each fqdn once.
         let mut fqdn_order: Vec<u32> = (0..self.fqdns.len() as u32).collect();
-        fqdn_order.sort_by(|&a, &b| self.fqdns[a as usize].cmp(&self.fqdns[b as usize]));
+        fqdn_order.sort_unstable_by(|&a, &b| self.fqdns[a as usize].cmp(&self.fqdns[b as usize]));
         let mut remap = vec![0u32; self.fqdns.len()];
         for (new, &old) in fqdn_order.iter().enumerate() {
             remap[old as usize] = new as u32;
@@ -156,8 +238,10 @@ impl SegmentBuilder {
         let min_day = merged.iter().map(|r| r.1).min().expect("non-empty");
         let max_day = merged.iter().map(|r| r.1).max().expect("non-empty");
 
-        // Dictionary block payload.
-        let mut dict = Vec::new();
+        // Dictionary block payload. Pre-size from the dictionary text
+        // itself (length prefixes are a few bytes per entry).
+        let fqdn_text: usize = fqdns.iter().map(|f| f.as_str().len() + 2).sum();
+        let mut dict = Vec::with_capacity(fqdn_text + self.rdatas.len() * 20 + 16);
         put_uvarint(&mut dict, fqdns.len() as u64);
         for f in &fqdns {
             let s = f.as_str().as_bytes();
@@ -184,8 +268,9 @@ impl SegmentBuilder {
             }
         }
 
-        // Rows block payload.
-        let mut rows = Vec::new();
+        // Rows block payload; at PDNS shapes a row averages well under
+        // eight varint bytes, so this almost never regrows.
+        let mut rows = Vec::with_capacity(merged.len() * 8 + 16);
         put_uvarint(&mut rows, merged.len() as u64);
         let mut prev_fqdn = 0u32;
         for &(fi, pdate, ri, cnt) in &merged {
@@ -387,10 +472,8 @@ pub(crate) fn next_row(
     dicts: &SegmentDicts,
     prev_fqdn: &mut u64,
 ) -> Result<SegRow, StoreError> {
-    *prev_fqdn += r.uvarint()?;
-    let day_off = r.uvarint()?;
-    let rdata = r.uvarint()?;
-    let cnt = r.uvarint()?;
+    let [d_fqdn, day_off, rdata, cnt] = r.uvarint4()?;
+    *prev_fqdn += d_fqdn;
     if *prev_fqdn >= dicts.fqdns.len() as u64 {
         return Err(corrupt("row fqdn index out of range"));
     }
@@ -438,9 +521,9 @@ pub fn decode_segment(bytes: &[u8]) -> Result<SegmentData, StoreError> {
     })
 }
 
-/// Read and decode a segment file.
+/// Read and decode a segment file via a read-only memory mapping.
 pub fn read_segment(path: &Path) -> Result<SegmentData, StoreError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = crate::mmap::map_file(path)?;
     decode_segment(&bytes).map_err(|e| match e {
         StoreError::Corrupt(msg) => StoreError::Corrupt(format!("{}: {msg}", path.display())),
         other => other,

@@ -23,6 +23,7 @@
 use crate::segment::{read_segment, SegmentBuilder};
 use crate::{StoreConfig, StoreError};
 use fw_dns::pdns::{FqdnAggregate, PdnsBackend};
+use fw_types::fnv::FnvBuildHasher;
 use fw_types::{DayStamp, Fqdn, Rdata, RecordType};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
@@ -46,10 +47,10 @@ struct Row {
 #[derive(Debug, Default)]
 struct Entry {
     rdatas: Vec<Rdata>,
-    rdata_idx: HashMap<Rdata, u32>,
+    rdata_idx: HashMap<Rdata, u32, FnvBuildHasher>,
     rows: Vec<Row>,
     /// `(pdate, rdata_idx) → position in rows`: exact-key merge.
-    row_idx: HashMap<(i64, u32), u32>,
+    row_idx: HashMap<(i64, u32), u32, FnvBuildHasher>,
     dirty: bool,
 }
 
@@ -85,7 +86,9 @@ struct Shard {
     /// This shard's index, for trace labels and per-shard stats.
     idx: usize,
     dir: PathBuf,
-    table: HashMap<Fqdn, Entry>,
+    /// FNV-keyed: ingest does two lookups per observed row and SipHash
+    /// was a measurable slice of single-core ingest wall time.
+    table: HashMap<Fqdn, Entry, FnvBuildHasher>,
     /// Distinct `(fqdn, rdata, pdate)` keys.
     rows: usize,
     /// Rows with an unflushed delta.
@@ -99,13 +102,22 @@ struct Shard {
     flushes: u64,
     /// Wall nanoseconds spent inside `flush`.
     flush_ns: u64,
+    /// Duration of every individual flush, for tail-latency (p99)
+    /// accounting in the gate report.
+    flush_samples_ns: Vec<u64>,
     /// Segment bytes written by this shard (flush + compact).
     bytes_written: u64,
 }
 
 impl Shard {
     fn observe(&mut self, fqdn: &Fqdn, rdata: &Rdata, day: DayStamp, count: u64) {
-        let entry = self.table.entry(fqdn.clone()).or_default();
+        // Two cheap FNV lookups instead of `entry(fqdn.clone())`: the
+        // entry API would clone (allocate) the key on every observed
+        // row, not just on first sight.
+        if !self.table.contains_key(fqdn) {
+            self.table.insert(fqdn.clone(), Entry::default());
+        }
+        let entry = self.table.get_mut(fqdn).expect("key just ensured");
         entry.ensure_row_idx();
         let idx = entry.intern(rdata);
         let key = (day.0, idx);
@@ -137,6 +149,65 @@ impl Shard {
         }
     }
 
+    /// [`observe`](Self::observe) for a batch of rows sharing one fqdn:
+    /// the table lookup and dirty bookkeeping are paid once per batch
+    /// instead of once per row. Row-for-row equivalent to calling
+    /// `observe` in iteration order (zero counts are skipped there by
+    /// the caller, here by the loop).
+    fn observe_rows<'r>(
+        &mut self,
+        fqdn: &Fqdn,
+        rows: impl Iterator<Item = (&'r Rdata, DayStamp, u64)>,
+    ) -> u64 {
+        let mut observed = 0u64;
+        let mut new_rows = 0usize;
+        let mut newly_pending = 0usize;
+        let mut any = false;
+        if !self.table.contains_key(fqdn) {
+            self.table.insert(fqdn.clone(), Entry::default());
+        }
+        let entry = self.table.get_mut(fqdn).expect("key just ensured");
+        entry.ensure_row_idx();
+        for (rdata, day, count) in rows {
+            if count == 0 {
+                continue;
+            }
+            any = true;
+            observed += 1;
+            let idx = entry.intern(rdata);
+            let key = (day.0, idx);
+            let was_clean;
+            match entry.row_idx.get(&key) {
+                Some(&pos) => {
+                    let row = &mut entry.rows[pos as usize];
+                    was_clean = row.cnt == row.flushed;
+                    row.cnt += count;
+                }
+                None => {
+                    entry.row_idx.insert(key, entry.rows.len() as u32);
+                    entry.rows.push(Row {
+                        pdate: day.0,
+                        rdata: idx,
+                        cnt: count,
+                        flushed: 0,
+                    });
+                    new_rows += 1;
+                    was_clean = true;
+                }
+            }
+            if was_clean {
+                newly_pending += 1;
+            }
+        }
+        if any && !entry.dirty {
+            entry.dirty = true;
+            self.dirty.push(fqdn.clone());
+        }
+        self.rows += new_rows;
+        self.pending += newly_pending;
+        observed
+    }
+
     /// Write unflushed deltas as one segment. Returns bytes written.
     fn flush(&mut self) -> Result<u64, StoreError> {
         if self.pending == 0 {
@@ -145,7 +216,10 @@ impl Shard {
         }
         let start = Instant::now();
         let _trace = fw_obs::trace_span_arg("store/flush", self.idx as u64);
-        let mut builder = SegmentBuilder::new();
+        // `dirty`/`pending` bound the dictionary and row counts exactly,
+        // so the builder never regrows mid-flush — this was the shard
+        // flush tail-latency outlier at scale 1.0.
+        let mut builder = SegmentBuilder::with_capacity(self.dirty.len(), self.pending);
         for fqdn in self.dirty.drain(..) {
             let entry = self.table.get_mut(&fqdn).expect("dirty fqdn in table");
             entry.dirty = false;
@@ -168,7 +242,9 @@ impl Shard {
         let path = self.write_segment(&bytes)?;
         self.segments.push(path);
         self.flushes += 1;
-        self.flush_ns += start.elapsed().as_nanos() as u64;
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        self.flush_ns += elapsed_ns;
+        self.flush_samples_ns.push(elapsed_ns);
         self.bytes_written += bytes.len() as u64;
         fw_obs::counter_inc!("fw.store.segments_written");
         fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
@@ -182,7 +258,7 @@ impl Shard {
             return Ok(());
         }
         let _trace = fw_obs::trace_span_arg("store/compact_shard", self.idx as u64);
-        let mut builder = SegmentBuilder::new();
+        let mut builder = SegmentBuilder::with_capacity(self.table.len(), self.rows);
         for (fqdn, entry) in &self.table {
             for row in &entry.rows {
                 if row.flushed > 0 {
@@ -205,6 +281,58 @@ impl Shard {
         self.segments.push(path);
         self.bytes_written += bytes.len() as u64;
         fw_obs::counter_inc!("fw.store.compactions");
+        fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Terminal write for an ingest-then-scan pipeline: encode the whole
+    /// in-memory table as one segment and drop the incremental segments.
+    /// Content-equivalent to `flush` + `compact`, but the data is
+    /// encoded and written once — the staged sequence writes the pending
+    /// deltas, then re-encodes every flushed row a second time.
+    fn seal(&mut self) -> Result<(), StoreError> {
+        if self.pending == 0 && self.segments.len() < 2 {
+            self.dirty.clear();
+            return Ok(());
+        }
+        let start = Instant::now();
+        let _trace = fw_obs::trace_span_arg("store/seal", self.idx as u64);
+        let had_pending = self.pending > 0;
+        let mut builder = SegmentBuilder::for_distinct_fqdns(self.table.len(), self.rows);
+        for (fqdn, entry) in &mut self.table {
+            entry.dirty = false;
+            let rdatas = &entry.rdatas;
+            // Table keys are distinct, so the map-free per-fqdn push
+            // applies (one dictionary clone per fqdn, no dedupe hashes).
+            builder.push_fqdn_rows(
+                fqdn,
+                entry.rows.iter_mut().map(|row| {
+                    row.flushed = row.cnt;
+                    (&rdatas[row.rdata as usize], DayStamp(row.pdate), row.cnt)
+                }),
+            );
+        }
+        self.dirty.clear();
+        self.pending = 0;
+        let Some(bytes) = builder.finish() else {
+            return Ok(());
+        };
+        let path = self.write_segment(&bytes)?;
+        for old in std::mem::take(&mut self.segments) {
+            std::fs::remove_file(&old)?;
+        }
+        self.segments.push(path);
+        self.bytes_written += bytes.len() as u64;
+        // The seal write retires the pending deltas, so it counts as a
+        // flush in the ingest stats (tail-latency accounting included).
+        if had_pending {
+            let elapsed_ns = start.elapsed().as_nanos() as u64;
+            self.flushes += 1;
+            self.flush_ns += elapsed_ns;
+            self.flush_samples_ns.push(elapsed_ns);
+            fw_obs::histogram_record!("fw.store.flush_us", start.elapsed().as_micros() as u64);
+        }
+        fw_obs::counter_inc!("fw.store.segments_written");
         fw_obs::counter_add!("fw.store.bytes_written", bytes.len() as u64);
         Ok(())
     }
@@ -262,7 +390,7 @@ impl DiskStore {
             shards.push(Mutex::new(Shard {
                 idx: i,
                 dir: shard_dir,
-                table: HashMap::new(),
+                table: HashMap::default(),
                 rows: 0,
                 pending: 0,
                 dirty: Vec::new(),
@@ -270,6 +398,7 @@ impl DiskStore {
                 segments: Vec::new(),
                 flushes: 0,
                 flush_ns: 0,
+                flush_samples_ns: Vec::new(),
                 bytes_written: 0,
             }));
         }
@@ -341,7 +470,7 @@ impl DiskStore {
         let mut shard = Shard {
             idx: i,
             dir: shard_dir,
-            table: HashMap::new(),
+            table: HashMap::default(),
             rows: 0,
             pending: 0,
             dirty: Vec::new(),
@@ -349,6 +478,7 @@ impl DiskStore {
             segments: seg_paths.clone(),
             flushes: 0,
             flush_ns: 0,
+            flush_samples_ns: Vec::new(),
             bytes_written: 0,
         };
         for path in &seg_paths {
@@ -453,6 +583,35 @@ impl DiskStore {
         }
     }
 
+    /// Record a batch of observations sharing one fqdn under a single
+    /// shard lock. Equivalent to [`observe_count`](Self::observe_count)
+    /// once per element in iteration order, except the flush-threshold
+    /// check runs once per batch — which can only shift *where* a
+    /// flush-mode store cuts its pre-compaction segments, never the
+    /// merged row content.
+    pub fn observe_rows<'r>(
+        &self,
+        fqdn: &Fqdn,
+        rows: impl Iterator<Item = (&'r Rdata, DayStamp, u64)>,
+    ) {
+        let mut rows = rows.filter(|(_, _, c)| *c > 0).peekable();
+        if rows.peek().is_none() {
+            return;
+        }
+        assert!(
+            !self.read_only,
+            "observe_rows on a read-only snapshot store"
+        );
+        let mut shard = self.shard_of(fqdn);
+        let observed = shard.observe_rows(fqdn, rows);
+        fw_obs::counter_add!("fw.store.ingest.rows", observed);
+        if self.flush_rows > 0 && shard.pending >= self.flush_rows {
+            if let Err(e) = shard.flush() {
+                self.deferred_err.lock().get_or_insert(e);
+            }
+        }
+    }
+
     /// Flush all unflushed deltas to segments. Also surfaces any error an
     /// earlier auto-flush hit inside `observe_count`.
     pub fn flush(&self) -> Result<u64, StoreError> {
@@ -463,9 +622,21 @@ impl DiskStore {
             return Ok(0);
         }
         let _span = fw_obs::span("store/flush");
+        // Shards flush to independent files: do them concurrently.
+        let parts: Vec<Result<u64, StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.lock().flush()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flush workers do not panic"))
+                .collect()
+        });
         let mut total = 0u64;
-        for shard in &self.shards {
-            total += shard.lock().flush()?;
+        for part in parts {
+            total += part?;
         }
         Ok(total)
     }
@@ -474,10 +645,61 @@ impl DiskStore {
     pub fn compact(&self) -> Result<(), StoreError> {
         self.flush()?;
         let _span = fw_obs::span("store/compact");
-        for shard in &self.shards {
-            shard.lock().compact()?;
+        let parts: Vec<Result<(), StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.lock().compact()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("compact workers do not panic"))
+                .collect()
+        });
+        for part in parts {
+            part?;
         }
         Ok(())
+    }
+
+    /// Flush and compact one shard, leaving it a single sorted segment
+    /// ready for the streaming scan. The per-shard half of `compact`:
+    /// the fused pipeline seals shards individually so identify/usage
+    /// can consume a sealed shard while later shards are still
+    /// flushing. Also surfaces any deferred auto-flush error.
+    pub fn seal_shard(&self, shard: usize) -> Result<(), StoreError> {
+        if let Some(e) = self.deferred_err.lock().take() {
+            return Err(e);
+        }
+        if self.read_only {
+            return Ok(());
+        }
+        let _trace = fw_obs::trace_span_arg("store/seal_shard", shard as u64);
+        self.shards[shard].lock().seal()
+    }
+
+    /// Drop one shard's in-memory table, keeping its on-disk segments
+    /// and flush accounting. After release, table reads (aggregates,
+    /// `for_each_*`) see the shard as empty — only ingest-then-scan
+    /// pipelines that re-read sealed shards from disk should call this;
+    /// they do it to bound peak RSS to roughly one shard instead of the
+    /// whole store.
+    pub fn release_shard_table(&self, shard: usize) {
+        let mut s = self.shards[shard].lock();
+        assert_eq!(
+            s.pending, 0,
+            "release_shard_table on a shard with unflushed rows"
+        );
+        s.table = HashMap::default();
+        s.dirty = Vec::new();
+        s.rows = 0;
+    }
+
+    /// One shard's [`ShardIngestStats`], for callers that seal and
+    /// release shards individually and need the counts before the table
+    /// is dropped.
+    pub fn shard_stats(&self, shard: usize) -> ShardIngestStats {
+        stats_of(&self.shards[shard].lock())
     }
 
     fn aggregate_inner(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
@@ -524,21 +746,27 @@ impl DiskStore {
     /// Row counts cover the current table (including replayed segments);
     /// flush timings cover only work done through this handle.
     pub fn shard_ingest_stats(&self) -> Vec<ShardIngestStats> {
-        self.shards
-            .iter()
-            .map(|s| {
-                let s = s.lock();
-                ShardIngestStats {
-                    shard: s.idx,
-                    fqdns: s.table.len(),
-                    rows: s.rows,
-                    flushes: s.flushes,
-                    flush_ns: s.flush_ns,
-                    bytes_written: s.bytes_written,
-                    segments: s.segments.len(),
-                }
-            })
-            .collect()
+        self.shards.iter().map(|s| stats_of(&s.lock())).collect()
+    }
+}
+
+fn stats_of(s: &Shard) -> ShardIngestStats {
+    let flush_p99_ns = if s.flush_samples_ns.is_empty() {
+        0
+    } else {
+        let mut sorted = s.flush_samples_ns.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() * 99).div_ceil(100).saturating_sub(1)]
+    };
+    ShardIngestStats {
+        shard: s.idx,
+        fqdns: s.table.len(),
+        rows: s.rows,
+        flushes: s.flushes,
+        flush_ns: s.flush_ns,
+        flush_p99_ns,
+        bytes_written: s.bytes_written,
+        segments: s.segments.len(),
     }
 }
 
@@ -556,6 +784,9 @@ pub struct ShardIngestStats {
     pub flushes: u64,
     /// Wall nanoseconds spent in `flush` through this handle.
     pub flush_ns: u64,
+    /// p99 of individual flush durations through this handle (0 if the
+    /// shard never flushed).
+    pub flush_p99_ns: u64,
     /// Segment bytes written (flush + compact) through this handle.
     pub bytes_written: u64,
     /// Segment files currently on disk.

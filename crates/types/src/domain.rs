@@ -57,11 +57,19 @@ impl Fqdn {
     /// `a.scf.tencentcs.com` ends with `scf.tencentcs.com` but
     /// `xscf.tencentcs.com` does not.
     pub fn has_suffix(&self, suffix: &str) -> bool {
-        let suffix = suffix.to_ascii_lowercase();
-        if self.0 == suffix {
-            return true;
+        // Stored names are already lowercase; compare case-insensitively
+        // instead of lowercasing `suffix` into a fresh allocation — this
+        // runs per candidate format on the classification hot path.
+        let name = self.0.as_bytes();
+        let suffix = suffix.as_bytes();
+        if name.len() < suffix.len() {
+            return false;
         }
-        self.0.ends_with(&suffix) && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
+        let tail = &name[name.len() - suffix.len()..];
+        if !tail.eq_ignore_ascii_case(suffix) {
+            return false;
+        }
+        name.len() == suffix.len() || name[name.len() - suffix.len() - 1] == b'.'
     }
 
     /// Registrable-suffix convenience: the last `n` labels joined by dots.

@@ -57,6 +57,58 @@ pub fn stream_seed(seed: u64, stream: u64) -> u64 {
     update(update(OFFSET, &seed.to_le_bytes()), &stream.to_le_bytes())
 }
 
+/// A [`std::hash::Hasher`] over the FNV-1a loop, for `HashMap`s on hot
+/// ingest paths where SipHash dominates the lookup cost. These tables
+/// are rebuilt per run and never face untrusted keys, so DoS hardening
+/// buys nothing. Unlike the free functions above, hasher output is
+/// *not* persisted semantics — only bucket placement.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A fresh hasher starts at 0 (from Default); mix the offset in
+        // lazily so short integer keys still avalanche.
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let h = if self.0 == 0 { OFFSET } else { self.0 };
+        self.0 = update(h, bytes);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = if self.0 == 0 { OFFSET } else { self.0 };
+        self.0 = fold(h, v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`]-keyed maps.
+pub type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,11 +73,62 @@ impl Rdata {
 
     /// Canonical textual rendering, as a PDNS dump would store it.
     pub fn text(&self) -> String {
+        self.with_text(str::to_string)
+    }
+
+    /// Run `f` over the canonical text without allocating: addresses
+    /// format into a stack buffer, names borrow their stored string.
+    /// Byte-identical to [`text`](Self::text) — the row content hashes
+    /// depend on that.
+    pub fn with_text<R>(&self, f: impl FnOnce(&str) -> R) -> R {
         match self {
-            Rdata::V4(ip) => ip.to_string(),
-            Rdata::V6(ip) => ip.to_string(),
-            Rdata::Name(n) => n.to_string(),
+            Rdata::Name(n) => f(n.as_str()),
+            Rdata::V4(ip) => {
+                let mut buf = TextBuf::new();
+                use fmt::Write as _;
+                write!(buf, "{ip}").expect("ipv4 text fits the stack buffer");
+                f(buf.as_str())
+            }
+            Rdata::V6(ip) => {
+                let mut buf = TextBuf::new();
+                use fmt::Write as _;
+                write!(buf, "{ip}").expect("ipv6 text fits the stack buffer");
+                f(buf.as_str())
+            }
         }
+    }
+}
+
+/// Stack buffer sized for the longest address rendering (an IPv6 with an
+/// embedded IPv4 tail is 45 bytes).
+struct TextBuf {
+    buf: [u8; 48],
+    len: usize,
+}
+
+impl TextBuf {
+    fn new() -> Self {
+        TextBuf {
+            buf: [0; 48],
+            len: 0,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        // Only ever filled through `fmt::Write` with ASCII address text.
+        std::str::from_utf8(&self.buf[..self.len]).expect("address text is ascii")
+    }
+}
+
+impl fmt::Write for TextBuf {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
     }
 }
 

@@ -23,13 +23,15 @@ use fw_cloud::behavior::{Behavior, LeakItem};
 use fw_cloud::formats::format_for;
 use fw_cloud::platform::{CloudPlatform, DeploySpec, PlatformConfig};
 use fw_cloud::provider::spec;
-use fw_dns::pdns::PdnsStore;
+use fw_dns::pdns::{FqdnAggregate, PdnsBackend, PdnsStore};
 use fw_dns::resolver::Resolver;
 use fw_net::SimNet;
+use fw_store::DiskStore;
 use fw_types::{DayStamp, Fqdn, MonthStamp, ProviderId, Rdata, MEASUREMENT_START};
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -192,95 +194,31 @@ impl World {
     /// Generate a world. Deterministic for a given config; the
     /// `gen_workers` field only changes wall time, never output.
     pub fn generate(config: WorldConfig) -> World {
-        let _span = fw_obs::span("gen/world");
-        let net = if config.wall_clock {
-            SimNet::new_wall(config.seed)
-        } else {
-            SimNet::new(config.seed)
-        };
-        let resolver = Arc::new(RwLock::new(Resolver::new()));
-        let platform = CloudPlatform::new(
-            net.clone(),
-            resolver.clone(),
-            PlatformConfig {
-                seed: config.seed ^ 0x5eed,
-                ..config.platform.clone()
-            },
-        );
-        // Provider zones/listeners registered up front in catalogue
-        // order, so resolver state doesn't depend on which worker's
-        // deploy gets there first.
-        if config.deploy_live {
-            for c in &calib::PROVIDERS {
-                if c.provider.function_identifiable() {
-                    platform.warm_provider(c.provider);
-                }
-            }
-        }
-
-        let pools = build_pools(&config);
-        let plan = AbusePlan::build(&config);
-        let workers = match config.gen_workers {
-            0 => default_workers(),
-            w => w,
-        }
-        .clamp(1, GEN_SHARDS);
-        fw_obs::counter_add!("fw.gen.workers", workers as u64);
-
-        // Every shard generates its own deterministic slice of each
-        // provider's population into a private store, then the slices
-        // merge in shard order.
-        let shards: Vec<usize> = (0..GEN_SHARDS).collect();
-        let parts: Vec<(PdnsStore, Vec<WorldFunction>)> =
-            par_map_named(&shards, workers, "gen/worker", |_, shard| {
-                let _trace = fw_obs::trace_span_arg("gen/shard", *shard as u64);
-                let mut gen = Generator {
-                    rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(
-                        config.seed,
-                        *shard as u64,
-                    )),
-                    pdns: PdnsStore::new(),
-                    functions: Vec::new(),
-                    platform: &platform,
-                    config: &config,
-                    pools: &pools,
-                };
-                for (p_idx, c) in calib::PROVIDERS.iter().enumerate() {
-                    gen.generate_provider_shard(c, p_idx, &plan, *shard);
-                }
-                (gen.pdns, gen.functions)
-            });
-
-        let mut pdns = PdnsStore::new();
-        let mut functions = Vec::new();
-        for (part_pdns, part_functions) in parts {
-            pdns.absorb(part_pdns);
-            functions.extend(part_functions);
-        }
-
-        // The request-total top-up runs serially over the merged world;
-        // its RNG stream is its own, so it sees the same state whatever
-        // the worker count was.
-        let (pdns, functions) = {
-            let mut gen = Generator {
-                rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(config.seed, 0xF1AA_707A1)),
-                pdns,
-                functions,
-                platform: &platform,
-                config: &config,
-                pools: &pools,
-            };
-            gen.match_provider_totals();
-            (gen.pdns, gen.functions)
-        };
-        fw_obs::counter_add!("fw.gen.shards", GEN_SHARDS as u64);
-        fw_obs::counter_add!("fw.gen.functions", functions.len() as u64);
-        fw_obs::counter_add!("fw.gen.pdns_rows", pdns.record_count() as u64);
+        let (net, resolver, platform, pdns, functions) = generate_parts(&config, None);
         World {
             net,
             resolver,
             platform,
-            pdns,
+            pdns: pdns.expect("in-memory generation yields a store"),
+            functions,
+            config,
+        }
+    }
+
+    /// Generate a world streaming its PDNS rows straight into `store`
+    /// instead of materializing them in memory — the fused pipeline's
+    /// generate→ingest fusion. Samples the exact same world as
+    /// [`World::generate`] at the same config (every RNG stream is
+    /// untouched by the sink choice): the row multiset landing in
+    /// `store` equals `World::generate(config).pdns`, and the returned
+    /// functions are element-wise identical. The caller owns sealing
+    /// (`flush`/`compact` or per-shard `seal_shard`) afterwards.
+    pub fn generate_into(config: WorldConfig, store: &DiskStore) -> FusedWorld {
+        let (net, resolver, platform, _none, functions) = generate_parts(&config, Some(store));
+        FusedWorld {
+            net,
+            resolver,
+            platform,
             functions,
             config,
         }
@@ -303,6 +241,129 @@ impl World {
     }
 }
 
+/// A world generated by [`World::generate_into`]: identical to
+/// [`World`] except the PDNS rows live only in the [`DiskStore`] the
+/// caller supplied, never as an in-memory [`PdnsStore`]. Dropping that
+/// materialization is what lets the fused pipeline run scale 1.0 in a
+/// fraction of the staged pipeline's peak RSS.
+pub struct FusedWorld {
+    pub net: SimNet,
+    pub resolver: Arc<RwLock<Resolver>>,
+    pub platform: CloudPlatform,
+    pub functions: Vec<WorldFunction>,
+    pub config: WorldConfig,
+}
+
+/// Shared generation engine behind [`World::generate`] (no `disk`) and
+/// [`World::generate_into`] (rows stream into `disk`). The sink choice
+/// can never change a sampled byte: every RNG draw happens before the
+/// row reaches the sink.
+fn generate_parts(
+    config: &WorldConfig,
+    disk: Option<&DiskStore>,
+) -> (
+    SimNet,
+    Arc<RwLock<Resolver>>,
+    CloudPlatform,
+    Option<PdnsStore>,
+    Vec<WorldFunction>,
+) {
+    let _span = fw_obs::span("gen/world");
+    let net = if config.wall_clock {
+        SimNet::new_wall(config.seed)
+    } else {
+        SimNet::new(config.seed)
+    };
+    let resolver = Arc::new(RwLock::new(Resolver::new()));
+    let platform = CloudPlatform::new(
+        net.clone(),
+        resolver.clone(),
+        PlatformConfig {
+            seed: config.seed ^ 0x5eed,
+            ..config.platform.clone()
+        },
+    );
+    // Provider zones/listeners registered up front in catalogue
+    // order, so resolver state doesn't depend on which worker's
+    // deploy gets there first.
+    if config.deploy_live {
+        for c in &calib::PROVIDERS {
+            if c.provider.function_identifiable() {
+                platform.warm_provider(c.provider);
+            }
+        }
+    }
+
+    let pools = build_pools(config);
+    let plan = AbusePlan::build(config);
+    let workers = match config.gen_workers {
+        0 => default_workers(),
+        w => w,
+    }
+    .clamp(1, GEN_SHARDS);
+    fw_obs::counter_add!("fw.gen.workers", workers as u64);
+
+    // Every shard generates its own deterministic slice of each
+    // provider's population, then the slices merge in shard order. In
+    // fused mode the rows go straight into the shared store (exact-key
+    // merge makes the table independent of writer interleaving) and
+    // only the functions come back.
+    let shards: Vec<usize> = (0..GEN_SHARDS).collect();
+    let parts: Vec<(Option<PdnsStore>, Vec<WorldFunction>)> =
+        par_map_named(&shards, workers, "gen/worker", |_, shard| {
+            let _trace = fw_obs::trace_span_arg("gen/shard", *shard as u64);
+            let mut gen = Generator {
+                rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(
+                    config.seed,
+                    *shard as u64,
+                )),
+                sink: GenSink::new(disk),
+                functions: Vec::new(),
+                platform: &platform,
+                config,
+                pools: &pools,
+            };
+            for (p_idx, c) in calib::PROVIDERS.iter().enumerate() {
+                gen.generate_provider_shard(c, p_idx, &plan, *shard);
+            }
+            (gen.sink.into_pdns(), gen.functions)
+        });
+
+    let mut pdns = disk.is_none().then(PdnsStore::new);
+    let mut functions = Vec::new();
+    for (part_pdns, part_functions) in parts {
+        if let (Some(dst), Some(src)) = (pdns.as_mut(), part_pdns) {
+            dst.absorb(src);
+        }
+        functions.extend(part_functions);
+    }
+
+    // The request-total top-up runs serially over the merged world;
+    // its RNG stream is its own, so it sees the same state whatever
+    // the worker count was.
+    let (pdns, functions) = {
+        let mut gen = Generator {
+            rng: SmallRng::seed_from_u64(fw_types::fnv::stream_seed(config.seed, 0xF1AA_707A1)),
+            sink: match pdns {
+                Some(p) => GenSink::Mem(p),
+                None => GenSink::new(disk),
+            },
+            functions,
+            platform: &platform,
+            config,
+            pools: &pools,
+        };
+        gen.match_provider_totals();
+        (gen.sink.into_pdns(), gen.functions)
+    };
+    fw_obs::counter_add!("fw.gen.shards", GEN_SHARDS as u64);
+    fw_obs::counter_add!("fw.gen.functions", functions.len() as u64);
+    if let Some(p) = &pdns {
+        fw_obs::counter_add!("fw.gen.pdns_rows", p.record_count() as u64);
+    }
+    (net, resolver, platform, pdns, functions)
+}
+
 /// Zipf-weighted rdata pool for one provider/rtype.
 struct RdataPool {
     provider: ProviderId,
@@ -311,9 +372,89 @@ struct RdataPool {
     cumulative: Vec<f64>,
 }
 
+/// Where a [`Generator`] writes its PDNS rows. `Mem` is the staged
+/// shape: a private per-shard [`PdnsStore`], merged after generation.
+/// `Disk` streams every row into a shared [`DiskStore`] the moment it
+/// is sampled, which is the generate→ingest fusion. The two sinks make
+/// identical RNG draws, so the sampled world cannot depend on the sink.
+enum GenSink<'a> {
+    Mem(PdnsStore),
+    Disk {
+        store: &'a DiskStore,
+        /// Fqdns this generator has written at least one row for.
+        /// Mirrors the `Mem` uniqueness probe
+        /// `records_for(fqdn).is_empty()` exactly: rows only enter a
+        /// shard-private store through this generator's
+        /// `observe_fqdn_batch`, so local membership is the same predicate —
+        /// and, unlike probing the shared store, it cannot see other
+        /// shards' rows (which `Mem` mode never could).
+        minted: HashSet<Fqdn, fw_types::fnv::FnvBuildHasher>,
+    },
+}
+
+impl<'a> GenSink<'a> {
+    fn new(disk: Option<&'a DiskStore>) -> GenSink<'a> {
+        match disk {
+            None => GenSink::Mem(PdnsStore::new()),
+            Some(store) => GenSink::Disk {
+                store,
+                minted: HashSet::default(),
+            },
+        }
+    }
+
+    /// Emit one fqdn's rows as a batch: row-for-row equivalent to
+    /// observing each `(rdata, day, count)` in iteration order (`Mem`
+    /// does exactly that), but `Disk` amortizes the shard lock and
+    /// table lookup over the whole batch instead of paying them per
+    /// row. Zero counts are skipped on both sinks.
+    fn observe_fqdn_batch<'r>(
+        &mut self,
+        fqdn: &Fqdn,
+        rows: impl Iterator<Item = (&'r Rdata, DayStamp, u64)>,
+    ) {
+        match self {
+            GenSink::Mem(pdns) => {
+                for (rdata, day, count) in rows {
+                    pdns.observe_count(fqdn, rdata, day, count);
+                }
+            }
+            GenSink::Disk { store, minted } => {
+                let mut any = false;
+                store.observe_rows(fqdn, rows.inspect(|(_, _, c)| any |= *c > 0));
+                if any && !minted.contains(fqdn) {
+                    minted.insert(fqdn.clone());
+                }
+            }
+        }
+    }
+
+    /// Has this generator written any rows for `fqdn`?
+    fn fqdn_minted(&self, fqdn: &Fqdn) -> bool {
+        match self {
+            GenSink::Mem(pdns) => !pdns.records_for(fqdn).is_empty(),
+            GenSink::Disk { minted, .. } => minted.contains(fqdn),
+        }
+    }
+
+    fn aggregate(&self, fqdn: &Fqdn) -> Option<FqdnAggregate> {
+        match self {
+            GenSink::Mem(pdns) => pdns.aggregate(fqdn),
+            GenSink::Disk { store, .. } => PdnsBackend::aggregate(*store, fqdn),
+        }
+    }
+
+    fn into_pdns(self) -> Option<PdnsStore> {
+        match self {
+            GenSink::Mem(pdns) => Some(pdns),
+            GenSink::Disk { .. } => None,
+        }
+    }
+}
+
 struct Generator<'a> {
     rng: SmallRng,
-    pdns: PdnsStore,
+    sink: GenSink<'a>,
     functions: Vec<WorldFunction>,
     platform: &'a CloudPlatform,
     config: &'a WorldConfig,
@@ -760,6 +901,10 @@ impl<'a> Generator<'a> {
         }
 
         let (a_share, cname_share, v6_share) = c.rtype_share;
+        // Draw the whole fqdn's rows first (all randomness is consumed
+        // here, so batching cannot change a sampled byte), then hand
+        // them to the sink as one batch.
+        let mut batch: Vec<(usize, usize, DayStamp, u64)> = Vec::with_capacity(days.len());
         for (day, cnt) in days.iter().zip(per_day) {
             // Split across rtypes; clamp so the parts sum exactly to cnt.
             let a_cnt = ((cnt as f64 * a_share).round() as u64).min(cnt);
@@ -781,11 +926,17 @@ impl<'a> Generator<'a> {
                     .cumulative
                     .partition_point(|cum| *cum < x)
                     .min(pool.values.len() - 1);
-                let rdata = pool.values[idx].clone();
-                self.pdns.observe_count(fqdn, &rdata, *day, sub);
+                batch.push((pidx, idx, *day, sub));
             }
             let _ = cname_share;
         }
+        let pools = self.pools;
+        self.sink.observe_fqdn_batch(
+            fqdn,
+            batch
+                .iter()
+                .map(|&(p, i, day, cnt)| (&pools[p].values[i], day, cnt)),
+        );
     }
 
     /// Boost the heaviest benign functions so per-provider request totals
@@ -861,7 +1012,7 @@ impl<'a> Generator<'a> {
                     (f.fqdn.clone(), days, start.min(f.first_seen), new_last)
                 };
                 self.write_pdns_rows(c.provider, &fqdn, &days, share);
-                let agg = self.pdns.aggregate(&fqdn).expect("rows just written");
+                let agg = self.sink.aggregate(&fqdn).expect("rows just written");
                 let f = &mut self.functions[*idx];
                 f.total_requests += share;
                 f.first_seen = new_first.min(agg.first_seen_all);
@@ -1021,8 +1172,9 @@ impl<'a> Generator<'a> {
                 region: region.to_string(),
             };
             let (fqdn, _) = format.generate(&parts);
-            // Uniqueness against everything minted so far.
-            if self.pdns.records_for(&fqdn).is_empty() {
+            // Uniqueness against everything this generator minted so
+            // far (shard-private in both sink modes).
+            if !self.sink.fqdn_minted(&fqdn) {
                 return fqdn;
             }
         }
@@ -1436,6 +1588,54 @@ mod tests {
             gen_workers: 0,
             platform: PlatformConfig::default(),
         })
+    }
+
+    /// Fused generation (rows streamed into a `DiskStore` as sampled)
+    /// yields the exact same world as staged generation: identical
+    /// function list and identical PDNS aggregates.
+    #[test]
+    fn generate_into_matches_generate() {
+        struct TempDir(std::path::PathBuf);
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        let dir = TempDir(std::env::temp_dir().join(format!(
+            "fw-gen-fused-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )));
+        let _ = std::fs::remove_dir_all(&dir.0);
+
+        let config = WorldConfig::usage(11, 0.003);
+        let staged = World::generate(config.clone());
+        let store = DiskStore::create(&dir.0, fw_store::StoreConfig::default()).unwrap();
+        let fused = World::generate_into(config, &store);
+        store.flush().unwrap();
+
+        assert_eq!(staged.functions.len(), fused.functions.len());
+        for (a, b) in staged.functions.iter().zip(&fused.functions) {
+            assert_eq!(a.fqdn, b.fqdn);
+            assert_eq!(a.truth, b.truth);
+            assert_eq!(a.total_requests, b.total_requests);
+            assert_eq!(a.first_seen, b.first_seen);
+            assert_eq!(a.last_seen, b.last_seen);
+            assert_eq!(a.days_active, b.days_active);
+        }
+        let mem_aggs = staged.pdns.all_aggregates();
+        let disk_aggs = store.all_aggregates();
+        assert_eq!(mem_aggs.len(), disk_aggs.len());
+        for (a, b) in mem_aggs.iter().zip(&disk_aggs) {
+            assert_eq!(a.fqdn, b.fqdn);
+            assert_eq!(a.total_request_cnt, b.total_request_cnt);
+            assert_eq!(a.rdata_dist, b.rdata_dist);
+            assert_eq!(
+                (a.first_seen_all, a.last_seen_all),
+                (b.first_seen_all, b.last_seen_all)
+            );
+            assert_eq!(a.days_count, b.days_count);
+        }
     }
 
     #[test]

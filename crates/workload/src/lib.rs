@@ -19,5 +19,5 @@ pub mod calib;
 mod gen;
 pub mod snapshot;
 
-pub use gen::{AbuseCase, BenignClass, Truth, World, WorldConfig, WorldFunction};
+pub use gen::{AbuseCase, BenignClass, FusedWorld, Truth, World, WorldConfig, WorldFunction};
 pub use snapshot::{pdns_content_hash, save_pdns, save_pdns_parallel, SnapshotMeta, SnapshotStats};

@@ -51,7 +51,7 @@ pub fn pdns_content_hash<B: PdnsBackend + ?Sized>(pdns: &B) -> u64 {
     pdns.for_each_row(&mut |fqdn, rtype, rdata, pdate, cnt| {
         let mut k = fw_types::fnv::fnv1a(fqdn.as_str().as_bytes());
         k = fw_types::fnv::fold(k, rtype as u64);
-        k = fw_types::fnv::update(k, rdata.text().as_bytes());
+        k = rdata.with_text(|text| fw_types::fnv::update(k, text.as_bytes()));
         k = fw_types::fnv::fold(k, pdate.0 as u64);
         h = h.wrapping_add(k.wrapping_mul(cnt));
     });
