@@ -18,8 +18,27 @@
 //!
 //! A stage regresses only if it exceeds both
 //! `baseline * (1 + tolerance)` and `baseline + abs_slack_ms`.
+//!
+//! Some gate stages are **throughput/ratio pseudo-stages** riding the
+//! `{"ms": ...}` shape with higher-is-better semantics (`qps`,
+//! `hit_rate`, `scale_eff`, `*_qps`, `rows_per_sec`): for those the
+//! comparison flips — the stage regresses when
+//! `current < baseline / (1 + tolerance)`. The absolute slack floor is
+//! a wall-time notion and does not apply to rates, so the check is
+//! relative-only.
 
 use fw_obs::Json;
+
+/// Stage names measured in bigger-is-better units (throughput, hit
+/// ratios, scaling efficiency) rather than wall milliseconds.
+fn higher_is_better(name: &str) -> bool {
+    name == "qps"
+        || name == "hit_rate"
+        || name == "scale_eff"
+        || name == "rows_per_sec"
+        || name.ends_with("_qps")
+        || name.ends_with("_rows_per_sec")
+}
 
 /// Comparison knobs. Defaults are deliberately loose enough for
 /// cross-machine CI comparisons; tighten for same-machine A/B runs.
@@ -282,8 +301,14 @@ fn delta(
     } else {
         0.0
     };
-    let regressed = current_ms > baseline_ms * (1.0 + tolerance)
-        && current_ms > baseline_ms + config.abs_slack_ms;
+    let regressed = if higher_is_better(name) {
+        // Rates/ratios: a drop past the relative tolerance regresses;
+        // the ms slack floor is meaningless for these units.
+        baseline_ms > 0.0 && current_ms < baseline_ms / (1.0 + tolerance)
+    } else {
+        current_ms > baseline_ms * (1.0 + tolerance)
+            && current_ms > baseline_ms + config.abs_slack_ms
+    };
     StageDelta {
         name: name.to_string(),
         baseline_ms,
@@ -425,6 +450,88 @@ mod tests {
         let text = r.render_text(&RegressConfig::default());
         assert!(text.contains("MISSING"), "{text}");
         assert!(text.contains("FAIL"), "{text}");
+    }
+
+    fn serve_report(scale: f64, qps: f64, hit_rate: f64, total: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "config": {{"scale": {scale}, "seed": 42}},
+              "stages": {{
+                "serve": {{"ms": 4000.0, "peak_rss_kb": 1000}},
+                "qps": {{"ms": {qps}, "peak_rss_kb": null}},
+                "hit_rate": {{"ms": {hit_rate}, "peak_rss_kb": null}}
+              }},
+              "total_ms": {total}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let base = serve_report(1.0, 100_000.0, 0.70, 5000.0);
+        let cur = serve_report(1.0, 70_000.0, 0.70, 5000.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        let qps = r.stages.iter().find(|s| s.name == "qps").unwrap();
+        assert!(qps.regressed, "qps 100k -> 70k must regress at +25% tol");
+        assert!(r.regressed());
+    }
+
+    #[test]
+    fn throughput_gain_and_jitter_pass() {
+        let base = serve_report(1.0, 100_000.0, 0.70, 5000.0);
+        // Faster and slightly-lucky hit rate: both fine.
+        let cur = serve_report(1.0, 140_000.0, 0.72, 5000.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert!(
+            !r.regressed(),
+            "{}",
+            r.render_text(&RegressConfig::default())
+        );
+        // A within-tolerance dip is fine too.
+        let cur = serve_report(1.0, 90_000.0, 0.69, 5000.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        assert!(
+            !r.regressed(),
+            "{}",
+            r.render_text(&RegressConfig::default())
+        );
+    }
+
+    #[test]
+    fn rate_stages_ignore_the_ms_slack_floor() {
+        // hit_rate 0.70 -> 0.30 is a tiny absolute ms delta — far under
+        // abs_slack_ms — but must still fail: slack floors are for wall
+        // time, not ratios.
+        let base = serve_report(1.0, 100_000.0, 0.70, 5000.0);
+        let cur = serve_report(1.0, 100_000.0, 0.30, 5000.0);
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        let hr = r.stages.iter().find(|s| s.name == "hit_rate").unwrap();
+        assert!(hr.regressed);
+        assert!(r.regressed());
+    }
+
+    #[test]
+    fn slower_wall_stages_still_fail_in_the_same_report() {
+        // Mixing directions: qps fine, but the serve wall stage blew up.
+        let base = serve_report(1.0, 100_000.0, 0.70, 5000.0);
+        let cur = Json::parse(
+            r#"{
+              "config": {"scale": 1.0, "seed": 42},
+              "stages": {
+                "serve": {"ms": 9000.0, "peak_rss_kb": 1000},
+                "qps": {"ms": 100000.0, "peak_rss_kb": null},
+                "hit_rate": {"ms": 0.70, "peak_rss_kb": null}
+              },
+              "total_ms": 5000.0
+            }"#,
+        )
+        .unwrap();
+        let r = compare(&base, &cur, &RegressConfig::default()).unwrap();
+        let serve = r.stages.iter().find(|s| s.name == "serve").unwrap();
+        assert!(serve.regressed);
+        let qps = r.stages.iter().find(|s| s.name == "qps").unwrap();
+        assert!(!qps.regressed);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`url`] — `http(s)://host[:port]/path?query` parsing.
 //! * [`parse`] — incremental head parsing with size limits, body framing
 //!   via `Content-Length`, `Transfer-Encoding: chunked`, or read-to-EOF.
+//! * [`fast`] — the allocation-free in-place parser + renderer used by
+//!   the fw-serve hot path, proptested equivalent to [`parse`].
 //! * [`client`] — request serialization + response reading with deadlines,
 //!   over any [`Dialer`] (simulated network or real TCP).
 //! * [`server`] — a per-connection serve loop with keep-alive semantics,
@@ -18,12 +20,14 @@
 //! on malformed input (property-tested in `tests/`).
 
 pub mod client;
+pub mod fast;
 pub mod parse;
 pub mod server;
 pub mod types;
 pub mod url;
 
 pub use client::{ClientConfig, Dialer, HttpClient, SimDialer, TcpDialer};
+pub use fast::{FastRequest, FastResponse, Scratch};
 pub use parse::HttpError;
 pub use types::{HeaderMap, Method, Request, Response};
 pub use url::Url;

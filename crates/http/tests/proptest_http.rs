@@ -1,8 +1,10 @@
 //! Property tests: HTTP serialization/parse round-trips and parser
 //! robustness under arbitrary and mutated inputs.
 
+use fw_http::fast::{read_request_fast, Scratch};
 use fw_http::parse::{
-    read_request, read_response, write_request, write_response, write_response_chunked, Limits,
+    read_request, read_response, write_request, write_response, write_response_chunked, HttpError,
+    Limits,
 };
 use fw_http::types::{HeaderMap, Method, Request, Response};
 use fw_net::{pipe_pair, Connection, PipeConn};
@@ -79,6 +81,52 @@ fn arb_response() -> impl Strategy<Value = Response> {
         })
 }
 
+/// Collapse an [`HttpError`] to a comparable key (variant + message;
+/// io errors by kind).
+fn err_key(e: &HttpError) -> String {
+    match e {
+        HttpError::Io(io) => format!("io:{:?}", io.kind()),
+        HttpError::Parse(m) => format!("parse:{m}"),
+        HttpError::TooLarge(w) => format!("toolarge:{w}"),
+        HttpError::Eof => "eof".to_string(),
+    }
+}
+
+/// Feed `bytes` to both the scalar and the fast request parser (each on
+/// its own closed pipe) and assert they agree: same error variant and
+/// message, or the same method/target/headers/body.
+fn assert_request_parsers_agree(bytes: &[u8], limits: &Limits) -> Result<(), TestCaseError> {
+    let (mut a, mut b) = pair();
+    let _ = a.write_all(bytes);
+    a.shutdown_write();
+    let scalar = read_request(&mut b, limits);
+
+    let (mut c, mut d) = pair();
+    let _ = c.write_all(bytes);
+    c.shutdown_write();
+    let mut scratch = Scratch::new();
+    let fast = read_request_fast(&mut d, &mut scratch, limits);
+
+    match (&scalar, &fast) {
+        (Ok(s), Ok(f)) => {
+            prop_assert_eq!(s.method, f.method);
+            prop_assert_eq!(s.target.as_str(), scratch.target(f));
+            let scalar_headers: Vec<(&str, &str)> = s.headers.iter().collect();
+            let fast_headers: Vec<(&str, &str)> = scratch.headers(f).collect();
+            prop_assert_eq!(scalar_headers, fast_headers);
+            prop_assert_eq!(s.body.as_slice(), scratch.body(f));
+        }
+        (Err(se), Err(fe)) => prop_assert_eq!(err_key(se), err_key(fe)),
+        _ => prop_assert!(
+            false,
+            "scalar {:?} vs fast {:?}",
+            scalar.is_ok(),
+            fast.is_ok()
+        ),
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -125,6 +173,97 @@ proptest! {
         let _ = c.write_all(&bytes);
         c.shutdown_write();
         let _ = read_response(&mut d, &Limits::default(), false);
+    }
+
+    #[test]
+    fn fast_parser_matches_scalar_on_valid_requests(req in arb_request()) {
+        // Serialize through the scalar writer, then compare both parsers
+        // on the exact wire bytes.
+        let (mut a, mut probe) = pair();
+        write_request(&mut a, &req).unwrap();
+        a.shutdown_write();
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match probe.read(&mut buf).unwrap() {
+                0 => break,
+                n => raw.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert_request_parsers_agree(&raw, &Limits::default())?;
+    }
+
+    #[test]
+    fn fast_parser_matches_scalar_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..768),
+    ) {
+        assert_request_parsers_agree(&bytes, &Limits::default())?;
+    }
+
+    #[test]
+    fn fast_parser_matches_scalar_on_truncated_and_mutated_requests(
+        req in arb_request(),
+        cut in any::<proptest::sample::Index>(),
+        idx in any::<proptest::sample::Index>(),
+        to in any::<u8>(),
+        mutate in any::<bool>(),
+    ) {
+        let (mut a, mut probe) = pair();
+        write_request(&mut a, &req).unwrap();
+        a.shutdown_write();
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match probe.read(&mut buf).unwrap() {
+                0 => break,
+                n => raw.extend_from_slice(&buf[..n]),
+            }
+        }
+        if mutate && !raw.is_empty() {
+            let i = idx.index(raw.len());
+            raw[i] = to;
+        } else {
+            raw.truncate(cut.index(raw.len() + 1));
+        }
+        assert_request_parsers_agree(&raw, &Limits::default())?;
+    }
+
+    #[test]
+    fn fast_parser_matches_scalar_under_tight_limits(
+        bytes in proptest::collection::vec(
+            prop_oneof![
+                Just(b'\r'), Just(b'\n'), Just(b':'), Just(b' '), Just(b'/'),
+                any::<u8>(),
+            ],
+            0..256,
+        ),
+    ) {
+        // Small caps force the TooLarge paths on pathological heads.
+        let limits = Limits { max_head: 48, max_body: 16 };
+        assert_request_parsers_agree(&bytes, &limits)?;
+    }
+
+    #[test]
+    fn fast_parser_matches_scalar_on_chunked_requests(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        chunk in 1usize..32,
+        cut in any::<proptest::sample::Index>(),
+        truncate in any::<bool>(),
+    ) {
+        // Hand-build a chunked request (the writer only emits chunked
+        // responses) and optionally truncate it mid-stream.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        for c in body.chunks(chunk) {
+            raw.extend_from_slice(format!("{:x}\r\n", c.len()).as_bytes());
+            raw.extend_from_slice(c);
+            raw.extend_from_slice(b"\r\n");
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+        if truncate {
+            raw.truncate(cut.index(raw.len() + 1));
+        }
+        assert_request_parsers_agree(&raw, &Limits::default())?;
     }
 
     #[test]

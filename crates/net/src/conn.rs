@@ -81,6 +81,12 @@ struct PipeState {
     read_closed: bool,
     /// Hard reset injected by the fault layer.
     reset: bool,
+    /// Threads currently parked on the virtual clock waiting for this
+    /// direction to change (reader waiting for bytes, writer waiting
+    /// for room). Lets state changes skip the clock lock entirely when
+    /// nobody is parked — e.g. the writable-notify a reader would
+    /// otherwise issue on every drain of a never-full pipe.
+    vwaiters: u32,
 }
 
 #[derive(Debug)]
@@ -98,10 +104,18 @@ impl Pipe {
                 write_closed: false,
                 read_closed: false,
                 reset: false,
+                vwaiters: 0,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
         })
+    }
+
+    /// Wake channel identity for [`crate::vclock::VClock::notify_chan`]:
+    /// the pipe's address, stable for its lifetime because both
+    /// endpoints hold the `Arc`.
+    fn chan(self: &Arc<Pipe>) -> u64 {
+        Arc::as_ptr(self) as u64
     }
 }
 
@@ -196,8 +210,9 @@ impl PipeConn {
             st.reset = true;
             pipe.readable.notify_all();
             pipe.writable.notify_all();
+            drop(st);
+            self.clock.notify_chan(pipe.chan());
         }
-        self.clock.notify();
     }
 }
 
@@ -233,10 +248,13 @@ impl Connection for PipeConn {
                         // Register the waiter before releasing the pipe
                         // lock so the reader's drain cannot slip past
                         // unnoticed, then block on the clock.
-                        let token = vc.prepare_wait_counted(None, self.lease.is_some());
+                        let token =
+                            vc.prepare_wait_chan(None, self.lease.is_some(), self.tx.chan());
+                        st.vwaiters += 1;
                         drop(st);
                         vc.complete_wait(token);
                         st = self.tx.state.lock();
+                        st.vwaiters -= 1;
                     }
                     None => {
                         self.tx.writable.wait(&mut st);
@@ -248,8 +266,11 @@ impl Connection for PipeConn {
             st.buf.extend(&buf[written..written + take]);
             written += take;
             self.tx.readable.notify_all();
+            let wake = st.vwaiters > 0;
             drop(st);
-            self.clock.notify();
+            if wake {
+                self.clock.notify_chan(self.tx.chan());
+            }
         }
         Ok(())
     }
@@ -272,13 +293,23 @@ impl Connection for PipeConn {
                 ));
             }
             if !st.buf.is_empty() {
+                // Bulk copy out of the ring's contiguous runs instead of
+                // popping byte-by-byte.
                 let take = st.buf.len().min(buf.len());
-                for slot in buf.iter_mut().take(take) {
-                    *slot = st.buf.pop_front().expect("len checked");
+                let (head, tail) = st.buf.as_slices();
+                if take <= head.len() {
+                    buf[..take].copy_from_slice(&head[..take]);
+                } else {
+                    buf[..head.len()].copy_from_slice(head);
+                    buf[head.len()..take].copy_from_slice(&tail[..take - head.len()]);
                 }
+                st.buf.drain(..take);
                 self.rx.writable.notify_all();
+                let wake = st.vwaiters > 0;
                 drop(st);
-                self.clock.notify();
+                if wake {
+                    self.clock.notify_chan(self.rx.chan());
+                }
                 return Ok(take);
             }
             if st.write_closed {
@@ -286,12 +317,16 @@ impl Connection for PipeConn {
             }
             match self.clock.vclock() {
                 Some(vc) => {
-                    let token = vc.prepare_wait_counted(vdeadline, self.lease.is_some());
+                    let token =
+                        vc.prepare_wait_chan(vdeadline, self.lease.is_some(), self.rx.chan());
+                    st.vwaiters += 1;
                     drop(st);
-                    if vc.complete_wait(token) == WaitOutcome::TimedOut {
+                    let outcome = vc.complete_wait(token);
+                    st = self.rx.state.lock();
+                    st.vwaiters -= 1;
+                    if outcome == WaitOutcome::TimedOut {
                         return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
                     }
-                    st = self.rx.state.lock();
                 }
                 None => match deadline {
                     Some(d) => {
@@ -312,12 +347,15 @@ impl Connection for PipeConn {
     }
 
     fn shutdown_write(&mut self) {
-        {
+        let wake = {
             let mut st = self.tx.state.lock();
             st.write_closed = true;
             self.tx.readable.notify_all();
+            st.vwaiters > 0
+        };
+        if wake {
+            self.clock.notify_chan(self.tx.chan());
         }
-        self.clock.notify();
     }
 
     fn peer_addr(&self) -> SocketAddr {
@@ -330,17 +368,24 @@ impl Drop for PipeConn {
         // Closing an endpoint: our outbound direction sees write-close (peer
         // gets EOF), our inbound direction sees read-close (peer writer gets
         // BrokenPipe instead of blocking forever).
-        {
+        let wake_tx = {
             let mut st = self.tx.state.lock();
             st.write_closed = true;
             self.tx.readable.notify_all();
-        }
-        {
+            st.vwaiters > 0
+        };
+        let wake_rx = {
             let mut st = self.rx.state.lock();
             st.read_closed = true;
             self.rx.writable.notify_all();
+            st.vwaiters > 0
+        };
+        if wake_tx {
+            self.clock.notify_chan(self.tx.chan());
         }
-        self.clock.notify();
+        if wake_rx {
+            self.clock.notify_chan(self.rx.chan());
+        }
     }
 }
 

@@ -10,10 +10,10 @@
 use crate::conn::{pipe_pair_with_clock, Connection, PipeConn};
 use crate::fault::{chunk_fate, ChunkFate, FaultConfig};
 use crate::vclock::Clock;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +23,123 @@ use std::time::Duration;
 /// Server-side connection handler. Runs on a dedicated thread per
 /// connection; returning closes the server end.
 pub type Handler = Arc<dyn Fn(Box<dyn Connection>) + Send + Sync>;
+
+/// How a listener accepts connections.
+#[derive(Clone)]
+enum Listener {
+    /// One spawned thread per connection (the original model; fine for
+    /// probe workloads where connections are long-lived relative to
+    /// their number).
+    Spawn(Handler),
+    /// A fixed pool of pre-spawned, clock-registered workers with
+    /// per-worker accept queues. Connections are steered to
+    /// `flow % workers`, so a load harness partitioning clients the
+    /// same way gets perfect affinity and zero cross-worker contention.
+    Pool(Arc<AcceptPool>),
+}
+
+/// Accept queue for one pool worker.
+struct AcceptQueue {
+    state: Mutex<QueueState>,
+    /// Wall-clock fallback (virtual worlds park on the clock instead).
+    cv: Condvar,
+    clock: Clock,
+}
+
+struct QueueState {
+    conns: VecDeque<Box<dyn Connection>>,
+    closed: bool,
+    /// Workers parked on the virtual clock for this queue.
+    vwaiters: u32,
+}
+
+impl AcceptQueue {
+    fn new(clock: Clock) -> Arc<AcceptQueue> {
+        Arc::new(AcceptQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+                vwaiters: 0,
+            }),
+            cv: Condvar::new(),
+            clock,
+        })
+    }
+
+    /// Wake channel: the queue's address (same convention as pipes).
+    fn chan(self: &Arc<AcceptQueue>) -> u64 {
+        Arc::as_ptr(self) as u64
+    }
+
+    /// Enqueue an accepted connection; dropped if the listener closed
+    /// (the client then observes EOF, as with a refused accept).
+    fn push(self: &Arc<AcceptQueue>, conn: Box<dyn Connection>) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        st.conns.push_back(conn);
+        self.cv.notify_one();
+        let wake = st.vwaiters > 0;
+        drop(st);
+        if wake {
+            self.clock.notify_chan(self.chan());
+        }
+    }
+
+    /// Close the queue: workers drain what is already queued, then exit.
+    fn close(self: &Arc<AcceptQueue>) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.cv.notify_all();
+        let wake = st.vwaiters > 0;
+        drop(st);
+        if wake {
+            self.clock.notify_chan(self.chan());
+        }
+    }
+
+    /// Blocking accept; `None` once closed and drained.
+    fn accept(self: &Arc<AcceptQueue>) -> Option<Box<dyn Connection>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(c) = st.conns.pop_front() {
+                return Some(c);
+            }
+            if st.closed {
+                return None;
+            }
+            match self.clock.vclock() {
+                Some(vc) => {
+                    // Two-phase wait on the queue's channel; workers are
+                    // persistently registered, so no deadline and no
+                    // auto-registration: an idle worker is simply
+                    // "blocked forever" to quiescence detection.
+                    let token = vc.prepare_wait_chan(None, false, self.chan());
+                    st.vwaiters += 1;
+                    drop(st);
+                    vc.complete_wait(token);
+                    st = self.state.lock();
+                    st.vwaiters -= 1;
+                }
+                None => self.cv.wait(&mut st),
+            }
+        }
+    }
+}
+
+/// The per-worker queues of one pooled listener.
+struct AcceptPool {
+    queues: Vec<Arc<AcceptQueue>>,
+}
+
+impl AcceptPool {
+    fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+}
 
 /// Global network counters.
 #[derive(Debug, Default)]
@@ -49,7 +166,7 @@ impl NetStats {
 }
 
 struct Inner {
-    listeners: RwLock<HashMap<SocketAddr, Handler>>,
+    listeners: RwLock<HashMap<SocketAddr, Listener>>,
     faults: RwLock<FaultConfig>,
     /// The world's time source. Virtual by default: timeouts and
     /// injected delays are discrete events, not real sleeps.
@@ -61,6 +178,18 @@ struct Inner {
     flow_seq: Mutex<HashMap<u64, u64>>,
     stats: NetStats,
     next_client_port: AtomicU64,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Release pooled accept workers; they drain and exit. Without
+        // this, a dropped world would leak parked worker threads.
+        for listener in self.listeners.get_mut().values() {
+            if let Listener::Pool(pool) = listener {
+                pool.close();
+            }
+        }
+    }
 }
 
 /// FNV-1a 64-bit, the flow-key hash (stable across processes, unlike
@@ -125,7 +254,7 @@ impl SimNet {
 
     /// Install a listener. Replaces any previous listener on the address.
     pub fn listen(&self, addr: SocketAddr, handler: Handler) {
-        self.inner.listeners.write().insert(addr, handler);
+        self.install(addr, Listener::Spawn(handler));
     }
 
     /// Convenience wrapper taking a closure.
@@ -136,9 +265,59 @@ impl SimNet {
         self.listen(addr, Arc::new(f));
     }
 
-    /// Remove a listener; future connects are refused.
+    /// Install a pooled listener: `workers` pre-spawned, clock-registered
+    /// accept loops, each fed by its own queue. `factory(w)` builds the
+    /// per-worker handler (so each worker can own mutable scratch state
+    /// with no locking); connections steer to `flow % workers` — the
+    /// flow being the id given to [`SimNet::connect_flow_id`], or the
+    /// flow key of [`SimNet::connect_for`].
+    ///
+    /// Unlike [`SimNet::listen`], handlers run *on the worker*, so a
+    /// worker serves one connection at a time; suited to short
+    /// request/response exchanges (the fw-serve plane), not long-lived
+    /// streams.
+    pub fn listen_pool<F, H>(&self, addr: SocketAddr, workers: usize, mut factory: F)
+    where
+        F: FnMut(usize) -> H,
+        H: FnMut(Box<dyn Connection>) + Send + 'static,
+    {
+        let workers = workers.max(1);
+        let mut queues = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let q = AcceptQueue::new(self.inner.clock.clone());
+            let mut handler = factory(w);
+            // Register before spawning so the clock cannot advance in
+            // the window where the worker exists but has not parked yet.
+            let registration = self.inner.clock.register();
+            let worker_q = q.clone();
+            std::thread::Builder::new()
+                .name(format!("sim-accept-{addr}-{w}"))
+                .spawn(move || {
+                    let _active = registration.map(|r| r.activate());
+                    while let Some(conn) = worker_q.accept() {
+                        handler(conn);
+                    }
+                })
+                .expect("spawn accept worker");
+            queues.push(q);
+        }
+        self.install(addr, Listener::Pool(Arc::new(AcceptPool { queues })));
+    }
+
+    fn install(&self, addr: SocketAddr, listener: Listener) {
+        let prev = self.inner.listeners.write().insert(addr, listener);
+        if let Some(Listener::Pool(pool)) = prev {
+            pool.close();
+        }
+    }
+
+    /// Remove a listener; future connects are refused. A pooled
+    /// listener's workers drain their queues and exit.
     pub fn unlisten(&self, addr: &SocketAddr) {
-        self.inner.listeners.write().remove(addr);
+        let prev = self.inner.listeners.write().remove(addr);
+        if let Some(Listener::Pool(pool)) = prev {
+            pool.close();
+        }
     }
 
     /// Number of registered listeners.
@@ -184,6 +363,7 @@ impl SimNet {
         self.connect_seeded(
             addr,
             mix(self.inner.seed ^ key ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            key,
         )
     }
 
@@ -199,10 +379,18 @@ impl SimNet {
         addr: SocketAddr,
         flow_id: u64,
     ) -> io::Result<Box<dyn Connection>> {
-        self.connect_seeded(addr, mix(self.inner.seed ^ mix(flow_id)))
+        self.connect_seeded(addr, mix(self.inner.seed ^ mix(flow_id)), flow_id)
     }
 
-    fn connect_seeded(&self, addr: SocketAddr, conn_seed: u64) -> io::Result<Box<dyn Connection>> {
+    /// `steer` picks the worker of a pooled listener (`steer % workers`);
+    /// it never feeds the fault RNG, so spawn- and pool-mode listeners
+    /// observe identical fault draws for the same flow.
+    fn connect_seeded(
+        &self,
+        addr: SocketAddr,
+        conn_seed: u64,
+        steer: u64,
+    ) -> io::Result<Box<dyn Connection>> {
         let faults = *self.inner.faults.read();
         let mut rng = SmallRng::seed_from_u64(conn_seed);
         if faults.refuse_chance > 0.0 && rng.gen_bool(faults.refuse_chance) {
@@ -213,8 +401,8 @@ impl SimNet {
                 "connection refused (injected fault)",
             ));
         }
-        let handler = match self.inner.listeners.read().get(&addr) {
-            Some(h) => h.clone(),
+        let listener = match self.inner.listeners.read().get(&addr) {
+            Some(l) => l.clone(),
             None => {
                 self.inner.stats.refused.fetch_add(1, Ordering::Relaxed);
                 fw_obs::counter_inc!("fw.net.refused");
@@ -264,17 +452,27 @@ impl SimNet {
             net: self.inner.clone(),
             _trace: None,
         });
-        // Register the handler thread with the virtual clock *before*
-        // spawning it, so the clock cannot advance in the window where
-        // the thread exists but has not run yet.
-        let registration = self.inner.clock.register();
-        std::thread::Builder::new()
-            .name(format!("sim-handler-{addr}"))
-            .spawn(move || {
-                let _active = registration.map(|r| r.activate());
-                handler(server_conn)
-            })
-            .map_err(io::Error::other)?;
+        match listener {
+            Listener::Spawn(handler) => {
+                // Register the handler thread with the virtual clock *before*
+                // spawning it, so the clock cannot advance in the window where
+                // the thread exists but has not run yet.
+                let registration = self.inner.clock.register();
+                std::thread::Builder::new()
+                    .name(format!("sim-handler-{addr}"))
+                    .spawn(move || {
+                        let _active = registration.map(|r| r.activate());
+                        handler(server_conn)
+                    })
+                    .map_err(io::Error::other)?;
+            }
+            Listener::Pool(pool) => {
+                // No spawn: hand the server end to the steered worker's
+                // queue. The worker is already registered and parked.
+                let w = (steer % pool.queues.len() as u64) as usize;
+                pool.queues[w].push(server_conn);
+            }
+        }
 
         Ok(Box::new(FaultedConn {
             inner: client_end,
@@ -521,6 +719,71 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(net.stats().connections.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn pooled_listener_echoes_and_steers_by_flow_id() {
+        let net = SimNet::new(21);
+        // Each worker answers with its own index, proving steering.
+        net.listen_pool(addr(1, 80), 2, |w| {
+            move |mut conn: Box<dyn Connection>| {
+                let mut buf = [0u8; 64];
+                while let Ok(n) = conn.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    if conn.write_all(&[w as u8]).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        for id in 0..6u64 {
+            let mut conn = net.connect_flow_id(addr(1, 80), id).unwrap();
+            conn.write_all(b"ping").unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = [0u8; 1];
+            conn.read_exact(&mut buf).unwrap();
+            assert_eq!(u64::from(buf[0]), id % 2, "flow {id} steered wrong");
+        }
+    }
+
+    #[test]
+    fn pooled_workers_keep_per_worker_state() {
+        let net = SimNet::new(22);
+        // A per-worker counter (no locks) survives across connections.
+        net.listen_pool(addr(2, 80), 1, |_w| {
+            let mut served = 0u8;
+            move |mut conn: Box<dyn Connection>| {
+                served += 1;
+                let mut buf = [0u8; 8];
+                let _ = conn.read(&mut buf);
+                let _ = conn.write_all(&[served]);
+            }
+        });
+        for expect in 1..=3u8 {
+            let mut conn = net.connect_flow_id(addr(2, 80), 0).unwrap();
+            conn.write_all(b"x").unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = [0u8; 1];
+            conn.read_exact(&mut buf).unwrap();
+            assert_eq!(buf[0], expect);
+        }
+    }
+
+    #[test]
+    fn unlisten_shuts_down_pool_and_refuses() {
+        let net = SimNet::new(23);
+        net.listen_pool(addr(3, 80), 2, |_w| {
+            move |mut conn: Box<dyn Connection>| {
+                let mut buf = [0u8; 8];
+                let _ = conn.read(&mut buf);
+                let _ = conn.write_all(b"ok");
+            }
+        });
+        assert!(net.connect_flow_id(addr(3, 80), 1).is_ok());
+        net.unlisten(&addr(3, 80));
+        assert!(net.connect_flow_id(addr(3, 80), 2).is_err());
     }
 
     #[test]

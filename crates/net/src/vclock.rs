@@ -113,6 +113,12 @@ struct Waiter {
     /// Registered just for this wait (thread holds no persistent
     /// [`Registration`]).
     auto: bool,
+    /// Wake channel: a resource identity (e.g. a pipe's address) so
+    /// notifiers can wake only the threads parked on *that* resource.
+    /// `0` is the wildcard channel: woken by every notification.
+    chan: u64,
+    /// Condvar lane this waiter parks on (see [`VClock::lanes`]).
+    lane: u8,
 }
 
 #[derive(Debug, Default)]
@@ -148,11 +154,36 @@ pub fn thread_registered() -> bool {
     PERSISTENT.with(|p| p.get())
 }
 
+/// Number of condvar lanes waiters are spread across. Waking a channel
+/// signals only the lanes its waiters actually park on, so a pipe event
+/// costs one or two futex wakes instead of a broadcast to every blocked
+/// thread in the world (the "thundering herd" that capped fw-serve).
+const LANES: usize = 64;
+
 /// The virtual clock. Shared by every component of one simulated world.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct VClock {
     state: Mutex<VState>,
-    cv: Condvar,
+    /// One condvar per lane; a waiter parks on `lanes[lane]` where
+    /// `lane` is a hash of its channel (or token, for sleeps). All
+    /// lanes share the single `state` mutex, so the usual
+    /// predicate-recheck discipline still holds.
+    lanes: [Condvar; LANES],
+}
+
+impl Default for VClock {
+    fn default() -> VClock {
+        VClock {
+            state: Mutex::default(),
+            lanes: std::array::from_fn(|_| Condvar::new()),
+        }
+    }
+}
+
+/// Spread a channel id (usually a pointer) over the lane space.
+#[inline]
+fn lane_of(key: u64) -> u8 {
+    (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as u8
 }
 
 /// Opaque handle for a registered-but-not-yet-completed wait.
@@ -192,8 +223,22 @@ impl VClock {
     /// `registered` by a connection lease (`counted = true`), which
     /// must not auto-register a second time.
     pub fn prepare_wait_counted(&self, deadline_us: Option<u64>, counted: bool) -> WaitToken {
+        self.prepare_wait_chan(deadline_us, counted, 0)
+    }
+
+    /// [`VClock::prepare_wait_counted`] on a specific wake channel.
+    /// A non-zero `chan` (conventionally the address of the resource
+    /// being waited on) lets [`VClock::notify_chan`] wake only this
+    /// resource's waiters; channel `0` waiters are woken by every
+    /// notification.
+    pub fn prepare_wait_chan(
+        &self,
+        deadline_us: Option<u64>,
+        counted: bool,
+        chan: u64,
+    ) -> WaitToken {
         let mut st = self.state.lock();
-        let token = self.add_waiter(&mut st, deadline_us, WaitKind::Cond, counted);
+        let token = self.add_waiter(&mut st, deadline_us, WaitKind::Cond, counted, chan);
         self.maybe_advance(&mut st);
         WaitToken(token)
     }
@@ -203,9 +248,10 @@ impl VClock {
     pub fn complete_wait(&self, token: WaitToken) -> WaitOutcome {
         let mut st = self.state.lock();
         loop {
-            let state = st.waiters.get(&token.0).expect("waiter registered").state;
-            match state {
-                WaitState::Blocked => self.cv.wait(&mut st),
+            let w = st.waiters.get(&token.0).expect("waiter registered");
+            let lane = w.lane;
+            match w.state {
+                WaitState::Blocked => self.lanes[lane as usize].wait(&mut st),
                 WaitState::Woken => {
                     self.remove_waiter(&mut st, token.0);
                     return WaitOutcome::Notified;
@@ -218,26 +264,52 @@ impl VClock {
         }
     }
 
-    /// Wake every condition waiter so it rechecks its predicate. Called
-    /// by the pipes whenever buffered data, EOF, close or reset state
-    /// changes. Safe to call while holding a resource lock (the clock
+    /// Wake every condition waiter so it rechecks its predicate — the
+    /// broadcast path, used for global state changes (fault injection,
+    /// teardown). Pipes use the targeted [`VClock::notify_chan`] on the
+    /// hot path. Safe to call while holding a resource lock (the clock
     /// never takes resource locks).
     pub fn notify_waiters(&self) {
         let mut st = self.state.lock();
-        let mut woke = false;
+        let st = &mut *st;
+        let mut mask = 0u64;
         for w in st.waiters.values_mut() {
             if w.kind == WaitKind::Cond && w.state == WaitState::Blocked {
                 w.state = WaitState::Woken;
-                woke = true;
+                st.blocked -= 1;
+                mask |= 1u64 << w.lane;
             }
         }
-        if woke {
-            st.blocked = st
-                .waiters
-                .values()
-                .filter(|w| w.state == WaitState::Blocked)
-                .count();
-            self.cv.notify_all();
+        self.notify_lanes(mask);
+    }
+
+    /// Wake only the condition waiters parked on `chan` (plus wildcard
+    /// channel-0 waiters). This is the hot-path notification: a pipe
+    /// write wakes exactly the peer blocked on that pipe instead of
+    /// every blocked thread in the simulation.
+    pub fn notify_chan(&self, chan: u64) {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let mut mask = 0u64;
+        for w in st.waiters.values_mut() {
+            if w.kind == WaitKind::Cond
+                && w.state == WaitState::Blocked
+                && (w.chan == chan || w.chan == 0)
+            {
+                w.state = WaitState::Woken;
+                st.blocked -= 1;
+                mask |= 1u64 << w.lane;
+            }
+        }
+        self.notify_lanes(mask);
+    }
+
+    /// Signal every lane set in `mask`.
+    fn notify_lanes(&self, mut mask: u64) {
+        while mask != 0 {
+            let lane = mask.trailing_zeros() as usize;
+            self.lanes[lane].notify_all();
+            mask &= mask - 1;
         }
     }
 
@@ -247,6 +319,7 @@ impl VClock {
         deadline: Option<u64>,
         kind: WaitKind,
         counted: bool,
+        chan: u64,
     ) -> u64 {
         let auto = !counted && !PERSISTENT.with(|p| p.get());
         if auto {
@@ -254,6 +327,9 @@ impl VClock {
         }
         let token = st.next_token;
         st.next_token += 1;
+        // Channel-less waiters (sleeps, wildcard conds) spread over the
+        // lanes by token so unrelated timers don't share a condvar.
+        let lane = lane_of(if chan != 0 { chan } else { token | 1 });
         // A deadline already in the past fires immediately — the wait
         // degenerates to a timeout check.
         let state = if deadline.is_some_and(|d| d <= st.now_us) {
@@ -269,6 +345,8 @@ impl VClock {
                 kind,
                 state,
                 auto,
+                chan,
+                lane,
             },
         );
         token
@@ -309,15 +387,17 @@ impl VClock {
             fw_obs::advance_sim_micros(delta);
         }
         let mut fired = 0u32;
+        let mut mask = 0u64;
         for w in st.waiters.values_mut() {
             if w.state == WaitState::Blocked && w.deadline.is_some_and(|d| d <= min_dl) {
                 w.state = WaitState::Fired;
                 st.blocked -= 1;
                 fired += 1;
+                mask |= 1u64 << w.lane;
             }
         }
         st.trace.push((min_dl, fired));
-        self.cv.notify_all();
+        self.notify_lanes(mask);
     }
 
     /// [`ClockSource::sleep`] with explicit lease accounting: pass
@@ -330,12 +410,13 @@ impl VClock {
         }
         let mut st = self.state.lock();
         let deadline = st.now_us + dur;
-        let token = self.add_waiter(&mut st, Some(deadline), WaitKind::Sleep, counted);
+        let token = self.add_waiter(&mut st, Some(deadline), WaitKind::Sleep, counted, 0);
         self.maybe_advance(&mut st);
         loop {
-            let state = st.waiters.get(&token).expect("waiter registered").state;
-            match state {
-                WaitState::Blocked => self.cv.wait(&mut st),
+            let w = st.waiters.get(&token).expect("waiter registered");
+            let lane = w.lane;
+            match w.state {
+                WaitState::Blocked => self.lanes[lane as usize].wait(&mut st),
                 // Sleep waiters are never notified, only fired.
                 WaitState::Woken | WaitState::Fired => {
                     self.remove_waiter(&mut st, token);
@@ -440,6 +521,14 @@ impl Clock {
             vc.notify_waiters();
         }
     }
+
+    /// Wake only the virtual waiters parked on `chan` (no-op on the
+    /// wall clock). See [`VClock::notify_chan`].
+    pub fn notify_chan(&self, chan: u64) {
+        if let Clock::Virtual(vc) = self {
+            vc.notify_chan(chan);
+        }
+    }
 }
 
 impl Default for Clock {
@@ -529,6 +618,50 @@ mod tests {
         clock.notify_waiters();
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
         assert_eq!(clock.now_us(), 0, "notification must not advance time");
+        drop(hold);
+    }
+
+    #[test]
+    fn notify_chan_wakes_only_the_matching_channel() {
+        let clock = VClock::new();
+        let hold = clock.register();
+        let mk = |chan: u64| {
+            let reg = clock.register();
+            let c = clock.clone();
+            std::thread::spawn(move || {
+                let _active = reg.activate();
+                let token = c.prepare_wait_chan(Some(c.now_us() + 1_000_000), false, chan);
+                c.complete_wait(token)
+            })
+        };
+        let a = mk(0x1000);
+        let b = mk(0x2000);
+        std::thread::sleep(Duration::from_millis(30));
+        clock.notify_chan(0x1000);
+        assert_eq!(a.join().unwrap(), WaitOutcome::Notified);
+        // `b` must still be parked: its channel was not notified.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!b.is_finished(), "chan 0x2000 must not wake on 0x1000");
+        clock.notify_chan(0x2000);
+        assert_eq!(b.join().unwrap(), WaitOutcome::Notified);
+        assert_eq!(clock.now_us(), 0, "notification must not advance time");
+        drop(hold);
+    }
+
+    #[test]
+    fn wildcard_waiters_wake_on_any_channel() {
+        let clock = VClock::new();
+        let hold = clock.register();
+        let reg = clock.register();
+        let c = clock.clone();
+        let w = std::thread::spawn(move || {
+            let _active = reg.activate();
+            let token = c.prepare_wait_chan(Some(c.now_us() + 1_000_000), false, 0);
+            c.complete_wait(token)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        clock.notify_chan(0xdead_beef);
+        assert_eq!(w.join().unwrap(), WaitOutcome::Notified);
         drop(hold);
     }
 

@@ -1,9 +1,15 @@
 //! Microbenchmarks for the serving hot path: cache-hit replay vs
-//! cold compute per endpoint class, and raw sharded-cache churn.
+//! cold compute per endpoint class, raw sharded-cache churn under
+//! TinyLFU admission, and a full client↔server round trip over a
+//! wall-clock pipe through the zero-copy serve loop.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use fw_dns::pdns::PdnsStore;
+use fw_http::fast::{read_response_fast, render_get, Scratch};
+use fw_http::parse::Limits;
 use fw_http::types::Request;
+use fw_net::{pipe_pair, Connection};
+use fw_serve::cache::CachedResponse;
 use fw_serve::{CacheConfig, ServeApi, ServeState};
 use fw_types::{DayStamp, Fqdn, Rdata};
 use std::net::Ipv4Addr;
@@ -28,7 +34,10 @@ fn api() -> ServeApi<PdnsStore> {
     }
     let noise = Fqdn::parse("www.example.com").unwrap();
     store.observe_count(&noise, &ip, DayStamp(19_100), 5);
-    ServeApi::new(ServeState::build(store, 1), CacheConfig::default())
+    ServeApi::new(
+        Arc::new(ServeState::build(store, 1)),
+        CacheConfig::default(),
+    )
 }
 
 fn bench_handle(c: &mut Criterion) {
@@ -64,31 +73,96 @@ fn api_fresh() -> ServeApi<PdnsStore> {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    let cache = fw_serve::ShardedCache::new(CacheConfig {
-        shards: 16,
-        capacity: 1024,
-    });
-    let body = Arc::new(fw_serve::cache::CachedResponse {
-        status: 200,
-        body: vec![b'x'; 256],
-    });
+    let body = Arc::new(CachedResponse::render(
+        200,
+        "application/json",
+        &[b'x'; 256],
+    ));
     let keys: Vec<String> = (0..2048).map(|i| format!("/v1/verdict/key-{i}")).collect();
-    for k in &keys {
-        cache.put(k, Arc::clone(&body));
-    }
+
     let mut g = c.benchmark_group("serve_cache");
     g.throughput(Throughput::Elements(1));
+
+    // Pure hit path: capacity covers the whole keyspace.
+    let hot = fw_serve::ShardedCache::new(CacheConfig {
+        shards: 16,
+        capacity: 4096,
+        ..CacheConfig::default()
+    });
+    for k in &keys {
+        hot.put(k, Arc::clone(&body));
+    }
     let mut i = 0usize;
-    g.bench_function("get_put_churn", |b| {
+    g.bench_function("get_hit", |b| {
         b.iter(|| {
             i = (i + 1) % keys.len();
-            if cache.get(&keys[i]).is_none() {
-                cache.put(&keys[i], Arc::clone(&body));
+            black_box(hot.get(&keys[i]).is_some())
+        })
+    });
+
+    // Churn under admission pressure: 2048 keys over 1024 slots keeps
+    // every shard full, so each miss-then-put runs the TinyLFU filter.
+    let churn = fw_serve::ShardedCache::new(CacheConfig {
+        shards: 16,
+        capacity: 1024,
+        ..CacheConfig::default()
+    });
+    for k in &keys {
+        churn.put(k, Arc::clone(&body));
+    }
+    let mut j = 0usize;
+    g.bench_function("get_put_churn_admission", |b| {
+        b.iter(|| {
+            j = (j + 1) % keys.len();
+            if churn.get(&keys[j]).is_none() {
+                churn.put(&keys[j], Arc::clone(&body));
             }
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_handle, bench_cache);
+/// Full round trip over a wall-clock pipe: fast client renderer and
+/// response parser on this thread, the zero-copy `serve_fast` loop on
+/// a server thread. Measures the whole per-request path the load
+/// harness exercises, minus SimNet scheduling.
+fn bench_roundtrip(c: &mut Criterion) {
+    let api = Arc::new(api());
+    let (mut client, mut server) = pipe_pair(
+        "10.0.0.1:50000".parse().unwrap(),
+        "203.0.113.1:80".parse().unwrap(),
+    );
+    let srv_api = Arc::clone(&api);
+    let srv = std::thread::spawn(move || {
+        let mut scratch = Scratch::new();
+        srv_api.serve_fast(&mut server, &mut scratch);
+    });
+    let target = format!("/v1/verdict/{FQDN}");
+    let mut wire = Vec::with_capacity(256);
+    let mut parse = Scratch::new();
+    let limits = Limits::default();
+    // Warm the cache so the steady state is the hit path.
+    wire.clear();
+    render_get(&mut wire, &target, "api.sim");
+    client.write_all(&wire).unwrap();
+    read_response_fast(&mut client, &mut parse, &limits).unwrap();
+
+    let mut g = c.benchmark_group("serve_roundtrip");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("verdict_hit_e2e", |b| {
+        b.iter(|| {
+            wire.clear();
+            render_get(&mut wire, &target, "api.sim");
+            client.write_all(&wire).unwrap();
+            let resp = read_response_fast(&mut client, &mut parse, &limits).unwrap();
+            black_box(resp.status)
+        })
+    });
+    g.finish();
+    client.shutdown_write();
+    drop(client);
+    let _ = srv.join();
+}
+
+criterion_group!(benches, bench_handle, bench_cache, bench_roundtrip);
 criterion_main!(benches);

@@ -1,37 +1,44 @@
 //! Serving gate: build the query API over a generated world, drive it
 //! with the SimNet load harness, and emit latency/throughput benchmarks
-//! to `BENCH_serve.json` (DESIGN.md §15; CI runs this at 100k clients
-//! and the committed baseline carries a 1M-client run).
+//! to `BENCH_serve.json` (DESIGN.md §15/§17; CI runs this at 100k
+//! clients and the committed baseline carries a 1M-client run).
 //!
 //! ```text
 //! fw_serve_gate [--clients <n>] [--rpc-max <n>] [--workers <n>]
-//!               [--seed <u64>] [--world-scale <f64>] [--window-s <n>]
+//!               [--serve-workers <n>] [--sweep] [--seed <u64>]
+//!               [--world-scale <f64>] [--window-s <n>]
 //!               [--cache-capacity <n>] [--out <path>] [--metrics]
 //!               [--trace] [--trace-out <path>]
 //! ```
 //!
-//! Defaults: 100k clients, bursts of 1..=3 requests, workers 0 (one per
-//! core), seed 42, world scale 0.1, a one-hour virtual arrival window,
-//! JSON to `BENCH_serve.json`.
+//! Defaults: 100k clients, bursts of 1..=3 requests, 8 serving workers,
+//! load workers 0 (= serve workers), seed 42, world scale 0.1, a
+//! one-hour virtual arrival window, JSON to `BENCH_serve.json`.
 //!
 //! Stages:
 //!
 //! 1. **generate** — the PDNS-only world whose store the API serves.
 //! 2. **build** — freeze the store into a [`ServeState`] (identify +
 //!    usage + candidate replay, figure documents pre-rendered).
-//! 3. **serve** — the load run: every client connects once over SimNet,
-//!    issues its keep-alive burst, and digests the response bytes. Wall
-//!    time here yields the sustained qps figure.
+//! 3. **serve** — the load run against the pooled zero-copy serve
+//!    plane: every client connects once over SimNet (flow-steered onto
+//!    a serving worker), issues its keep-alive burst, and digests the
+//!    response bytes. Wall time here yields the sustained qps figure.
+//! 4. **sweep** (with `--sweep`) — re-run the same load at serving
+//!    worker counts {1,2,4,8} over the *same* frozen state, die if any
+//!    digest differs from the main run (worker count must never change
+//!    a byte), and record per-count qps/latency plus the
+//!    `scale_eff` = qps(max)/qps(1) efficiency ratio.
 //!
-//! The `p50_us` / `p99_us` pseudo-stages carry per-request wall
-//! latencies (in **microseconds**, riding the `{"ms": ...}` stage
-//! shape) through the `history` array, so `bench_regress` gates
-//! serving-latency regressions exactly like wall-time regressions. The
-//! run digest is printed and recorded: two same-seed runs must match it
-//! byte-for-byte, which CI checks by diffing the deterministic fields
-//! of two back-to-back runs.
+//! Pseudo-stages ride the `{"ms": ...}` stage shape so `bench_regress`
+//! gates them like wall stages: `p50_us`/`p99_us` (microsecond
+//! latencies, lower is better) and `qps`/`hit_rate`/`scale_eff`
+//! (higher is better — the regress tool knows these names). Throughput
+//! is reported both ways: `achieved_qps_wall` (requests over wall time,
+//! the real server-cost figure) and `offered_qps_virtual` (requests
+//! over the virtual arrival window, a property of the schedule alone).
 
-use fw_serve::{CacheConfig, Endpoint, LoadConfig, LoadPlan, ServeApi, ServeState};
+use fw_serve::{CacheConfig, Endpoint, LoadConfig, LoadPlan, LoadReport, ServeApi, ServeState};
 use fw_types::Json;
 use fw_workload::{World, WorldConfig};
 use std::net::SocketAddr;
@@ -87,14 +94,27 @@ fn prior_history(out: &Path) -> Vec<String> {
 
 const ADDR: &str = "10.99.0.1:8080";
 
+/// Serving worker counts the `--sweep` matrix exercises.
+const SWEEP_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// One sweep row: the load run repeated at a given serving worker
+/// count over the same frozen state.
+struct SweepRow {
+    serve_workers: usize,
+    report: LoadReport,
+    hit_rate: f64,
+}
+
 fn main() {
     let mut clients = 100_000u64;
     let mut rpc_max = 3u32;
     let mut workers = 0usize;
+    let mut serve_workers = 8usize;
+    let mut sweep = false;
     let mut seed = 42u64;
     let mut world_scale = 0.1f64;
     let mut window_s = 3600u64;
-    let mut cache_capacity = 32_768usize;
+    let mut cache_capacity = 65_536usize;
     let mut out = PathBuf::from("BENCH_serve.json");
     let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -103,6 +123,8 @@ fn main() {
             "--clients" => clients = arg_num(&mut args, "--clients"),
             "--rpc-max" => rpc_max = arg_num(&mut args, "--rpc-max"),
             "--workers" => workers = arg_num(&mut args, "--workers"),
+            "--serve-workers" => serve_workers = arg_num(&mut args, "--serve-workers"),
+            "--sweep" => sweep = true,
             "--seed" => seed = arg_num(&mut args, "--seed"),
             "--world-scale" => world_scale = arg_num(&mut args, "--world-scale"),
             "--window-s" => window_s = arg_num(&mut args, "--window-s"),
@@ -120,7 +142,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: fw_serve_gate [--clients <n>] [--rpc-max <n>] [--workers <n>] [--seed <u64>] [--world-scale <f64>] [--window-s <n>] [--cache-capacity <n>] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
+                    "usage: fw_serve_gate [--clients <n>] [--rpc-max <n>] [--workers <n>] [--serve-workers <n>] [--sweep] [--seed <u64>] [--world-scale <f64>] [--window-s <n>] [--cache-capacity <n>] [--out <path>] [--metrics] [--trace] [--trace-out <path>]"
                 );
                 std::process::exit(0);
             }
@@ -133,8 +155,11 @@ fn main() {
     if rpc_max == 0 {
         die("--rpc-max must be >= 1");
     }
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workers = if workers == 0 { cores } else { workers };
+    if serve_workers == 0 {
+        die("--serve-workers must be >= 1");
+    }
+    // Load drivers scale with the serving plane unless pinned.
+    let workers = if workers == 0 { serve_workers } else { workers };
     // The report's headline scale: fraction of the paper-scale
     // million-client run, so `bench_regress --scale` matching works the
     // same way it does for the pipeline gate.
@@ -163,11 +188,12 @@ fn main() {
         world.pdns.record_count()
     );
 
-    // 2. Freeze the store into the queryable snapshot.
+    // 2. Freeze the store into the queryable snapshot (shared by the
+    // main run and every sweep run).
     let t = Instant::now();
     let state = {
         let _s = fw_obs::span("gate/build");
-        ServeState::build(world.pdns, workers)
+        Arc::new(ServeState::build(world.pdns, workers))
     };
     stages.push(Stage {
         name: "build",
@@ -181,55 +207,112 @@ fn main() {
         state.candidate_count()
     );
 
-    // 3. The load run, on a fresh SimNet so virtual time starts at 0.
     let plan = LoadPlan {
         function_fqdns: Arc::new(state.function_fqdns()),
     };
-    let net = fw_net::SimNet::new(seed);
-    let addr: SocketAddr = ADDR.parse().expect("static addr");
-    let api = Arc::new(ServeApi::new(
-        state,
-        CacheConfig {
-            capacity: cache_capacity,
-            ..CacheConfig::default()
-        },
-    ));
-    api.serve_on(&net, addr);
-    let config = LoadConfig {
-        clients,
-        max_requests_per_client: rpc_max,
-        workers,
-        seed,
-        window: Duration::from_secs(window_s),
-        ..LoadConfig::default()
+    let cache_config = CacheConfig {
+        capacity: cache_capacity,
+        ..CacheConfig::default()
     };
+    let addr: SocketAddr = ADDR.parse().expect("static addr");
+
+    // One full load run at `sw` serving workers over a fresh SimNet;
+    // the frozen state (and its Arc'd figure bodies) is shared.
+    let run_at = |sw: usize, load_workers: usize| -> (LoadReport, fw_serve::CacheStats) {
+        let net = fw_net::SimNet::new(seed);
+        let api = Arc::new(ServeApi::new(Arc::clone(&state), cache_config));
+        api.serve_pool(&net, addr, sw);
+        let config = LoadConfig {
+            clients,
+            max_requests_per_client: rpc_max,
+            workers: load_workers,
+            seed,
+            window: Duration::from_secs(window_s),
+            ..LoadConfig::default()
+        };
+        let report = fw_serve::load::run_load(&net, addr, &config, &plan);
+        let cache = api.cache_stats();
+        (report, cache)
+    };
+
+    // 3. The main load run.
     let t = Instant::now();
-    let report = fw_serve::load::run_load(&net, addr, &config, &plan);
+    let (report, cache) = run_at(serve_workers, workers);
     let serve_ms = t.elapsed().as_secs_f64() * 1e3;
     stages.push(Stage {
         name: "serve",
         ms: serve_ms,
         peak_rss_kb: peak_rss_kb(),
     });
-    let cache = api.cache_stats();
     let p50_us = report.latency_percentile_us(50.0);
     let p99_us = report.latency_percentile_us(99.0);
-    let qps = report.qps();
+    let qps = report.achieved_qps_wall();
+    let hit_rate = cache.hit_rate();
     eprintln!(
-        "[serve] {serve_ms:.1} ms wall for {} requests from {} clients ({qps:.0} qps sustained, {:.0} qps offered over {:.0} virtual s)",
+        "[serve] {serve_ms:.1} ms wall for {} requests from {} clients over {} workers ({qps:.0} qps achieved, {:.0} qps offered over {:.0} virtual s)",
         report.requests,
         report.clients,
-        report.offered_qps(),
+        serve_workers,
+        report.offered_qps_virtual(),
         report.virtual_us as f64 / 1e6
     );
     eprintln!(
-        "[serve] latency p50 {p50_us:.0} us p99 {p99_us:.0} us; cache hit rate {:.3} ({} hits / {} misses / {} evictions)",
-        cache.hit_rate(),
-        cache.hits,
-        cache.misses,
-        cache.evictions
+        "[serve] latency p50 {p50_us:.0} us p99 {p99_us:.0} us; cache hit rate {hit_rate:.3} ({} hits / {} misses / {} evictions; admission {} accepted / {} rejected)",
+        cache.hits, cache.misses, cache.evictions, cache.admit_accept, cache.admit_reject
     );
     eprintln!("[serve] digest {:016x}", report.digest);
+
+    // 4. The worker-scaling sweep: same seed, same state, serving
+    // worker counts {1,2,4,8}. Byte-level reproducibility across the
+    // matrix is a hard invariant — any digest drift is a bug, not a
+    // number to report.
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
+    let mut scale_eff = None;
+    if sweep {
+        let t = Instant::now();
+        for sw in SWEEP_WORKERS {
+            let (r, c) = run_at(sw, sw);
+            eprintln!(
+                "[sweep] {sw} workers: {:.0} qps, p50 {:.0} us, p99 {:.0} us, hit {:.3}, digest {:016x}",
+                r.achieved_qps_wall(),
+                r.latency_percentile_us(50.0),
+                r.latency_percentile_us(99.0),
+                c.hit_rate(),
+                r.digest
+            );
+            if r.digest != report.digest || r.requests != report.requests {
+                die(&format!(
+                    "sweep at {sw} serving workers diverged: digest {:016x} ({} requests) vs main {:016x} ({} requests) — worker count must never change response bytes",
+                    r.digest, r.requests, report.digest, report.requests
+                ));
+            }
+            sweep_rows.push(SweepRow {
+                serve_workers: sw,
+                report: r,
+                hit_rate: c.hit_rate(),
+            });
+        }
+        let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+        stages.push(Stage {
+            name: "sweep",
+            ms: sweep_ms,
+            peak_rss_kb: peak_rss_kb(),
+        });
+        let qps_1 = sweep_rows
+            .first()
+            .map_or(0.0, |r| r.report.achieved_qps_wall());
+        let qps_max = sweep_rows
+            .last()
+            .map_or(0.0, |r| r.report.achieved_qps_wall());
+        if qps_1 > 0.0 {
+            scale_eff = Some(qps_max / qps_1);
+        }
+        eprintln!(
+            "[sweep] {sweep_ms:.1} ms; scale_eff (qps@{}w / qps@1w) = {:.3}",
+            SWEEP_WORKERS[SWEEP_WORKERS.len() - 1],
+            scale_eff.unwrap_or(f64::NAN)
+        );
+    }
 
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let rss = peak_rss_kb();
@@ -259,20 +342,22 @@ fn main() {
     };
 
     let mut entry = format!(
-        "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"rpc_max\": {rpc_max}, \"total_ms\": {total_ms:.3}"
+        "{{\"unix_ms\": {unix_ms}, \"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"serve_workers\": {serve_workers}, \"rpc_max\": {rpc_max}, \"total_ms\": {total_ms:.3}"
     );
     for s in &stages {
         entry.push_str(&format!(", \"{}_ms\": {:.3}", s.name, s.ms));
     }
     entry.push_str(&format!(
-        ", \"p50_us_ms\": {}, \"p99_us_ms\": {}",
+        ", \"p50_us_ms\": {}, \"p99_us_ms\": {}, \"qps_ms\": {qps:.0}, \"hit_rate_ms\": {hit_rate:.4}",
         num_or_null(p50_us),
         num_or_null(p99_us)
     ));
+    if let Some(eff) = scale_eff {
+        entry.push_str(&format!(", \"scale_eff_ms\": {eff:.4}"));
+    }
     entry.push_str(&format!(
-        ", \"requests\": {}, \"qps\": {qps:.0}, \"hit_rate\": {:.4}, \"peak_rss_kb\": {}}}",
+        ", \"requests\": {}, \"qps\": {qps:.0}, \"hit_rate\": {hit_rate:.4}, \"peak_rss_kb\": {}}}",
         report.requests,
-        cache.hit_rate(),
         rss_json(rss)
     ));
     let mut history = prior_history(&out);
@@ -285,7 +370,7 @@ fn main() {
     // Hand-rolled JSON, same layout conventions as BENCH_stream.json.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"rpc_max\": {rpc_max}, \"world_scale\": {world_scale}, \"window_s\": {window_s}, \"cache_capacity\": {cache_capacity}}},\n"
+        "  \"config\": {{\"scale\": {scale}, \"clients\": {clients}, \"seed\": {seed}, \"workers\": {workers}, \"serve_workers\": {serve_workers}, \"rpc_max\": {rpc_max}, \"world_scale\": {world_scale}, \"window_s\": {window_s}, \"cache_capacity\": {cache_capacity}}},\n"
     ));
     json.push_str("  \"stages\": {\n");
     for s in stages.iter() {
@@ -296,16 +381,28 @@ fn main() {
             rss_json(s.peak_rss_kb)
         ));
     }
-    // Latency pseudo-stages: per-request wall percentiles in
-    // MICROSECONDS riding the {"ms": ...} stage shape, so bench_regress
-    // gates them with meaningful magnitudes against --abs-slack-ms.
+    // Pseudo-stages riding the {"ms": ...} stage shape so bench_regress
+    // gates them: microsecond latencies (lower is better) and
+    // throughput/ratio figures (higher is better — bench_regress keys
+    // off these stage names).
     json.push_str(&format!(
         "    \"p50_us\": {{\"ms\": {}, \"peak_rss_kb\": null}},\n",
         num_or_null(p50_us)
     ));
     json.push_str(&format!(
-        "    \"p99_us\": {{\"ms\": {}, \"peak_rss_kb\": null}}\n",
+        "    \"p99_us\": {{\"ms\": {}, \"peak_rss_kb\": null}},\n",
         num_or_null(p99_us)
+    ));
+    json.push_str(&format!(
+        "    \"qps\": {{\"ms\": {qps:.0}, \"peak_rss_kb\": null}},\n"
+    ));
+    if let Some(eff) = scale_eff {
+        json.push_str(&format!(
+            "    \"scale_eff\": {{\"ms\": {eff:.4}, \"peak_rss_kb\": null}},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "    \"hit_rate\": {{\"ms\": {hit_rate:.4}, \"peak_rss_kb\": null}}\n"
     ));
     json.push_str("  },\n");
     json.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
@@ -313,8 +410,12 @@ fn main() {
     json.push_str(&format!("  \"clients\": {},\n", report.clients));
     json.push_str(&format!("  \"qps\": {qps:.0},\n"));
     json.push_str(&format!(
-        "  \"offered_qps\": {:.0},\n",
-        report.offered_qps()
+        "  \"achieved_qps_wall\": {:.0},\n",
+        report.achieved_qps_wall()
+    ));
+    json.push_str(&format!(
+        "  \"offered_qps_virtual\": {:.0},\n",
+        report.offered_qps_virtual()
     ));
     json.push_str(&format!("  \"virtual_us\": {},\n", report.virtual_us));
     json.push_str(&format!("  \"digest\": \"{:016x}\",\n", report.digest));
@@ -341,13 +442,29 @@ fn main() {
     }
     json.push_str("},\n");
     json.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
-        cache.hits,
-        cache.misses,
-        cache.evictions,
-        cache.entries,
-        cache.hit_rate()
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"admit_accept\": {}, \"admit_reject\": {}, \"hit_rate\": {hit_rate:.4}}},\n",
+        cache.hits, cache.misses, cache.evictions, cache.entries, cache.admit_accept, cache.admit_reject
     ));
+    if !sweep_rows.is_empty() {
+        json.push_str("  \"sweep\": [\n");
+        for (i, row) in sweep_rows.iter().enumerate() {
+            let comma = if i + 1 == sweep_rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"serve_workers\": {}, \"qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"hit_rate\": {:.4}, \"digest\": \"{:016x}\", \"requests\": {}}}{comma}\n",
+                row.serve_workers,
+                row.report.achieved_qps_wall(),
+                num_or_null(row.report.latency_percentile_us(50.0)),
+                num_or_null(row.report.latency_percentile_us(99.0)),
+                row.hit_rate,
+                row.report.digest,
+                row.report.requests
+            ));
+        }
+        json.push_str("  ],\n");
+        if let Some(eff) = scale_eff {
+            json.push_str(&format!("  \"scale_eff\": {eff:.4},\n"));
+        }
+    }
     json.push_str(&format!("  \"peak_rss_kb\": {},\n", rss_json(rss)));
     json.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
@@ -360,11 +477,10 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
 
     println!(
-        "serve gate: {clients} clients seed {seed} total {total_ms:.0} ms (generate {:.0} / build {:.0} / serve {:.0}); {qps:.0} qps, p50 {p50_us:.0} us, p99 {p99_us:.0} us, hit rate {:.3}, digest {:016x}; report -> {}",
+        "serve gate: {clients} clients seed {seed} over {serve_workers} serving workers, total {total_ms:.0} ms (generate {:.0} / build {:.0} / serve {:.0}); {qps:.0} qps, p50 {p50_us:.0} us, p99 {p99_us:.0} us, hit rate {hit_rate:.3}, digest {:016x}; report -> {}",
         stages[0].ms,
         stages[1].ms,
         stages[2].ms,
-        cache.hit_rate(),
         report.digest,
         out.display()
     );

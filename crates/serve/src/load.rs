@@ -24,11 +24,12 @@
 //! word) — two runs with the same seed are byte-identical iff their
 //! digests match, at any worker count.
 
-use fw_http::parse::{read_response, write_request, Limits};
-use fw_http::types::Request;
+use fw_http::fast::{read_response_fast, render_get, Scratch};
+use fw_http::parse::Limits;
 use fw_net::{Connection, SimNet};
 use fw_types::fnv::{fnv1a, stream_seed};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::fmt::Write as _;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -143,16 +144,27 @@ impl LoadReport {
         self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1] as f64
     }
 
-    /// Sustained wall-clock throughput.
+    /// Sustained wall-clock throughput (alias of
+    /// [`LoadReport::achieved_qps_wall`], kept for callers that predate
+    /// the offered/achieved split).
     pub fn qps(&self) -> f64 {
+        self.achieved_qps_wall()
+    }
+
+    /// Achieved throughput: requests over the *wall* time the run took.
+    /// This is the figure that measures real server cost.
+    pub fn achieved_qps_wall(&self) -> f64 {
         if self.wall_ms <= 0.0 {
             return 0.0;
         }
         self.requests as f64 / (self.wall_ms / 1e3)
     }
 
-    /// Offered load: requests over the *virtual* window.
-    pub fn offered_qps(&self) -> f64 {
+    /// Offered load: requests over the *virtual* arrival window. This
+    /// is a property of the schedule, not of server speed — two runs
+    /// with the same seed offer the same virtual qps no matter how fast
+    /// the server drains them.
+    pub fn offered_qps_virtual(&self) -> f64 {
         if self.virtual_us == 0 {
             return 0.0;
         }
@@ -242,9 +254,12 @@ struct WorkerAcc {
     latencies_us: Vec<u32>,
 }
 
-/// Pick a target, skewed so a small head of fqdns takes most traffic
-/// (cubing the uniform draw sends ~22% of lookups to the top 1%).
-fn gen_target(rng: &mut SmallRng, plan: &LoadPlan, mix: &MixWeights) -> (usize, String) {
+/// Pick a target into the reused `out` buffer, skewed so a small head
+/// of fqdns takes most traffic (cubing the uniform draw sends ~22% of
+/// lookups to the top 1%). The RNG draw sequence is identical to the
+/// historical allocating version, so seeds keep their digests.
+fn gen_target(rng: &mut SmallRng, plan: &LoadPlan, mix: &MixWeights, out: &mut String) -> usize {
+    out.clear();
     let pick_fqdn = |rng: &mut SmallRng| -> &str {
         let n = plan.function_fqdns.len();
         if n == 0 {
@@ -255,38 +270,62 @@ fn gen_target(rng: &mut SmallRng, plan: &LoadPlan, mix: &MixWeights) -> (usize, 
     };
     let mut w = rng.gen_range(0..mix.total());
     if w < mix.verdict {
-        return (1, format!("/v1/verdict/{}", pick_fqdn(rng)));
+        let _ = write!(out, "/v1/verdict/{}", pick_fqdn(rng));
+        return 1;
     }
     w -= mix.verdict;
     if w < mix.usage {
-        return (2, format!("/v1/usage/{}", pick_fqdn(rng)));
+        let _ = write!(out, "/v1/usage/{}", pick_fqdn(rng));
+        return 2;
     }
     w -= mix.usage;
     if w < mix.abuse {
-        return (3, format!("/v1/abuse/{}", pick_fqdn(rng)));
+        let _ = write!(out, "/v1/abuse/{}", pick_fqdn(rng));
+        return 3;
     }
     w -= mix.abuse;
     if w < mix.candidates {
         let offset = rng.gen_range(0u32..8) * 20;
-        return (4, format!("/v1/candidates?offset={offset}&limit=20"));
+        let _ = write!(out, "/v1/candidates?offset={offset}&limit=20");
+        return 4;
     }
     w -= mix.candidates;
     if w < mix.figures {
         let name =
             ["monthly_new", "monthly_requests", "ingress", "invocation"][rng.gen_range(0usize..4)];
-        return (5, format!("/v1/figures/{name}"));
+        let _ = write!(out, "/v1/figures/{name}");
+        return 5;
     }
     w -= mix.figures;
     if w < mix.status {
-        return (0, "/v1/status".to_string());
+        out.push_str("/v1/status");
+        return 0;
     }
-    (
-        6,
-        format!(
-            "/v1/verdict/miss-{}.not-observed.example",
-            rng.gen_range(0u32..10_000)
-        ),
-    )
+    let _ = write!(
+        out,
+        "/v1/verdict/miss-{}.not-observed.example",
+        rng.gen_range(0u32..10_000)
+    );
+    6
+}
+
+/// Per-worker reusable buffers: one response-parse scratch, one target
+/// string, one request wire buffer. Nothing here allocates per request
+/// once warm.
+struct ClientScratch {
+    parse: Scratch,
+    target: String,
+    wire: Vec<u8>,
+}
+
+impl ClientScratch {
+    fn new() -> ClientScratch {
+        ClientScratch {
+            parse: Scratch::new(),
+            target: String::with_capacity(128),
+            wire: Vec::with_capacity(256),
+        }
+    }
 }
 
 /// One client's whole session; returns its response-stream digest.
@@ -297,6 +336,7 @@ fn run_client(
     config: &LoadConfig,
     plan: &LoadPlan,
     acc: &mut WorkerAcc,
+    scratch: &mut ClientScratch,
 ) -> io::Result<u64> {
     let mut rng = SmallRng::seed_from_u64(stream_seed(config.seed, id));
     let window_us = config.window.as_micros() as u64;
@@ -318,14 +358,17 @@ fn run_client(
     let limits = Limits::default();
     let burst = rng.gen_range(1..=config.max_requests_per_client.max(1));
     for _ in 0..burst {
-        let (ep, target) = gen_target(&mut rng, plan, &config.mix);
-        let req = Request::get(&target, HOST);
+        let ep = gen_target(&mut rng, plan, &config.mix, &mut scratch.target);
+        // The rendered request is byte-identical to
+        // `write_request(&Request::get(target, HOST))`.
+        scratch.wire.clear();
+        render_get(&mut scratch.wire, &scratch.target, HOST);
         // Status bodies carry live cache counters — scheduling-dependent
         // by design — so they stay out of the determinism digest.
         conn.mute = ep == 0;
         let t = Instant::now();
-        write_request(&mut conn, &req).map_err(io_of)?;
-        let resp = read_response(&mut conn, &limits, false).map_err(io_of)?;
+        conn.write_all(&scratch.wire)?;
+        let resp = read_response_fast(&mut conn, &mut scratch.parse, &limits).map_err(io_of)?;
         conn.mute = false;
         acc.latencies_us
             .push(t.elapsed().as_micros().min(u32::MAX as u128) as u32);
@@ -372,10 +415,12 @@ pub fn run_load(
                 .spawn(move || {
                     let _active = registration.map(|r| r.activate());
                     let mut acc = WorkerAcc::default();
+                    let mut scratch = ClientScratch::new();
                     let mut id = w as u64;
                     while id < config.clients {
-                        let digest = run_client(&net, addr, id, &config, &plan, &mut acc)
-                            .unwrap_or_else(|e| panic!("client {id} failed: {e}"));
+                        let digest =
+                            run_client(&net, addr, id, &config, &plan, &mut acc, &mut scratch)
+                                .unwrap_or_else(|e| panic!("client {id} failed: {e}"));
                         let word = mix(digest ^ mix(id.wrapping_add(1)));
                         acc.digest_xor ^= word;
                         acc.digest_sum = acc.digest_sum.wrapping_add(word);

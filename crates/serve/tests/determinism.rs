@@ -13,14 +13,14 @@ const SEED: u64 = 7;
 
 fn run(workers: usize) -> fw_serve::LoadReport {
     let world = World::generate(WorldConfig::usage(SEED, 0.01));
-    let state = ServeState::build(world.pdns, workers);
+    let state = Arc::new(ServeState::build(world.pdns, workers));
     let plan = LoadPlan {
         function_fqdns: Arc::new(state.function_fqdns()),
     };
     let net = fw_net::SimNet::new(SEED);
     let addr: SocketAddr = "10.99.0.1:8080".parse().unwrap();
     let api = Arc::new(ServeApi::new(state, CacheConfig::default()));
-    api.serve_on(&net, addr);
+    api.serve_pool(&net, addr, workers.max(1));
     let config = LoadConfig {
         clients: 2_000,
         max_requests_per_client: 3,
@@ -72,14 +72,14 @@ fn same_seed_is_identical_across_worker_counts_and_reruns() {
 #[test]
 fn different_seed_changes_the_run() {
     let world = World::generate(WorldConfig::usage(SEED, 0.01));
-    let state = ServeState::build(world.pdns, 4);
+    let state = Arc::new(ServeState::build(world.pdns, 4));
     let plan = LoadPlan {
         function_fqdns: Arc::new(state.function_fqdns()),
     };
     let net = fw_net::SimNet::new(SEED);
     let addr: SocketAddr = "10.99.0.2:8080".parse().unwrap();
     let api = Arc::new(ServeApi::new(state, CacheConfig::default()));
-    api.serve_on(&net, addr);
+    api.serve_pool(&net, addr, 4);
     let mut config = LoadConfig {
         clients: 500,
         workers: 4,
